@@ -1,0 +1,265 @@
+// Command colorbars-bench regenerates every table and figure from the
+// ColorBars paper's evaluation (§8) on the simulated substrate and
+// prints them in the paper's layout. See EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations]
+//	                [-duration seconds] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/csk"
+	"colorbars/internal/experiments"
+	"colorbars/internal/metrics"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3b, fig3c, fig6, fig8b, grid, baseline, ablations, distance")
+	duration := flag.Float64("duration", 3, "simulated seconds per measured cell")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	csvDir := flag.String("csv", "", "also write CSV files for the plottable experiments into this directory")
+	flag.Parse()
+	csvOutDir = *csvDir
+
+	runners := map[string]func(float64, int64) error{
+		"table1":    runTable1,
+		"fig3b":     runFig3b,
+		"fig3c":     runFig3c,
+		"fig6":      runFig6,
+		"fig8b":     runFig8b,
+		"grid":      runGrid,
+		"baseline":  runBaseline,
+		"ablations": runAblations,
+		"distance":  runDistance,
+	}
+	order := []string{"table1", "fig3b", "fig3c", "fig6", "fig8b", "grid", "baseline", "ablations", "distance"}
+
+	var names []string
+	if *exp == "all" {
+		names = order
+	} else if _, ok := runners[*exp]; ok {
+		names = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	for _, name := range names {
+		if err := runners[name](*duration, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// csvOutDir, when non-empty, receives CSV copies of the plottable
+// experiment outputs.
+var csvOutDir string
+
+// writeCSV writes one experiment's CSV file when -csv is set.
+func writeCSV(name string, write func(w *os.File) error) error {
+	if csvOutDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvOutDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func runTable1(duration float64, seed int64) error {
+	fmt.Println("== Table 1: symbols received per second and inter-frame loss ratio ==")
+	rows, err := experiments.Table1(duration, seed)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV("table1.csv", func(w *os.File) error {
+		return experiments.WriteTable1CSV(w, rows)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("%-12s", "Device")
+	for _, r := range experiments.Frequencies {
+		fmt.Printf(" %9.0f Hz", r)
+	}
+	fmt.Printf("  %s\n", "Avg. loss ratio")
+	for _, row := range rows {
+		fmt.Printf("%-12s", row.Device)
+		for _, r := range experiments.Frequencies {
+			fmt.Printf(" %12.2f", row.SymbolsPerSecond[r])
+		}
+		fmt.Printf("  %.4f\n", row.AvgLossRatio)
+	}
+	return nil
+}
+
+func runFig3b(duration float64, seed int64) error {
+	fmt.Println("== Fig 3(b): minimum white-light fraction vs symbol frequency ==")
+	pts := experiments.Fig3b(seed)
+	for _, p := range pts {
+		fmt.Printf("  %5.0f Hz  %.2f\n", p.SymbolFrequency, p.WhiteFraction)
+	}
+	return writeCSV("fig3b.csv", func(w *os.File) error {
+		return experiments.WriteFig3bCSV(w, pts)
+	})
+}
+
+func runFig3c(duration float64, seed int64) error {
+	fmt.Println("== Fig 3(c): color band width vs symbol rate (Nexus 5 rows) ==")
+	pts, err := experiments.Fig3c(camera.Nexus5(), []float64{1000, 2000, 3000, 4000}, seed)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("  %5.0f sym/s  %6.1f rows\n", p.SymbolRate, p.BandWidthRows)
+	}
+	return nil
+}
+
+func runFig6(duration float64, seed int64) error {
+	fmt.Println("== Fig 6(a): 8-CSK constellation as perceived per device ({a,b}) ==")
+	rows, err := experiments.Fig6a(seed)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Printf("  %s:\n", row.Device)
+		for i, o := range row.Observed {
+			fmt.Printf("    sym %d: observed (%6.1f, %6.1f)  ideal (%6.1f, %6.1f)\n",
+				i, o.A, o.B, row.Ideal[i].A, row.Ideal[i].B)
+		}
+	}
+	fmt.Println("== Fig 6(b): perceived {a,b} of pure blue vs exposure (Nexus 5) ==")
+	bPts, err := experiments.Fig6b(camera.Nexus5(), seed)
+	if err != nil {
+		return err
+	}
+	for _, p := range bPts {
+		fmt.Printf("  exposure %7.4fs  ({%6.1f, %6.1f})\n", p.Exposure, p.AB.A, p.AB.B)
+	}
+	fmt.Println("== Fig 6(c): perceived {a,b} of pure blue vs ISO (Nexus 5) ==")
+	cPts, err := experiments.Fig6c(camera.Nexus5(), seed)
+	if err != nil {
+		return err
+	}
+	for _, p := range cPts {
+		fmt.Printf("  ISO %6.0f  ({%6.1f, %6.1f})\n", p.ISO, p.AB.A, p.AB.B)
+	}
+	return nil
+}
+
+func runFig8b(duration float64, seed int64) error {
+	fmt.Println("== Fig 8(b): per-position color variance, RGB vs CIELab ==")
+	res, err := experiments.Fig8b(camera.Nexus5(), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  RGB variance:    %8.2f\n", res.VarianceRGB)
+	fmt.Printf("  CIELab variance: %8.2f\n", res.VarianceLab)
+	fmt.Printf("  reduction:       %8.1fx\n", res.VarianceRGB/res.VarianceLab)
+	return nil
+}
+
+func runGrid(duration float64, seed int64) error {
+	fmt.Println("== Figs 9, 10, 11: SER / throughput / goodput grid ==")
+	cells, err := experiments.EvaluationGrid(duration, seed)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV("grid.csv", func(w *os.File) error {
+		return experiments.WriteGridCSV(w, cells)
+	}); err != nil {
+		return err
+	}
+	byDevice := map[string][]experiments.EvalCell{}
+	for _, c := range cells {
+		byDevice[c.Device] = append(byDevice[c.Device], c)
+	}
+	devices := make([]string, 0, len(byDevice))
+	for d := range byDevice {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	for _, dev := range devices {
+		fmt.Printf("  -- %s --\n", dev)
+		fmt.Printf("  %-8s %-8s %12s %14s %14s\n", "Order", "Rate", "SER", "Thrpt (bps)", "Goodput (bps)")
+		for _, c := range byDevice[dev] {
+			fmt.Printf("  %-8v %6.0f %14.4f %14.0f %14.0f\n",
+				c.Order, c.SymbolRate, c.Result.SER, c.Result.ThroughputBps, c.Result.GoodputBps)
+		}
+	}
+	return nil
+}
+
+func runBaseline(duration float64, seed int64) error {
+	fmt.Println("== Baseline comparison: OOK / FSK / ColorBars ==")
+	res, err := experiments.BaselineComparison(duration, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  undersampled OOK: %8.2f bytes/s\n", res.OOKBytesPerSecond)
+	fmt.Printf("  rolling FSK:      %8.2f bytes/s\n", res.FSKBytesPerSecond)
+	fmt.Printf("  ColorBars (best): %8.2f bytes/s (%.1f kbps)\n",
+		res.ColorBarsBestGoodputBps/8, res.ColorBarsBestGoodputBps/1000)
+	return nil
+}
+
+func runAblations(duration float64, seed int64) error {
+	fmt.Println("== Ablations (Nexus 5, 16-CSK @ 3 kHz) ==")
+	base := metrics.LinkParams{
+		Order: csk.CSK16, SymbolRate: 3000, Profile: camera.Nexus5(),
+		WhiteFraction: 0.2, Duration: duration, Seed: seed,
+	}
+	full, err := metrics.Run(base)
+	if err != nil {
+		return err
+	}
+	noCal := base
+	noCal.UseFactoryRefs = true
+	factory, err := metrics.Run(noCal)
+	if err != nil {
+		return err
+	}
+	noEras := base
+	noEras.NoErasureDecoding = true
+	errorsOnly, err := metrics.Run(noEras)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-34s %10s %14s\n", "Variant", "SER", "Goodput (bps)")
+	fmt.Printf("  %-34s %10.4f %14.0f\n", "full system", full.SER, full.GoodputBps)
+	fmt.Printf("  %-34s %10.4f %14.0f\n", "factory references (no calib.)", factory.SER, factory.GoodputBps)
+	fmt.Printf("  %-34s %10.4f %14.0f\n", "no erasure hints (errors only)", errorsOnly.SER, errorsOnly.GoodputBps)
+	return nil
+}
+
+func runDistance(duration float64, seed int64) error {
+	fmt.Println("== Distance sweep (paper §10 future work: LED arrays for range) ==")
+	pts, err := experiments.DistanceSweep(camera.Nexus5(),
+		[]float64{0.03, 0.06, 0.12, 0.25, 0.5},
+		[]float64{1, 16, 64}, duration, seed)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV("distance.csv", func(w *os.File) error {
+		return experiments.WriteDistanceCSV(w, pts)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("  %-10s %-12s %14s %10s\n", "Power", "Distance", "Goodput (bps)", "SER")
+	for _, p := range pts {
+		fmt.Printf("  %-10.0f %-12.2f %14.0f %10.4f\n", p.Power, p.DistanceMeters, p.GoodputBps, p.SER)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command colorbars-rx reads a waveform dump produced by
+// cmd/colorbars-tx, images it through the rolling-shutter camera
+// simulator, and runs the full receive pipeline, printing any
+// recovered messages.
+//
+// Usage:
+//
+//	colorbars-rx [-device nexus5|iphone5s|ideal] [-order n] [-rate hz]
+//	             [-white frac] [-duration s] [-seed n] [file]
+//
+// The link parameters (order, rate, white fraction) must match the
+// transmitter's; in a deployment they are part of the published sign
+// format.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"colorbars"
+	"colorbars/internal/camera"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/led"
+)
+
+func main() {
+	device := flag.String("device", "nexus5", "receiver device: nexus5, iphone5s, ideal")
+	order := flag.Int("order", 16, "CSK order: 4, 8, 16, 32")
+	rate := flag.Float64("rate", 4000, "symbol rate in Hz")
+	white := flag.Float64("white", 0, "white illumination fraction (0 = auto; must match the transmitter)")
+	duration := flag.Float64("duration", 0, "capture seconds (0 = whole waveform)")
+	seed := flag.Int64("seed", 1, "camera noise seed")
+	flag.Parse()
+
+	prof, ok := camera.Profiles()[*device]
+	if !ok {
+		fatal(fmt.Errorf("unknown device %q", *device))
+	}
+
+	in := os.Stdin
+	if flag.NArg() > 0 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	drives, err := readWaveform(in)
+	if err != nil {
+		fatal(err)
+	}
+	wave, err := led.NewWaveform(led.Config{SymbolRate: *rate, Power: 1}, drives)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := colorbars.Config{
+		Order:         colorbars.Order(*order),
+		SymbolRate:    *rate,
+		WhiteFraction: *white,
+	}
+	rx, err := colorbars.NewReceiver(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	capture := wave.Duration()
+	if *duration > 0 && *duration < capture {
+		capture = *duration
+	}
+	cam := colorbars.NewCamera(prof, *seed)
+	frames := cam.CaptureVideo(wave, 0, int(capture*prof.FrameRate))
+	found := 0
+	for _, f := range frames {
+		for _, m := range rx.ProcessFrame(f) {
+			found++
+			fmt.Printf("message %d (%d blocks): %q\n", found, m.Blocks, m.Data)
+		}
+	}
+	for _, m := range rx.Flush() {
+		found++
+		fmt.Printf("message %d (%d blocks): %q\n", found, m.Blocks, m.Data)
+	}
+	s := rx.Stats()
+	fmt.Fprintf(os.Stderr, "frames %d, symbols %d, packets %d data / %d cal / %d discarded, blocks %d ok / %d failed\n",
+		s.Frames, s.SymbolsIn, s.DataPackets, s.CalibrationPackets, s.DiscardedPackets, s.BlocksOK, s.BlocksFailed)
+	if found == 0 {
+		fmt.Fprintln(os.Stderr, "no message recovered")
+		os.Exit(1)
+	}
+}
+
+// readWaveform parses the colorbars-tx CSV dump.
+func readWaveform(f *os.File) ([]colorspace.RGB, error) {
+	var drives []colorspace.RGB
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("line %d: want 4 fields, got %d", line, len(parts))
+		}
+		var rgb [3]float64
+		for i := 0; i < 3; i++ {
+			v, err := strconv.ParseFloat(parts[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			rgb[i] = v
+		}
+		drives = append(drives, colorspace.RGB{R: rgb[0], G: rgb[1], B: rgb[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(drives) == 0 {
+		return nil, fmt.Errorf("empty waveform")
+	}
+	return drives, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command colorbars-sim runs one end-to-end ColorBars link — LED
+// transmitter, optical channel, rolling-shutter camera, receiver — and
+// prints the measured link statistics.
+//
+// Usage:
+//
+//	colorbars-sim [-device nexus5|iphone5s|ideal] [-order 4|8|16|32]
+//	              [-rate hz] [-white frac] [-duration s] [-seed n]
+//	              [-message text]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"colorbars"
+	"colorbars/internal/camera"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/led"
+	"colorbars/internal/render"
+)
+
+func main() {
+	device := flag.String("device", "nexus5", "receiver device: nexus5, iphone5s, ideal")
+	order := flag.Int("order", 16, "CSK order: 4, 8, 16, 32")
+	rate := flag.Float64("rate", 4000, "symbol rate in Hz")
+	white := flag.Float64("white", 0, "white illumination fraction (0 = flicker-model auto)")
+	duration := flag.Float64("duration", 4, "simulated capture seconds")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	message := flag.String("message", "ColorBars: LED-to-camera communication with color shift keying.", "message to broadcast")
+	dumpFrame := flag.String("dump-frame", "", "write the first captured frame as a PNG to this path")
+	dumpWave := flag.String("dump-waveform", "", "write the first 400 transmitted symbols as a PNG stripe to this path")
+	flag.Parse()
+
+	prof, ok := camera.Profiles()[*device]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown device %q (want nexus5, iphone5s, ideal)\n", *device)
+		os.Exit(2)
+	}
+	cfg := colorbars.Config{
+		Order:         colorbars.Order(*order),
+		SymbolRate:    *rate,
+		WhiteFraction: *white,
+	}
+	tx, err := colorbars.NewTransmitter(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rx, err := colorbars.NewReceiver(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	wave, err := tx.Broadcast([]byte(*message), *duration)
+	if err != nil {
+		fatal(err)
+	}
+
+	resolved := tx.Config()
+	fmt.Printf("link: %v @ %.0f Hz, white fraction %.2f, device %s\n",
+		resolved.Order, resolved.SymbolRate, resolved.WhiteFraction, prof.Name)
+
+	if *dumpWave != "" {
+		if err := dumpWaveformPNG(wave, *dumpWave); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("waveform stripe written to %s\n", *dumpWave)
+	}
+
+	cam := colorbars.NewCamera(prof, *seed)
+	frames := int(*duration * prof.FrameRate)
+	var received *colorbars.Message
+	var firstAt float64
+	for i := 0; i < frames; i++ {
+		f := cam.CaptureVideo(wave, float64(i)*prof.FramePeriod(), 1)[0]
+		if i == 0 && *dumpFrame != "" {
+			if err := dumpFramePNG(f, *dumpFrame); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("frame written to %s\n", *dumpFrame)
+		}
+		if msgs := rx.ProcessFrame(f); len(msgs) > 0 && received == nil {
+			received = &msgs[0]
+			firstAt = float64(i+1) * prof.FramePeriod()
+		}
+	}
+	for _, m := range rx.Flush() {
+		if received == nil {
+			m := m
+			received = &m
+			firstAt = *duration
+		}
+	}
+
+	s := rx.Stats()
+	fmt.Printf("frames: %d   symbols in: %d (data %d, white %d, off %d)\n",
+		s.Frames, s.SymbolsIn, s.DataSymbolsIn, s.WhiteSymbolsIn, s.OffSymbolsIn)
+	fmt.Printf("packets: %d data, %d calibration, %d discarded\n",
+		s.DataPackets, s.CalibrationPackets, s.DiscardedPackets)
+	fmt.Printf("blocks: %d ok, %d failed\n", s.BlocksOK, s.BlocksFailed)
+	if received == nil {
+		fmt.Println("message: NOT recovered within the capture window")
+		os.Exit(1)
+	}
+	fmt.Printf("message recovered after %.2f s (%d blocks): %q\n",
+		firstAt, received.Blocks, received.Data)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// dumpFramePNG writes one captured frame as a PNG (scanlines vertical,
+// as on a phone held upright).
+func dumpFramePNG(f *colorbars.Frame, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return render.WritePNG(out, render.Frame(f, 8))
+}
+
+// dumpWaveformPNG writes the head of the transmitted symbol stream as
+// a color stripe.
+func dumpWaveformPNG(w *colorbars.Waveform, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	img := render.Waveform(head(w, 400), 3, 60)
+	return render.WritePNG(out, img)
+}
+
+// head returns a waveform holding the first n symbols of w (or w
+// itself when shorter).
+func head(w *colorbars.Waveform, n int) *colorbars.Waveform {
+	if w.NumSymbols() <= n {
+		return w
+	}
+	drives := make([]colorspace.RGB, n)
+	for i := 0; i < n; i++ {
+		drives[i] = w.Drive(i)
+	}
+	rate := 1 / w.SymbolPeriod()
+	out, err := led.NewWaveform(led.Config{SymbolRate: rate, Power: 1}, drives)
+	if err != nil {
+		return w
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+// Command colorbars-tx encodes a message into the on-air ColorBars
+// waveform and writes it as CSV — one line per symbol period with the
+// tri-LED's linear RGB drive levels. The dump is what a PWM controller
+// would execute, and cmd/colorbars-rx decodes it back through the
+// camera simulator.
+//
+// Usage:
+//
+//	colorbars-tx [-order n] [-rate hz] [-white frac] [-repeat s]
+//	             [-o file] [message...]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"colorbars"
+)
+
+func main() {
+	order := flag.Int("order", 16, "CSK order: 4, 8, 16, 32")
+	rate := flag.Float64("rate", 4000, "symbol rate in Hz")
+	white := flag.Float64("white", 0, "white illumination fraction (0 = auto)")
+	repeat := flag.Float64("repeat", 0, "repeat the broadcast to cover this many seconds (0 = single pass)")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	message := strings.Join(flag.Args(), " ")
+	if message == "" {
+		message = "hello from colorbars-tx"
+	}
+
+	cfg := colorbars.Config{
+		Order:         colorbars.Order(*order),
+		SymbolRate:    *rate,
+		WhiteFraction: *white,
+	}
+	tx, err := colorbars.NewTransmitter(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var wave *colorbars.Waveform
+	if *repeat > 0 {
+		wave, err = tx.Broadcast([]byte(message), *repeat)
+	} else {
+		wave, err = tx.Encode([]byte(message))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	fmt.Fprintf(bw, "# colorbars waveform: order=%d rate=%g white=%.3f symbols=%d duration=%.3fs\n",
+		*order, *rate, tx.Config().WhiteFraction, wave.NumSymbols(), wave.Duration())
+	fmt.Fprintln(bw, "# symbol_index,r,g,b")
+	for i := 0; i < wave.NumSymbols(); i++ {
+		d := wave.Drive(i)
+		fmt.Fprintf(bw, "%d,%.6f,%.6f,%.6f\n", i, d.R, d.G, d.B)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Device survey: the receiver-diversity demonstration (paper §6).
+//
+// The same transmission is decoded by a Nexus 5, an iPhone 5S and an
+// ideal reference camera, with and without transmitter-assisted
+// calibration. Each device's color pipeline (filter matrix, tone
+// curve, noise) perceives the constellation differently; matching
+// against factory reference colors collapses on real devices, while
+// calibration packets restore the link — the paper's Fig 6 story told
+// through measured symbol error rates.
+//
+// Run with:
+//
+//	go run ./examples/devicesurvey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colorbars"
+	"colorbars/internal/camera"
+	"colorbars/internal/csk"
+	"colorbars/internal/metrics"
+)
+
+func main() {
+	fmt.Println("16-CSK at 3 kHz, 4 simulated seconds per cell")
+	fmt.Printf("%-12s %14s %14s %16s %16s\n",
+		"Device", "SER (calib.)", "SER (factory)", "Goodput (calib.)", "Goodput (factory)")
+
+	for _, prof := range []colorbars.Profile{
+		camera.Nexus5(), camera.IPhone5S(), camera.Ideal(),
+	} {
+		base := metrics.LinkParams{
+			Order:         csk.CSK16,
+			SymbolRate:    3000,
+			Profile:       prof,
+			WhiteFraction: 0.2,
+			Duration:      4,
+			Seed:          5,
+			ErasureSizing: true,
+		}
+		calibrated, err := metrics.Run(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		factory := base
+		factory.UseFactoryRefs = true
+		uncal, err := metrics.Run(factory)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %14.4f %14.4f %13.0f bps %13.0f bps\n",
+			prof.Name, calibrated.SER, uncal.SER, calibrated.GoodputBps, uncal.GoodputBps)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: real devices need calibration — their tone curves")
+	fmt.Println("and color matrices displace the received constellation so far that")
+	fmt.Println("factory matching decodes little or nothing. The ideal camera has no")
+	fmt.Println("color distortion, so both reference sets behave the same.")
+}

@@ -1,0 +1,60 @@
+// LED array: the paper's first future-work item (§10). The prototype's
+// single low-lumen tri-LED forces the phone within a few centimeters;
+// the authors propose tri-LED arrays for higher lumens and longer
+// range.
+//
+// This example sweeps the LED-camera distance for a single LED and for
+// arrays of increasing size, showing the inverse-square law at work:
+// an n-LED array extends the usable range by √n. It also shows the
+// counterintuitive close-range failure — a bright array saturates the
+// sensor faster than auto-exposure can back off.
+//
+// Run with:
+//
+//	go run ./examples/ledarray
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/experiments"
+)
+
+func main() {
+	distances := []float64{0.03, 0.06, 0.12, 0.25, 0.5}
+	powers := []float64{1, 4, 16, 64}
+
+	fmt.Println("goodput (bps) by LED count and distance — Nexus 5, 8-CSK @ 2 kHz")
+	fmt.Printf("%-12s", "LEDs")
+	for _, d := range distances {
+		fmt.Printf(" %7.0fcm", d*100)
+	}
+	fmt.Println()
+
+	pts, err := experiments.DistanceSweep(camera.Nexus5(), distances, powers, 2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byPower := map[float64]map[float64]float64{}
+	for _, p := range pts {
+		if byPower[p.Power] == nil {
+			byPower[p.Power] = map[float64]float64{}
+		}
+		byPower[p.Power][p.DistanceMeters] = p.GoodputBps
+	}
+	for _, power := range powers {
+		fmt.Printf("%-12.0f", power)
+		for _, d := range distances {
+			fmt.Printf(" %9.0f", byPower[power][d])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: each 4x in LED count doubles the usable range")
+	fmt.Println("(inverse-square law). Large arrays lose the closest cell: they")
+	fmt.Println("saturate the sensor below the camera's minimum exposure. Real")
+	fmt.Println("deployments size the array for the intended viewing distance.")
+}

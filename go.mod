@@ -1,0 +1,3 @@
+module colorbars
+
+go 1.22

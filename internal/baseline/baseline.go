@@ -1,0 +1,248 @@
+// Package baseline implements the two LED-to-camera modulation schemes
+// ColorBars is evaluated against (paper §2.1 and §9):
+//
+//   - Undersampled On-Off Keying (UFSOOK-style, [18] in the paper):
+//     the LED holds ON or OFF for one whole camera frame; the receiver
+//     decides one bit per frame from the frame's mean brightness.
+//     Manchester pairing (ON-OFF = 1, OFF-ON = 0) keeps long runs
+//     flicker-free, halving the rate — which is why such schemes top
+//     out at a few bytes per second.
+//
+//   - Frequency Shift Keying over the rolling shutter (RollingLight-
+//     style, [1] in the paper): each symbol is a square wave at one of
+//     K frequencies held for one frame period; the rolling shutter
+//     renders it as bands whose count reveals the frequency. log2(K)
+//     bits per frame.
+//
+// Both reuse the same LED waveform and camera simulator as ColorBars,
+// so the headline comparison (CSK kbps vs FSK/OOK bytes per second)
+// is measured, not asserted.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/led"
+)
+
+// --- undersampled OOK ---
+
+// OOKConfig configures the undersampled OOK link.
+type OOKConfig struct {
+	// FrameRate must match the receiving camera.
+	FrameRate float64
+	// Manchester enables ON-OFF/OFF-ON bit pairs (flicker-free but
+	// half rate). The cited systems require it for illumination use.
+	Manchester bool
+}
+
+// Validate checks the configuration.
+func (c OOKConfig) Validate() error {
+	if c.FrameRate <= 0 {
+		return fmt.Errorf("baseline: frame rate %v", c.FrameRate)
+	}
+	return nil
+}
+
+// BitsPerSecond returns the scheme's raw bit rate.
+func (c OOKConfig) BitsPerSecond() float64 {
+	if c.Manchester {
+		return c.FrameRate / 2
+	}
+	return c.FrameRate
+}
+
+// OOKModulate converts bits into an LED waveform: one frame period per
+// ON/OFF level. The LED runs at a nominal 1 kHz symbol clock so the
+// waveform machinery is shared with ColorBars.
+func OOKModulate(cfg OOKConfig, bits []bool) (*led.Waveform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	const clock = 1000.0
+	framePeriod := 1 / cfg.FrameRate
+	var drives []colorspace.RGB
+	slot := 0
+	// Emit levels against exact frame boundaries so per-level sample
+	// counts do not accumulate truncation drift against the camera's
+	// frame clock.
+	emit := func(on bool) {
+		slot++
+		d := colorspace.RGB{}
+		if on {
+			d = colorspace.RGB{R: 1, G: 1, B: 1}
+		}
+		until := int(math.Round(float64(slot) * framePeriod * clock))
+		for len(drives) < until {
+			drives = append(drives, d)
+		}
+	}
+	for _, b := range bits {
+		if cfg.Manchester {
+			emit(b)
+			emit(!b)
+		} else {
+			emit(b)
+		}
+	}
+	return led.NewWaveform(led.Config{SymbolRate: clock, Power: 1}, drives)
+}
+
+// OOKDemodulate decides one level per frame by mean brightness and
+// undoes the Manchester pairing. The threshold adapts to the stream's
+// own level range.
+func OOKDemodulate(cfg OOKConfig, frames []*camera.Frame) []bool {
+	levels := make([]float64, len(frames))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, f := range frames {
+		levels[i] = f.MeanLevel()
+		lo = math.Min(lo, levels[i])
+		hi = math.Max(hi, levels[i])
+	}
+	mid := (lo + hi) / 2
+	raw := make([]bool, len(levels))
+	for i, l := range levels {
+		raw[i] = l > mid
+	}
+	if !cfg.Manchester {
+		return raw
+	}
+	bits := make([]bool, 0, len(raw)/2)
+	for i := 0; i+1 < len(raw); i += 2 {
+		// ON-OFF = 1, OFF-ON = 0; equal halves are decided by the
+		// first (a decode error the outer protocol must catch).
+		bits = append(bits, raw[i])
+	}
+	return bits
+}
+
+// --- rolling-shutter FSK ---
+
+// FSKConfig configures the RollingLight-style FSK link.
+type FSKConfig struct {
+	// FrameRate must match the receiving camera.
+	FrameRate float64
+	// Frequencies is the symbol alphabet in Hz; len must be a power of
+	// two ≥ 2. Each must produce at least two full periods within a
+	// frame and band widths above the camera's resolvable minimum.
+	Frequencies []float64
+}
+
+// DefaultFSKConfig returns an 8-frequency alphabet similar in spirit
+// to RollingLight's: 3 bits per camera frame.
+func DefaultFSKConfig(frameRate float64) FSKConfig {
+	return FSKConfig{
+		FrameRate:   frameRate,
+		Frequencies: []float64{120, 180, 240, 320, 420, 560, 750, 1000},
+	}
+}
+
+// Validate checks the configuration.
+func (c FSKConfig) Validate() error {
+	if c.FrameRate <= 0 {
+		return fmt.Errorf("baseline: frame rate %v", c.FrameRate)
+	}
+	n := len(c.Frequencies)
+	if n < 2 || n&(n-1) != 0 {
+		return fmt.Errorf("baseline: %d frequencies, need a power of two >= 2", n)
+	}
+	for i, f := range c.Frequencies {
+		if f < 2*c.FrameRate {
+			return fmt.Errorf("baseline: frequency %v too low for per-frame decoding", f)
+		}
+		if i > 0 && c.Frequencies[i] <= c.Frequencies[i-1] {
+			return fmt.Errorf("baseline: frequencies must be strictly increasing")
+		}
+	}
+	return nil
+}
+
+// BitsPerSymbol returns log2(len(Frequencies)).
+func (c FSKConfig) BitsPerSymbol() int {
+	return int(math.Round(math.Log2(float64(len(c.Frequencies)))))
+}
+
+// BitsPerSecond returns the scheme's raw bit rate (one symbol per
+// frame).
+func (c FSKConfig) BitsPerSecond() float64 {
+	return float64(c.BitsPerSymbol()) * c.FrameRate
+}
+
+// FSKModulate converts a symbol sequence (indices into Frequencies)
+// into the LED waveform, one frame period per symbol. The square wave
+// is sampled on a 10 kHz LED clock.
+func FSKModulate(cfg FSKConfig, symbols []int) (*led.Waveform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	const clock = 4500.0 // LED controller limit
+	framePeriod := 1 / cfg.FrameRate
+	var drives []colorspace.RGB
+	for si, s := range symbols {
+		if s < 0 || s >= len(cfg.Frequencies) {
+			return nil, fmt.Errorf("baseline: symbol %d out of range", s)
+		}
+		f := cfg.Frequencies[s]
+		// Fill samples up to the symbol's exact end boundary so the
+		// stream stays aligned to the camera's frame clock.
+		until := int(math.Round(float64(si+1) * framePeriod * clock))
+		for len(drives) < until {
+			t := float64(len(drives)) / clock
+			phase := math.Mod(t*f, 1)
+			if phase < 0.5 {
+				drives = append(drives, colorspace.RGB{R: 1, G: 1, B: 1})
+			} else {
+				drives = append(drives, colorspace.RGB{})
+			}
+		}
+	}
+	return led.NewWaveform(led.Config{SymbolRate: clock, Power: 1}, drives)
+}
+
+// FSKDemodulate recovers one symbol per frame by counting ON/OFF band
+// transitions along the rolling-shutter axis and mapping the implied
+// frequency to the nearest alphabet entry.
+func FSKDemodulate(cfg FSKConfig, frames []*camera.Frame) []int {
+	out := make([]int, 0, len(frames))
+	for _, f := range frames {
+		freq := estimateFrequency(f)
+		best, bestD := 0, math.Inf(1)
+		for i, cand := range cfg.Frequencies {
+			if d := math.Abs(cand - freq); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// estimateFrequency counts bright/dark transitions across the frame's
+// rows and converts the count to the square wave's frequency.
+func estimateFrequency(f *camera.Frame) float64 {
+	// Adaptive threshold between the frame's dark and bright rows.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	lum := make([]float64, f.Rows)
+	for r := 0; r < f.Rows; r++ {
+		lum[r] = f.RowMean(r).Luma()
+		lo = math.Min(lo, lum[r])
+		hi = math.Max(hi, lum[r])
+	}
+	mid := (lo + hi) / 2
+	transitions := 0
+	prev := lum[0] > mid
+	for r := 1; r < f.Rows; r++ {
+		cur := lum[r] > mid
+		if cur != prev {
+			transitions++
+			prev = cur
+		}
+	}
+	activeTime := float64(f.Rows) * f.RowTime
+	// A square wave at frequency fr produces 2·fr transitions per
+	// second of scan time.
+	return float64(transitions) / (2 * activeTime)
+}

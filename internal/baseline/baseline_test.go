@@ -1,0 +1,180 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"colorbars/internal/camera"
+)
+
+func TestOOKConfigValidate(t *testing.T) {
+	if err := (OOKConfig{FrameRate: 30}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (OOKConfig{}).Validate(); err == nil {
+		t.Error("zero frame rate accepted")
+	}
+}
+
+func TestOOKBitsPerSecond(t *testing.T) {
+	if got := (OOKConfig{FrameRate: 30}).BitsPerSecond(); got != 30 {
+		t.Errorf("plain OOK rate %v", got)
+	}
+	if got := (OOKConfig{FrameRate: 30, Manchester: true}).BitsPerSecond(); got != 15 {
+		t.Errorf("Manchester OOK rate %v", got)
+	}
+}
+
+// ookRoundTrip transmits bits through the camera and returns decoded
+// bits (trimmed to the shorter length).
+func ookRoundTrip(t *testing.T, cfg OOKConfig, bits []bool, prof camera.Profile) []bool {
+	t.Helper()
+	w, err := OOKModulate(cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := int(w.Duration() * prof.FrameRate)
+	cam := camera.New(prof, 1)
+	// Lock exposure: the undersampled-OOK receivers the paper cites
+	// decide on absolute frame brightness, which auto-exposure would
+	// fight against.
+	cam.SetManual(100e-6, 100)
+	captured := cam.CaptureVideo(w, 0, frames)
+	return OOKDemodulate(cfg, captured)
+}
+
+func TestOOKRoundTripPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]bool, 60)
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 1
+	}
+	got := ookRoundTrip(t, OOKConfig{FrameRate: 30}, bits, camera.Ideal())
+	errs := 0
+	for i := 0; i < len(bits) && i < len(got); i++ {
+		if bits[i] != got[i] {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Errorf("%d bit errors out of %d", errs, len(bits))
+	}
+}
+
+func TestOOKRoundTripManchester(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bits := make([]bool, 30)
+	for i := range bits {
+		bits[i] = rng.Intn(2) == 1
+	}
+	got := ookRoundTrip(t, OOKConfig{FrameRate: 30, Manchester: true}, bits, camera.Ideal())
+	errs := 0
+	for i := 0; i < len(bits) && i < len(got); i++ {
+		if bits[i] != got[i] {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Errorf("%d bit errors out of %d", errs, len(bits))
+	}
+}
+
+func TestFSKConfigValidate(t *testing.T) {
+	good := DefaultFSKConfig(30)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	bad := good
+	bad.Frequencies = []float64{100, 200, 300} // not power of two
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two alphabet accepted")
+	}
+	bad = good
+	bad.Frequencies = []float64{10, 20} // below 2×frame rate
+	if bad.Validate() == nil {
+		t.Error("too-low frequency accepted")
+	}
+	bad = good
+	bad.Frequencies = []float64{300, 200} // not increasing
+	if bad.Validate() == nil {
+		t.Error("non-increasing alphabet accepted")
+	}
+}
+
+func TestFSKRates(t *testing.T) {
+	cfg := DefaultFSKConfig(30)
+	if cfg.BitsPerSymbol() != 3 {
+		t.Errorf("bits/symbol = %d", cfg.BitsPerSymbol())
+	}
+	if cfg.BitsPerSecond() != 90 {
+		t.Errorf("bits/s = %v", cfg.BitsPerSecond())
+	}
+}
+
+func TestFSKModulateRejectsBadSymbol(t *testing.T) {
+	if _, err := FSKModulate(DefaultFSKConfig(30), []int{99}); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+}
+
+func TestFSKRoundTrip(t *testing.T) {
+	cfg := DefaultFSKConfig(30)
+	rng := rand.New(rand.NewSource(3))
+	symbols := make([]int, 45)
+	for i := range symbols {
+		symbols[i] = rng.Intn(len(cfg.Frequencies))
+	}
+	w, err := FSKModulate(cfg, symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := camera.Ideal()
+	cam := camera.New(prof, 1)
+	cam.SetManual(100e-6, 100)
+	frames := cam.CaptureVideo(w, 0, len(symbols))
+	got := FSKDemodulate(cfg, frames)
+	errs := 0
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			errs++
+		}
+	}
+	if rate := float64(errs) / float64(len(symbols)); rate > 0.1 {
+		t.Errorf("FSK symbol error rate %v (errors %d/%d)", rate, errs, len(symbols))
+	}
+}
+
+func TestFSKFrequencyEstimate(t *testing.T) {
+	// A single known frequency must estimate close to itself.
+	cfg := DefaultFSKConfig(30)
+	for _, sym := range []int{0, 3, 7} {
+		w, err := FSKModulate(cfg, []int{sym, sym, sym})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := camera.Ideal()
+		cam := camera.New(prof, 1)
+		cam.SetManual(100e-6, 100)
+		f := cam.CaptureVideo(w, 0, 2)[1]
+		got := estimateFrequency(f)
+		want := cfg.Frequencies[sym]
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("frequency %v estimated as %v", want, got)
+		}
+	}
+}
+
+func TestBaselineRatesAreBytesPerSecond(t *testing.T) {
+	// The headline numbers behind the paper's motivation: both
+	// baselines live in the bytes-per-second regime, orders of
+	// magnitude below ColorBars' kbps.
+	ook := OOKConfig{FrameRate: 30, Manchester: true}
+	if bps := ook.BitsPerSecond() / 8; bps > 12.5 {
+		t.Errorf("OOK %v B/s out of the expected regime", bps)
+	}
+	fsk := DefaultFSKConfig(30)
+	if bps := fsk.BitsPerSecond() / 8; bps > 50 {
+		t.Errorf("FSK %v B/s out of the expected regime", bps)
+	}
+}

@@ -1,0 +1,99 @@
+package camera
+
+import "colorbars/internal/colorspace"
+
+// This file models the Bayer color-filter array the paper describes in
+// §6.1: each photodiode sees only one color channel through its filter
+// (alternating green-red and green-blue rows, twice as many green
+// sites as red or blue), and the full-color image is reconstructed by
+// demosaicing. The camera simulator's color matrix captures the
+// *average* spectral effect of the filters; Mosaic/Demosaic expose the
+// spatial effect for tests and ablations that need it.
+
+// BayerChannel identifies which color filter covers a photosite.
+type BayerChannel uint8
+
+// Bayer filter channels.
+const (
+	BayerR BayerChannel = iota
+	BayerG
+	BayerB
+)
+
+// BayerPattern is the standard RGGB arrangement: even rows alternate
+// R,G; odd rows alternate G,B.
+func BayerPattern(row, col int) BayerChannel {
+	switch {
+	case row%2 == 0 && col%2 == 0:
+		return BayerR
+	case row%2 == 1 && col%2 == 1:
+		return BayerB
+	default:
+		return BayerG
+	}
+}
+
+// Mosaic reduces a full-color frame to raw single-channel photosite
+// values according to the Bayer pattern. The result has the same
+// geometry; each sample holds only the filtered channel's intensity.
+func Mosaic(f *Frame) []float64 {
+	raw := make([]float64, f.Rows*f.Cols)
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			p := f.At(r, c)
+			switch BayerPattern(r, c) {
+			case BayerR:
+				raw[r*f.Cols+c] = p.R
+			case BayerG:
+				raw[r*f.Cols+c] = p.G
+			case BayerB:
+				raw[r*f.Cols+c] = p.B
+			}
+		}
+	}
+	return raw
+}
+
+// Demosaic reconstructs a full-color image from raw Bayer samples by
+// bilinear interpolation: each pixel's missing channels are averaged
+// from the nearest photosites carrying them. It is the simplest of the
+// demosaicing procedures the paper alludes to; different interpolators
+// are one source of the receiver diversity ColorBars calibrates away.
+func Demosaic(raw []float64, rows, cols int) []colorspace.RGB {
+	out := make([]colorspace.RGB, rows*cols)
+	sample := func(r, c int, ch BayerChannel) (float64, bool) {
+		if r < 0 || r >= rows || c < 0 || c >= cols {
+			return 0, false
+		}
+		if BayerPattern(r, c) != ch {
+			return 0, false
+		}
+		return raw[r*cols+c], true
+	}
+	avgNeighbors := func(r, c int, ch BayerChannel) float64 {
+		var sum float64
+		var n int
+		for dr := -1; dr <= 1; dr++ {
+			for dc := -1; dc <= 1; dc++ {
+				if v, ok := sample(r+dr, c+dc, ch); ok {
+					sum += v
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out[r*cols+c] = colorspace.RGB{
+				R: avgNeighbors(r, c, BayerR),
+				G: avgNeighbors(r, c, BayerG),
+				B: avgNeighbors(r, c, BayerB),
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package camera
+
+import (
+	"math"
+	"testing"
+
+	"colorbars/internal/colorspace"
+)
+
+func TestBayerPatternRGGB(t *testing.T) {
+	// Even rows: R G R G...; odd rows: G B G B...
+	cases := []struct {
+		r, c int
+		want BayerChannel
+	}{
+		{0, 0, BayerR}, {0, 1, BayerG}, {0, 2, BayerR},
+		{1, 0, BayerG}, {1, 1, BayerB}, {1, 2, BayerG},
+		{2, 0, BayerR}, {3, 3, BayerB},
+	}
+	for _, tc := range cases {
+		if got := BayerPattern(tc.r, tc.c); got != tc.want {
+			t.Errorf("BayerPattern(%d,%d) = %v, want %v", tc.r, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestBayerGreenDominance(t *testing.T) {
+	// Half of all photosites must be green (human eye sensitivity,
+	// paper §6.1).
+	counts := map[BayerChannel]int{}
+	const n = 64
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			counts[BayerPattern(r, c)]++
+		}
+	}
+	if counts[BayerG] != n*n/2 {
+		t.Errorf("green sites = %d, want %d", counts[BayerG], n*n/2)
+	}
+	if counts[BayerR] != n*n/4 || counts[BayerB] != n*n/4 {
+		t.Errorf("red/blue sites = %d/%d, want %d each", counts[BayerR], counts[BayerB], n*n/4)
+	}
+}
+
+func makeUniformFrame(rows, cols int, c colorspace.RGB) *Frame {
+	f := &Frame{Rows: rows, Cols: cols, Pix: make([]colorspace.RGB, rows*cols)}
+	for i := range f.Pix {
+		f.Pix[i] = c
+	}
+	return f
+}
+
+func TestMosaicDemosaicUniform(t *testing.T) {
+	// A uniform scene must survive mosaic→demosaic exactly (away from
+	// edge effects, and even at edges for a uniform field).
+	want := colorspace.RGB{R: 0.3, G: 0.6, B: 0.9}
+	f := makeUniformFrame(16, 16, want)
+	raw := Mosaic(f)
+	got := Demosaic(raw, 16, 16)
+	for i, p := range got {
+		if math.Abs(p.R-want.R) > 1e-12 || math.Abs(p.G-want.G) > 1e-12 || math.Abs(p.B-want.B) > 1e-12 {
+			t.Fatalf("pixel %d = %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestMosaicSelectsChannel(t *testing.T) {
+	f := makeUniformFrame(4, 4, colorspace.RGB{R: 0.1, G: 0.2, B: 0.3})
+	raw := Mosaic(f)
+	if raw[0] != 0.1 { // (0,0) is R
+		t.Errorf("raw[0] = %v, want R=0.1", raw[0])
+	}
+	if raw[1] != 0.2 { // (0,1) is G
+		t.Errorf("raw[1] = %v, want G=0.2", raw[1])
+	}
+	if raw[4+1] != 0.3 { // (1,1) is B
+		t.Errorf("raw[5] = %v, want B=0.3", raw[4+1])
+	}
+}
+
+func TestDemosaicHorizontalBands(t *testing.T) {
+	// Two bands: top red, bottom green. Demosaic must keep band
+	// interiors close to the true colors; a band edge may blur by one
+	// row — exactly the inter-symbol-interference mechanism the paper
+	// attributes to narrow bands.
+	const rows, cols = 16, 16
+	f := &Frame{Rows: rows, Cols: cols, Pix: make([]colorspace.RGB, rows*cols)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if r < rows/2 {
+				f.Pix[r*cols+c] = colorspace.RGB{R: 1}
+			} else {
+				f.Pix[r*cols+c] = colorspace.RGB{G: 1}
+			}
+		}
+	}
+	got := Demosaic(Mosaic(f), rows, cols)
+	// Interior of the red band.
+	p := got[3*cols+5]
+	if p.R < 0.9 || p.G > 0.1 || p.B > 0.1 {
+		t.Errorf("red interior = %v", p)
+	}
+	// Interior of the green band.
+	p = got[12*cols+5]
+	if p.G < 0.9 || p.R > 0.1 || p.B > 0.1 {
+		t.Errorf("green interior = %v", p)
+	}
+	// Edge rows blur.
+	edge := got[(rows/2)*cols+5]
+	if edge.R == 0 && edge.G == 1 {
+		t.Log("edge fully sharp — acceptable but unusual for bilinear")
+	}
+}
+
+func BenchmarkDemosaic(b *testing.B) {
+	f := makeUniformFrame(128, 64, colorspace.RGB{R: 0.4, G: 0.5, B: 0.6})
+	raw := Mosaic(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Demosaic(raw, 128, 64)
+	}
+}

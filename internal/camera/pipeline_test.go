@@ -1,0 +1,182 @@
+package camera
+
+import (
+	"math"
+	"testing"
+
+	"colorbars/internal/colorspace"
+	"colorbars/internal/led"
+)
+
+func TestToneGammaPreservesGray(t *testing.T) {
+	// The tone curve applies per channel, so equal channels stay equal
+	// — white must remain gray through any device pipeline.
+	p := Nexus5()
+	p.ReadNoise, p.ShotNoise, p.Vignetting = 0, 0, 0
+	cam := New(p, 1)
+	cam.SetManual(200e-6, 100)
+	w := steadyWaveform(t, colorspace.RGB{R: 0.5, G: 0.5, B: 0.5}, 0.2)
+	f := cam.Capture(w, 0.01)
+	px := f.At(f.Rows/2, f.Cols/2)
+	if math.Abs(px.R-px.G) > 1e-6 || math.Abs(px.G-px.B) > 1e-6 {
+		t.Errorf("gray became colored: %v", px)
+	}
+}
+
+func TestToneGammaBrightensMidtones(t *testing.T) {
+	// γ < 1 lifts midtones: the tone-mapped pixel must exceed the
+	// linear value for mid-level inputs.
+	linear := Nexus5()
+	linear.ReadNoise, linear.ShotNoise, linear.Vignetting = 0, 0, 0
+	linear.ToneGamma = 1
+	curved := linear
+	curved.ToneGamma = 0.7
+
+	w := steadyWaveform(t, colorspace.RGB{R: 0.2, G: 0.2, B: 0.2}, 0.2)
+	capture := func(p Profile) float64 {
+		cam := New(p, 1)
+		cam.SetManual(200e-6, 100)
+		return cam.Capture(w, 0.01).At(100, 0).R
+	}
+	lin, crv := capture(linear), capture(curved)
+	if lin <= 0 || lin >= 1 {
+		t.Fatalf("mid-level input out of range: %v", lin)
+	}
+	if crv <= lin {
+		t.Errorf("tone curve did not lift midtone: %v vs %v", crv, lin)
+	}
+	if want := math.Pow(lin, 0.7); math.Abs(crv-want) > 0.01 {
+		t.Errorf("tone curve value %v, want %v", crv, want)
+	}
+}
+
+func TestToneGammaDistortsChromaticity(t *testing.T) {
+	// Unequal channels shift hue under the per-channel curve — the
+	// distortion transmitter-assisted calibration exists to absorb.
+	p := Ideal()
+	p.ToneGamma = 0.7
+	cam := New(p, 1)
+	cam.SetManual(200e-6, 100)
+	// Drives chosen so the sensed levels (gain 2 at these settings)
+	// stay below clipping: 0.3→0.6 and 0.05→0.1.
+	w := steadyWaveform(t, colorspace.RGB{R: 0.3, G: 0.05, B: 0.05}, 0.2)
+	f := cam.Capture(w, 0.01)
+	px := f.At(f.Rows/2, 0)
+	// Ratio compression: (0.6/0.1)^0.7 < 0.6/0.1.
+	gotRatio := px.R / px.G
+	linRatio := 6.0
+	if gotRatio >= linRatio {
+		t.Errorf("tone curve did not compress channel ratio: %v", gotRatio)
+	}
+	if want := math.Pow(linRatio, 0.7); math.Abs(gotRatio-want)/want > 0.05 {
+		t.Errorf("ratio %v, want ~%v", gotRatio, want)
+	}
+}
+
+func TestOpticalBlurSmearsBandEdges(t *testing.T) {
+	// With optical blur, a sharp band edge spreads over ~6σ scanlines
+	// even at zero exposure smear.
+	sharp := Ideal()
+	sharp.OpticalBlurRows = 0
+	blurred := Ideal()
+	blurred.OpticalBlurRows = 4
+
+	rate := 500.0 // wide bands, short exposure → edges limited by blur
+	drives := make([]colorspace.RGB, 100)
+	for i := range drives {
+		if i%2 == 0 {
+			drives[i] = colorspace.RGB{R: 0.5}
+		} else {
+			drives[i] = colorspace.RGB{B: 0.5}
+		}
+	}
+	w, _ := led.NewWaveform(led.Config{SymbolRate: rate, Power: 1}, drives)
+	edgeWidth := func(p Profile) int {
+		cam := New(p, 1)
+		cam.SetManual(50e-6, 100)
+		f := cam.Capture(w, 0)
+		// Count rows where neither channel dominates strongly.
+		mixed := 0
+		for r := 0; r < f.Rows; r++ {
+			px := f.RowMean(r)
+			total := px.R + px.B
+			if total < 1e-6 {
+				continue
+			}
+			frac := px.R / total
+			if frac > 0.2 && frac < 0.8 {
+				mixed++
+			}
+		}
+		return mixed
+	}
+	s, b := edgeWidth(sharp), edgeWidth(blurred)
+	if b <= s {
+		t.Errorf("blur did not widen edges: %d vs %d mixed rows", b, s)
+	}
+}
+
+func TestBlurRowsPreservesEnergy(t *testing.T) {
+	rows := make([]colorspace.RGB, 200)
+	for i := range rows {
+		rows[i] = colorspace.RGB{R: float64(i%7) / 6}
+	}
+	blurred := blurRows(rows, 3)
+	var before, after float64
+	for i := range rows {
+		before += rows[i].R
+		after += blurred[i].R
+	}
+	// Edge clamping distorts totals slightly; interior energy is
+	// conserved.
+	if math.Abs(before-after) > before*0.02 {
+		t.Errorf("blur changed total energy: %v -> %v", before, after)
+	}
+}
+
+func TestBlurRowsZeroSigmaIdentity(t *testing.T) {
+	rows := []colorspace.RGB{{R: 1}, {G: 1}}
+	out := blurRows(rows, 0)
+	if &out[0] != &rows[0] {
+		t.Error("zero-sigma blur should return the input slice")
+	}
+}
+
+func TestBlurRowsUniformInvariant(t *testing.T) {
+	rows := make([]colorspace.RGB, 50)
+	for i := range rows {
+		rows[i] = colorspace.RGB{R: 0.4, G: 0.4, B: 0.4}
+	}
+	out := blurRows(rows, 2.5)
+	for i, px := range out {
+		if math.Abs(px.R-0.4) > 1e-9 {
+			t.Fatalf("uniform field changed at %d: %v", i, px)
+		}
+	}
+}
+
+func TestFrameJitterVariesStartTimes(t *testing.T) {
+	p := Ideal()
+	p.FrameJitter = 0.01
+	cam := New(p, 5)
+	w := steadyWaveform(t, colorspace.RGB{R: 0.5, G: 0.5, B: 0.5}, 2)
+	frames := cam.CaptureVideo(w, 0, 10)
+	period := p.FramePeriod()
+	jittered := false
+	for i, f := range frames {
+		nominal := float64(i) * period
+		if math.Abs(f.Start-nominal) > 1e-9 {
+			jittered = true
+		}
+		// Jitter must never make frames overlap.
+		if i > 0 {
+			prevEnd := frames[i-1].Start + p.ActiveTime()
+			if f.Start < prevEnd {
+				t.Fatalf("frames %d/%d overlap", i-1, i)
+			}
+		}
+	}
+	if !jittered {
+		t.Error("no frame-start jitter observed")
+	}
+}

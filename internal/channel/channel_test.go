@@ -1,0 +1,87 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"colorbars/internal/colorspace"
+	"colorbars/internal/led"
+)
+
+func testWaveform(t *testing.T) *led.Waveform {
+	t.Helper()
+	drives := []colorspace.RGB{{R: 1, G: 0.5, B: 0.25}}
+	w, err := led.NewWaveform(led.Config{SymbolRate: 1000, Power: 1}, drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{DefaultConfig(), true},
+		{Config{Distance: 0, ReferenceDistance: 0.03}, false},
+		{Config{Distance: 0.03, ReferenceDistance: 0}, false},
+		{Config{Distance: 0.03, ReferenceDistance: 0.03, Ambient: colorspace.RGB{R: -1}}, false},
+	}
+	for i, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("case %d: err=%v, want ok=%v", i, err, tc.ok)
+		}
+	}
+}
+
+func TestGainInverseSquare(t *testing.T) {
+	cfg := DefaultConfig()
+	if g := cfg.Gain(); math.Abs(g-1) > 1e-12 {
+		t.Errorf("gain at reference = %v, want 1", g)
+	}
+	cfg.Distance = 2 * cfg.ReferenceDistance
+	if g := cfg.Gain(); math.Abs(g-0.25) > 1e-12 {
+		t.Errorf("gain at 2x distance = %v, want 0.25", g)
+	}
+}
+
+func TestChannelMean(t *testing.T) {
+	w := testWaveform(t)
+	cfg := Config{
+		Distance:          0.06,
+		ReferenceDistance: 0.03,
+		Ambient:           colorspace.RGB{R: 0.01, G: 0.01, B: 0.01},
+	}
+	ch, err := New(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ch.Mean(0, 0.001)
+	want := colorspace.RGB{R: 1.0/4 + 0.01, G: 0.5/4 + 0.01, B: 0.25/4 + 0.01}
+	if math.Abs(got.R-want.R) > 1e-12 || math.Abs(got.G-want.G) > 1e-12 || math.Abs(got.B-want.B) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Config{}, testWaveform(t)); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestAmbientDesaturates(t *testing.T) {
+	// Strong white ambient must pull the received chromaticity toward
+	// the white point — the effect calibration packets compensate for.
+	w := testWaveform(t)
+	noAmb, _ := New(Config{Distance: 0.03, ReferenceDistance: 0.03}, w)
+	amb, _ := New(Config{
+		Distance: 0.03, ReferenceDistance: 0.03,
+		Ambient: colorspace.RGB{R: 0.5, G: 0.5, B: 0.5},
+	}, w)
+	clean := colorspace.LinearRGBToXYZ(noAmb.Mean(0, 0.001)).Chromaticity()
+	dirty := colorspace.LinearRGBToXYZ(amb.Mean(0, 0.001)).Chromaticity()
+	if clean.Dist(colorspace.D65xy) <= dirty.Dist(colorspace.D65xy) {
+		t.Errorf("ambient did not desaturate: clean %v, dirty %v", clean, dirty)
+	}
+}

@@ -1,0 +1,127 @@
+// Package cie provides CIE 1931 chromaticity-diagram geometry for CSK
+// constellation design: the constellation triangle spanned by the
+// tri-LED's red, green and blue primaries, point-in-triangle tests,
+// barycentric coordinates, and the solver that turns a target
+// chromaticity into R/G/B drive levels (PWM duty cycles).
+//
+// Per IEEE 802.15.7, a CSK source forms a triangle in (x, y)
+// chromaticity space whose vertices are the chromaticities of the
+// three LEDs; every constellation symbol lies inside that triangle and
+// is produced by mixing the three primaries. Mixing is linear in the
+// XYZ tristimulus space, so drive levels are recovered by solving a
+// small linear system.
+package cie
+
+import (
+	"fmt"
+	"math"
+
+	"colorbars/internal/colorspace"
+)
+
+// Triangle is a constellation triangle in CIE 1931 chromaticity space.
+// R, G, B are the chromaticities of the tri-LED's primaries.
+type Triangle struct {
+	R, G, B colorspace.XY
+}
+
+// SRGBTriangle is the triangle spanned by sRGB primaries. The tri-LED
+// model in internal/led uses primaries matched to sRGB so that the
+// whole pipeline can round-trip through standard color math; real
+// tri-LEDs have slightly wider gamuts, which only enlarges the
+// triangle and does not change any of the algorithms.
+var SRGBTriangle = Triangle{
+	R: colorspace.XY{X: 0.64, Y: 0.33},
+	G: colorspace.XY{X: 0.30, Y: 0.60},
+	B: colorspace.XY{X: 0.15, Y: 0.06},
+}
+
+// Barycentric returns the barycentric coordinates (wr, wg, wb) of p
+// with respect to the triangle. The weights sum to 1; all three are
+// in [0, 1] iff p is inside the triangle.
+func (t Triangle) Barycentric(p colorspace.XY) (wr, wg, wb float64) {
+	d := (t.G.Y-t.B.Y)*(t.R.X-t.B.X) + (t.B.X-t.G.X)*(t.R.Y-t.B.Y)
+	if d == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	wr = ((t.G.Y-t.B.Y)*(p.X-t.B.X) + (t.B.X-t.G.X)*(p.Y-t.B.Y)) / d
+	wg = ((t.B.Y-t.R.Y)*(p.X-t.B.X) + (t.R.X-t.B.X)*(p.Y-t.B.Y)) / d
+	wb = 1 - wr - wg
+	return wr, wg, wb
+}
+
+// Contains reports whether p lies inside the triangle (inclusive of
+// edges, with a small tolerance for floating-point error).
+func (t Triangle) Contains(p colorspace.XY) bool {
+	const eps = 1e-9
+	wr, wg, wb := t.Barycentric(p)
+	return wr >= -eps && wg >= -eps && wb >= -eps
+}
+
+// Point returns the chromaticity at barycentric coordinates
+// (wr, wg, wb). The weights need not be normalized.
+func (t Triangle) Point(wr, wg, wb float64) colorspace.XY {
+	s := wr + wg + wb
+	if s == 0 {
+		return colorspace.XY{X: 1.0 / 3.0, Y: 1.0 / 3.0}
+	}
+	wr, wg, wb = wr/s, wg/s, wb/s
+	return colorspace.XY{
+		X: wr*t.R.X + wg*t.G.X + wb*t.B.X,
+		Y: wr*t.R.Y + wg*t.G.Y + wb*t.B.Y,
+	}
+}
+
+// Centroid returns the triangle's centroid, the natural "white-ish"
+// center of the constellation.
+func (t Triangle) Centroid() colorspace.XY {
+	return t.Point(1, 1, 1)
+}
+
+// DriveLevels computes the linear R/G/B drive levels (PWM duty
+// cycles in [0, 1]) that make the tri-LED emit the target
+// chromaticity at the highest luminance the gamut allows.
+//
+// Mixing is linear in XYZ: the emitted XYZ is the drive-weighted sum
+// of the primaries' XYZ. Equal full drives (1, 1, 1) must produce the
+// device's white, so the primaries are pre-scaled accordingly; here we
+// use the sRGB transfer matrix, which encodes exactly that convention.
+// The result is scaled so the largest component is 1 (maximum
+// brightness without clipping).
+func (t Triangle) DriveLevels(target colorspace.XY) (colorspace.RGB, error) {
+	if !t.Contains(target) {
+		return colorspace.RGB{}, fmt.Errorf("cie: chromaticity %v outside constellation triangle", target)
+	}
+	// Any positive luminance gives the same chromaticity; pick Y=0.5
+	// then normalize.
+	xyz := target.WithLuminance(0.5)
+	rgb := colorspace.XYZToLinearRGB(xyz)
+	// Numerical slop can leave tiny negatives for points on edges.
+	rgb = colorspace.RGB{R: math.Max(rgb.R, 0), G: math.Max(rgb.G, 0), B: math.Max(rgb.B, 0)}
+	m := rgb.Max()
+	if m <= 0 {
+		return colorspace.RGB{}, fmt.Errorf("cie: degenerate drive solution for %v", target)
+	}
+	return rgb.Scale(1 / m), nil
+}
+
+// Chromaticity returns the chromaticity emitted by the given linear
+// drive levels. It is the inverse of DriveLevels up to luminance.
+func Chromaticity(drive colorspace.RGB) colorspace.XY {
+	return colorspace.LinearRGBToXYZ(drive).Chromaticity()
+}
+
+// MinPairDistance returns the smallest pairwise chromaticity distance
+// among the given points, the quantity CSK constellation design
+// maximizes to reduce inter-symbol interference.
+func MinPairDistance(points []colorspace.XY) float64 {
+	best := math.Inf(1)
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			if d := points[i].Dist(points[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,171 @@
+package cie
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"colorbars/internal/colorspace"
+)
+
+func TestVerticesAreContained(t *testing.T) {
+	tri := SRGBTriangle
+	for _, v := range []colorspace.XY{tri.R, tri.G, tri.B} {
+		if !tri.Contains(v) {
+			t.Errorf("vertex %v not contained", v)
+		}
+	}
+}
+
+func TestCentroidContained(t *testing.T) {
+	tri := SRGBTriangle
+	if !tri.Contains(tri.Centroid()) {
+		t.Errorf("centroid %v not contained", tri.Centroid())
+	}
+}
+
+func TestD65Contained(t *testing.T) {
+	if !SRGBTriangle.Contains(colorspace.D65xy) {
+		t.Error("D65 white point must be inside the sRGB triangle")
+	}
+}
+
+func TestOutsidePoints(t *testing.T) {
+	tri := SRGBTriangle
+	for _, p := range []colorspace.XY{
+		{X: 0.8, Y: 0.8},
+		{X: 0.0, Y: 0.0},
+		{X: 0.7, Y: 0.05},
+		{X: -0.1, Y: 0.3},
+	} {
+		if tri.Contains(p) {
+			t.Errorf("point %v should be outside", p)
+		}
+	}
+}
+
+func TestBarycentricRoundTrip(t *testing.T) {
+	tri := SRGBTriangle
+	f := func(a, b, c float64) bool {
+		wr := math.Abs(math.Mod(a, 1)) + 0.01
+		wg := math.Abs(math.Mod(b, 1)) + 0.01
+		wb := math.Abs(math.Mod(c, 1)) + 0.01
+		s := wr + wg + wb
+		wr, wg, wb = wr/s, wg/s, wb/s
+		p := tri.Point(wr, wg, wb)
+		gr, gg, gb := tri.Barycentric(p)
+		return math.Abs(gr-wr) < 1e-9 && math.Abs(gg-wg) < 1e-9 && math.Abs(gb-wb) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarycentricSumsToOne(t *testing.T) {
+	tri := SRGBTriangle
+	f := func(x, y float64) bool {
+		p := colorspace.XY{X: math.Mod(math.Abs(x), 0.8), Y: math.Mod(math.Abs(y), 0.8)}
+		wr, wg, wb := tri.Barycentric(p)
+		return math.Abs(wr+wg+wb-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarycentricDegenerateTriangle(t *testing.T) {
+	deg := Triangle{
+		R: colorspace.XY{X: 0.1, Y: 0.1},
+		G: colorspace.XY{X: 0.2, Y: 0.2},
+		B: colorspace.XY{X: 0.3, Y: 0.3},
+	}
+	wr, _, _ := deg.Barycentric(colorspace.XY{X: 0.5, Y: 0.5})
+	if !math.IsNaN(wr) {
+		t.Errorf("degenerate triangle should yield NaN, got %v", wr)
+	}
+}
+
+func TestDriveLevelsReproduceChromaticity(t *testing.T) {
+	tri := SRGBTriangle
+	targets := []colorspace.XY{
+		tri.Centroid(),
+		colorspace.D65xy,
+		tri.Point(0.7, 0.2, 0.1),
+		tri.Point(0.1, 0.7, 0.2),
+		tri.Point(0.2, 0.1, 0.7),
+	}
+	for _, want := range targets {
+		drive, err := tri.DriveLevels(want)
+		if err != nil {
+			t.Fatalf("DriveLevels(%v): %v", want, err)
+		}
+		if drive.Max() < 0.999 || drive.Max() > 1.001 {
+			t.Errorf("drive not normalized: %v", drive)
+		}
+		got := Chromaticity(drive)
+		if got.Dist(want) > 1e-6 {
+			t.Errorf("chromaticity of drive for %v = %v", want, got)
+		}
+	}
+}
+
+func TestDriveLevelsRejectOutside(t *testing.T) {
+	if _, err := SRGBTriangle.DriveLevels(colorspace.XY{X: 0.9, Y: 0.05}); err == nil {
+		t.Error("expected error for out-of-gamut target")
+	}
+}
+
+func TestDriveLevelsForVertices(t *testing.T) {
+	tri := SRGBTriangle
+	// Driving toward the red vertex should produce an almost pure-red
+	// drive vector, etc.
+	cases := []struct {
+		target colorspace.XY
+		main   int // index of dominant channel: 0=R 1=G 2=B
+	}{
+		{tri.R, 0}, {tri.G, 1}, {tri.B, 2},
+	}
+	for _, tc := range cases {
+		d, err := tri.DriveLevels(tc.target)
+		if err != nil {
+			t.Fatalf("DriveLevels(%v): %v", tc.target, err)
+		}
+		vals := []float64{d.R, d.G, d.B}
+		for i, v := range vals {
+			if i == tc.main {
+				if v < 0.99 {
+					t.Errorf("dominant channel %d for %v = %v, want ~1", i, tc.target, v)
+				}
+			} else if v > 0.05 {
+				t.Errorf("minor channel %d for %v = %v, want ~0", i, tc.target, v)
+			}
+		}
+	}
+}
+
+func TestMinPairDistance(t *testing.T) {
+	pts := []colorspace.XY{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 0.5}}
+	if got := MinPairDistance(pts); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MinPairDistance = %v, want 0.5", got)
+	}
+	if got := MinPairDistance(pts[:1]); !math.IsInf(got, 1) {
+		t.Errorf("single point should give +Inf, got %v", got)
+	}
+}
+
+func TestPointZeroWeights(t *testing.T) {
+	p := SRGBTriangle.Point(0, 0, 0)
+	if math.Abs(p.X-1.0/3.0) > 1e-12 || math.Abs(p.Y-1.0/3.0) > 1e-12 {
+		t.Errorf("zero weights should map to equal-energy point, got %v", p)
+	}
+}
+
+func BenchmarkDriveLevels(b *testing.B) {
+	tri := SRGBTriangle
+	target := tri.Centroid()
+	for i := 0; i < b.N; i++ {
+		if _, err := tri.DriveLevels(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

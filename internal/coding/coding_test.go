@@ -1,0 +1,214 @@
+package coding
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"colorbars/internal/csk"
+	"colorbars/internal/rs"
+)
+
+func nexusParams() Params {
+	return Params{
+		SymbolRate:   3000,
+		FrameRate:    30,
+		LossRatio:    0.2312,
+		Order:        csk.CSK8,
+		DataFraction: 0.8,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		mutate func(*Params)
+		ok     bool
+	}{
+		{func(p *Params) {}, true},
+		{func(p *Params) { p.SymbolRate = 0 }, false},
+		{func(p *Params) { p.FrameRate = -1 }, false},
+		{func(p *Params) { p.LossRatio = 1 }, false},
+		{func(p *Params) { p.LossRatio = -0.1 }, false},
+		{func(p *Params) { p.Order = csk.Order(7) }, false},
+		{func(p *Params) { p.DataFraction = 0 }, false},
+		{func(p *Params) { p.DataFraction = 1.2 }, false},
+	}
+	for i, tc := range cases {
+		p := nexusParams()
+		tc.mutate(&p)
+		if err := p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("case %d: err=%v want ok=%v", i, err, tc.ok)
+		}
+	}
+}
+
+func TestSymbolRates(t *testing.T) {
+	p := nexusParams()
+	fs := p.SymbolsPerFrame()
+	ls := p.SymbolsPerGap()
+	if math.Abs(fs+ls-p.SymbolRate/p.FrameRate) > 1e-9 {
+		t.Errorf("F_S + L_S = %v, want S/F = %v", fs+ls, p.SymbolRate/p.FrameRate)
+	}
+	if math.Abs(ls/(fs+ls)-p.LossRatio) > 1e-9 {
+		t.Errorf("loss ratio from splits = %v", ls/(fs+ls))
+	}
+}
+
+func TestPaperWorkedExample(t *testing.T) {
+	// §5: 150 bands/frame, 30 lost, 8-CSK, α_S = 4/5 → 36-byte message.
+	p := Params{
+		SymbolRate:   180 * 30, // F_S + L_S = 180 per frame at 30 fps
+		FrameRate:    30,
+		LossRatio:    30.0 / 180.0,
+		Order:        csk.CSK8,
+		DataFraction: 0.8,
+	}
+	n, k, err := p.CodewordBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 36 {
+		t.Errorf("k = %d bytes, want 36 (paper example)", k)
+	}
+	if n != 54 { // α_S·C·(F_S+L_S)/8 = 0.8·3·180/8
+		t.Errorf("n = %d bytes, want 54", n)
+	}
+}
+
+func TestCodewordBytesParityEven(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := Params{
+			SymbolRate:   500 + r.Float64()*3500,
+			FrameRate:    30,
+			LossRatio:    r.Float64() * 0.5,
+			Order:        csk.Orders[r.Intn(4)],
+			DataFraction: 0.5 + r.Float64()*0.5,
+		}
+		n, k, err := p.CodewordBytes()
+		if err != nil {
+			return true // some corners are legitimately infeasible
+		}
+		return (n-k)%2 == 0 && n <= 255 && k >= 1 && n > k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodewordRecoverabilityInvariant(t *testing.T) {
+	// The defining property of the sizing rule: one gap's worth of
+	// data bytes must be recoverable as erasures (and half that as
+	// blind errors).
+	p := nexusParams()
+	n, k, err := p.CodewordBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lostBytes := int(p.DataFraction * float64(p.Order.BitsPerSymbol()) * p.SymbolsPerGap() / 8)
+	if n-k < lostBytes {
+		t.Errorf("parity %d bytes < gap loss %d bytes", n-k, lostBytes)
+	}
+}
+
+func TestNewCode(t *testing.T) {
+	code, err := nexusParams().NewCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.N() > 255 || code.K() < 1 {
+		t.Errorf("bad code %d/%d", code.N(), code.K())
+	}
+}
+
+func TestHighRateCapsAt255(t *testing.T) {
+	p := nexusParams()
+	p.SymbolRate = 4000
+	p.Order = csk.CSK32
+	n, _, err := p.CodewordBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 255 {
+		t.Errorf("n = %d exceeds GF(256)", n)
+	}
+}
+
+func TestBlockerRoundTrip(t *testing.T) {
+	code := rs.MustNew(40, 24)
+	b := NewBlocker(code)
+	f := func(msg []byte) bool {
+		if len(msg) == 0 {
+			return true
+		}
+		cws, err := b.Encode(msg)
+		if err != nil {
+			return false
+		}
+		if len(cws) != b.NumBlocks(len(msg)) {
+			return false
+		}
+		got, err := b.Decode(cws, nil, len(msg))
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockerWithErasures(t *testing.T) {
+	code := rs.MustNew(40, 24) // 16 parity → up to 16 erasures/block
+	b := NewBlocker(code)
+	msg := make([]byte, 100)
+	rand.New(rand.NewSource(1)).Read(msg)
+	cws, err := b.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eras := make([][]int, len(cws))
+	rng := rand.New(rand.NewSource(2))
+	for i := range cws {
+		positions := rng.Perm(40)[:10]
+		for _, pos := range positions {
+			cws[i][pos] = 0
+		}
+		eras[i] = positions
+	}
+	got, err := b.Decode(cws, eras, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Error("erasure recovery failed")
+	}
+}
+
+func TestBlockerErrors(t *testing.T) {
+	b := NewBlocker(rs.MustNew(10, 6))
+	if _, err := b.Encode(nil); err == nil {
+		t.Error("expected empty-message error")
+	}
+	cws, _ := b.Encode([]byte{1, 2, 3})
+	if _, err := b.Decode(cws, [][]int{{0}, {1}}, 3); err == nil {
+		t.Error("expected erasure-list-count error")
+	}
+	if _, err := b.Decode(cws, nil, 100); err == nil {
+		t.Error("expected message-length error")
+	}
+	// Uncorrectable corruption must surface an error.
+	for i := 0; i < 9; i++ {
+		cws[0][i] ^= 0xff
+	}
+	if _, err := b.Decode(cws, nil, 3); err == nil {
+		t.Error("expected decode failure")
+	}
+}
+
+func TestBlockerCode(t *testing.T) {
+	code := rs.MustNew(12, 8)
+	if NewBlocker(code).Code() != code {
+		t.Error("Code() accessor broken")
+	}
+}

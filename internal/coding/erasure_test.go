@@ -1,0 +1,110 @@
+package coding
+
+import (
+	"testing"
+
+	"colorbars/internal/csk"
+)
+
+func TestLinkCodeErasureHigherRate(t *testing.T) {
+	// Erasure-aware sizing must yield a strictly higher code rate than
+	// the paper's blind-error rule where it matters most: at high loss
+	// ratios, where the paper's rule spends almost half the codeword
+	// on parity. (At low loss the safety margin can absorb the
+	// difference.)
+	p := Params{
+		SymbolRate:   4000,
+		FrameRate:    30,
+		LossRatio:    0.3727,
+		Order:        csk.CSK16,
+		DataFraction: 0.8,
+	}
+	paper, err := p.LinkCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	erasure, err := p.LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperRate := float64(paper.K()) / float64(paper.N())
+	erasureRate := float64(erasure.K()) / float64(erasure.N())
+	if erasureRate <= paperRate {
+		t.Errorf("erasure rate %.3f not above paper rate %.3f", erasureRate, paperRate)
+	}
+}
+
+func TestLinkCodeErasureParityCoversGap(t *testing.T) {
+	// Parity must cover at least one gap's worth of erased data bytes
+	// with margin for the byte-boundary and edge-fragment inflation.
+	for _, loss := range []float64{0.1, 0.2312, 0.3727} {
+		for _, order := range csk.Orders {
+			p := Params{
+				SymbolRate:   3000,
+				FrameRate:    30,
+				LossRatio:    loss,
+				Order:        order,
+				DataFraction: 0.8,
+			}
+			code, err := p.LinkCodeErasure()
+			if err != nil {
+				t.Fatalf("loss=%v %v: %v", loss, order, err)
+			}
+			needed := int(float64(code.N()) * loss)
+			if code.ParityBytes() < needed+4 {
+				t.Errorf("loss=%v %v: parity %d below gap need %d + margin",
+					loss, order, code.ParityBytes(), needed)
+			}
+		}
+	}
+}
+
+func TestLinkCodeMultiPeriodAtLowRates(t *testing.T) {
+	// At 1 kHz a single frame period cannot fit a useful codeword;
+	// packets must span several periods (bounded by the deframer's gap
+	// limit) and still produce a valid code.
+	p := Params{
+		SymbolRate:   1000,
+		FrameRate:    30,
+		LossRatio:    0.2312,
+		Order:        csk.CSK16,
+		DataFraction: 0.8,
+	}
+	code, err := p.LinkCode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One frame+gap at 1 kHz is 33 symbols ≈ 16 bytes of 16-CSK before
+	// the header; a single-period code could not reach this size.
+	if code.N() < 16 {
+		t.Errorf("multi-period sizing too small: n=%d", code.N())
+	}
+}
+
+func TestLinkCodesDeterministic(t *testing.T) {
+	p := Params{
+		SymbolRate: 2000, FrameRate: 30, LossRatio: 0.3,
+		Order: csk.CSK8, DataFraction: 0.75,
+	}
+	a, err := p.LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.K() != b.K() {
+		t.Errorf("nondeterministic sizing: %d/%d vs %d/%d", a.N(), a.K(), b.N(), b.K())
+	}
+}
+
+func TestLinkCodeErasureRejectsInvalid(t *testing.T) {
+	p := Params{
+		SymbolRate: 0, FrameRate: 30, LossRatio: 0.3,
+		Order: csk.CSK8, DataFraction: 0.75,
+	}
+	if _, err := p.LinkCodeErasure(); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package colorspace
+
+import "math"
+
+// DeltaE2000 returns the CIEDE2000 color difference between two Lab
+// colors. The paper's receiver matches symbols with the simple CIE76
+// Euclidean ΔE (see DeltaE), which is what the modem uses; CIEDE2000
+// corrects CIE76's known perceptual non-uniformities (chroma and hue
+// dependence) and is provided for calibration analysis and for
+// applications that want a perceptually accurate match margin.
+func DeltaE2000(x, y Lab) float64 {
+	const deg = math.Pi / 180
+
+	c1 := math.Hypot(x.A, x.B)
+	c2 := math.Hypot(y.A, y.B)
+	cBar := (c1 + c2) / 2
+
+	g := 0.5 * (1 - math.Sqrt(pow7(cBar)/(pow7(cBar)+pow7(25))))
+	a1p := (1 + g) * x.A
+	a2p := (1 + g) * y.A
+	c1p := math.Hypot(a1p, x.B)
+	c2p := math.Hypot(a2p, y.B)
+
+	h1p := hueDeg(x.B, a1p)
+	h2p := hueDeg(y.B, a2p)
+
+	dL := y.L - x.L
+	dC := c2p - c1p
+
+	var dhp float64
+	switch {
+	case c1p*c2p == 0:
+		dhp = 0
+	case math.Abs(h2p-h1p) <= 180:
+		dhp = h2p - h1p
+	case h2p-h1p > 180:
+		dhp = h2p - h1p - 360
+	default:
+		dhp = h2p - h1p + 360
+	}
+	dH := 2 * math.Sqrt(c1p*c2p) * math.Sin(dhp/2*deg)
+
+	lBar := (x.L + y.L) / 2
+	cBarP := (c1p + c2p) / 2
+
+	var hBar float64
+	switch {
+	case c1p*c2p == 0:
+		hBar = h1p + h2p
+	case math.Abs(h1p-h2p) <= 180:
+		hBar = (h1p + h2p) / 2
+	case h1p+h2p < 360:
+		hBar = (h1p + h2p + 360) / 2
+	default:
+		hBar = (h1p + h2p - 360) / 2
+	}
+
+	t := 1 -
+		0.17*math.Cos((hBar-30)*deg) +
+		0.24*math.Cos(2*hBar*deg) +
+		0.32*math.Cos((3*hBar+6)*deg) -
+		0.20*math.Cos((4*hBar-63)*deg)
+
+	dTheta := 30 * math.Exp(-sq((hBar-275)/25))
+	rc := 2 * math.Sqrt(pow7(cBarP)/(pow7(cBarP)+pow7(25)))
+	sl := 1 + 0.015*sq(lBar-50)/math.Sqrt(20+sq(lBar-50))
+	sc := 1 + 0.045*cBarP
+	sh := 1 + 0.015*cBarP*t
+	rt := -math.Sin(2*dTheta*deg) * rc
+
+	return math.Sqrt(
+		sq(dL/sl) + sq(dC/sc) + sq(dH/sh) + rt*(dC/sc)*(dH/sh))
+}
+
+// hueDeg returns the hue angle in degrees in [0, 360).
+func hueDeg(b, a float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	h := math.Atan2(b, a) * 180 / math.Pi
+	if h < 0 {
+		h += 360
+	}
+	return h
+}
+
+func sq(v float64) float64   { return v * v }
+func pow7(v float64) float64 { return v * v * v * v * v * v * v }

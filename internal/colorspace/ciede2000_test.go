@@ -1,0 +1,106 @@
+package colorspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaE2000Identity(t *testing.T) {
+	f := func(l, a, b float64) bool {
+		c := Lab{math.Mod(l, 100), math.Mod(a, 128), math.Mod(b, 128)}
+		return DeltaE2000(c, c) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaE2000Symmetric(t *testing.T) {
+	f := func(v [6]float64) bool {
+		x := Lab{math.Mod(v[0], 100), math.Mod(v[1], 128), math.Mod(v[2], 128)}
+		y := Lab{math.Mod(v[3], 100), math.Mod(v[4], 128), math.Mod(v[5], 128)}
+		d1, d2 := DeltaE2000(x, y), DeltaE2000(y, x)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaE2000AchromaticPair(t *testing.T) {
+	// For two grays the formula reduces to |ΔL'|/S_L with
+	// S_L = 1 + 0.015(L̄−50)²/√(20+(L̄−50)²).
+	x := Lab{L: 40}
+	y := Lab{L: 60}
+	lBar := 50.0
+	sl := 1 + 0.015*(lBar-50)*(lBar-50)/math.Sqrt(20+(lBar-50)*(lBar-50))
+	want := 20 / sl
+	if got := DeltaE2000(x, y); math.Abs(got-want) > 1e-9 {
+		t.Errorf("achromatic ΔE00 = %v, want %v", got, want)
+	}
+}
+
+func TestDeltaE2000KnownVector(t *testing.T) {
+	// Pair 1 of the standard CIEDE2000 verification data set
+	// (Sharma, Wu, Dalal 2005): two blues differing mainly in hue.
+	x := Lab{L: 50.0000, A: 2.6772, B: -79.7751}
+	y := Lab{L: 50.0000, A: 0.0000, B: -82.7485}
+	const want = 2.0425
+	if got := DeltaE2000(x, y); math.Abs(got-want) > 1e-4 {
+		t.Errorf("ΔE00 = %v, want %v", got, want)
+	}
+}
+
+func TestDeltaE2000SmallDifferencesTrackCIE76(t *testing.T) {
+	// Near the achromatic axis at L = 50, tiny differences should give
+	// similar magnitudes in both metrics (the correction factors are
+	// all ≈1 there).
+	x := Lab{L: 50, A: 1, B: 1}
+	y := Lab{L: 50.5, A: 1.2, B: 0.9}
+	d76 := DeltaE(x, y)
+	d00 := DeltaE2000(x, y)
+	if d00 < d76/2 || d00 > d76*2 {
+		t.Errorf("ΔE00 %v far from ΔE76 %v for a near-neutral pair", d00, d76)
+	}
+}
+
+func TestDeltaE2000CompressesChromaticDifferences(t *testing.T) {
+	// CIEDE2000's chroma weighting S_C grows with chroma, so the same
+	// Euclidean distance counts for less between two saturated colors
+	// than between two neutral ones.
+	neutralA := Lab{L: 50, A: 0, B: 0}
+	neutralB := Lab{L: 50, A: 5, B: 0}
+	saturatedA := Lab{L: 50, A: 80, B: 0}
+	saturatedB := Lab{L: 50, A: 85, B: 0}
+	dn := DeltaE2000(neutralA, neutralB)
+	ds := DeltaE2000(saturatedA, saturatedB)
+	if ds >= dn {
+		t.Errorf("saturated pair ΔE00 %v not below neutral pair %v", ds, dn)
+	}
+}
+
+func TestHueDeg(t *testing.T) {
+	cases := []struct {
+		b, a, want float64
+	}{
+		{0, 1, 0},
+		{1, 0, 90},
+		{0, -1, 180},
+		{-1, 0, 270},
+		{0, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := hueDeg(tc.b, tc.a); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("hueDeg(%v, %v) = %v, want %v", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkDeltaE2000(b *testing.B) {
+	x := Lab{50, 20, -30}
+	y := Lab{55, 18, -28}
+	for i := 0; i < b.N; i++ {
+		_ = DeltaE2000(x, y)
+	}
+}

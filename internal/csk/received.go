@@ -1,0 +1,168 @@
+package csk
+
+import (
+	"fmt"
+	"math"
+
+	"colorbars/internal/cie"
+	"colorbars/internal/colorspace"
+)
+
+// This file implements the constellation optimization the paper lists
+// as future work (§10): "we plan to optimize the CSK constellation
+// design to minimize the inter-symbol interference [for rolling
+// shutter camera receivers]".
+//
+// The standard 802.15.7 designs maximize separation in xy chromaticity
+// space, but a rolling-shutter receiver demodulates in the CIELab
+// {a,b} plane, and the xy→{a,b} mapping is nonlinear: equal xy
+// distances become very unequal ΔE distances. Optimizing the design
+// directly in the receiver's metric buys extra demodulation margin at
+// no transmitter cost.
+
+// NewReceiverOptimized builds a constellation whose minimum pairwise
+// distance is maximized in the received {a,b} plane (the metric the
+// demodulator actually uses) instead of the xy chromaticity plane.
+// The 4-CSK layout is kept at the standard vertices-plus-centroid
+// design, which is already far above any margin concern.
+func NewReceiverOptimized(order Order, tri cie.Triangle) (*Constellation, error) {
+	if !order.Valid() {
+		return nil, fmt.Errorf("csk: unsupported order %d", int(order))
+	}
+	if order == CSK4 {
+		return New(order, tri)
+	}
+	pts := latticeSeed(int(order), tri)
+	for _, step := range []float64{0.02, 0.01, 0.004} {
+		relax(pts, tri, 600, step)
+	}
+	abMaxMinAscent(pts, tri, 300)
+
+	c := &Constellation{
+		order:    order,
+		triangle: tri,
+		points:   pts,
+		drives:   make([]colorspace.RGB, len(pts)),
+		refAB:    make([]colorspace.AB, len(pts)),
+	}
+	for i, p := range pts {
+		d, err := tri.DriveLevels(p)
+		if err != nil {
+			return nil, err
+		}
+		c.drives[i] = d
+		c.refAB[i] = colorspace.LinearRGBToLab(d).AB()
+	}
+	return c, nil
+}
+
+// MustNewReceiverOptimized is NewReceiverOptimized, panicking on error.
+func MustNewReceiverOptimized(order Order, tri cie.Triangle) *Constellation {
+	c, err := NewReceiverOptimized(order, tri)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MinReceivedDistance returns the constellation's minimum pairwise
+// distance in the received {a,b} plane — the demodulation margin.
+func (c *Constellation) MinReceivedDistance() float64 {
+	best := math.Inf(1)
+	for i := range c.refAB {
+		for j := i + 1; j < len(c.refAB); j++ {
+			if d := c.refAB[i].Dist(c.refAB[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// abOf maps a chromaticity to its received {a,b} color, or reports
+// failure for out-of-gamut points.
+func abOf(p colorspace.XY, tri cie.Triangle) (colorspace.AB, bool) {
+	d, err := tri.DriveLevels(p)
+	if err != nil {
+		return colorspace.AB{}, false
+	}
+	return colorspace.LinearRGBToLab(d).AB(), true
+}
+
+// abMinPairDistance evaluates the {a,b}-plane min-distance objective
+// for a candidate xy point set.
+func abMinPairDistance(pts []colorspace.XY, tri cie.Triangle) float64 {
+	abs := make([]colorspace.AB, len(pts))
+	for i, p := range pts {
+		ab, ok := abOf(p, tri)
+		if !ok {
+			return -1
+		}
+		abs[i] = ab
+	}
+	best := math.Inf(1)
+	for i := range abs {
+		for j := i + 1; j < len(abs); j++ {
+			if d := abs[i].Dist(abs[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// abMaxMinAscent is maxMinAscent with the objective measured in the
+// received {a,b} plane: on each pass it finds the closest pair under
+// that metric and tries small deterministic moves of each endpoint,
+// keeping improvements.
+func abMaxMinAscent(pts []colorspace.XY, tri cie.Triangle, passes int) {
+	dirs := []colorspace.XY{
+		{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1},
+		{X: 0.7, Y: 0.7}, {X: -0.7, Y: 0.7}, {X: 0.7, Y: -0.7}, {X: -0.7, Y: -0.7},
+	}
+	for p := 0; p < passes; p++ {
+		cur := abMinPairDistance(pts, tri)
+		ai, bi := abClosestPair(pts, tri)
+		improved := false
+		for _, idx := range []int{ai, bi} {
+			orig := pts[idx]
+			for _, d := range dirs {
+				for _, s := range []float64{0.01, 0.004, 0.001} {
+					cand := colorspace.XY{X: orig.X + d.X*s, Y: orig.Y + d.Y*s}
+					cand = projectIntoTriangle(cand, tri)
+					pts[idx] = cand
+					if v := abMinPairDistance(pts, tri); v > cur {
+						cur = v
+						orig = cand
+						improved = true
+					} else {
+						pts[idx] = orig
+					}
+				}
+			}
+			pts[idx] = orig
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// abClosestPair finds the pair with the smallest received-plane
+// distance.
+func abClosestPair(pts []colorspace.XY, tri cie.Triangle) (int, int) {
+	abs := make([]colorspace.AB, len(pts))
+	for i, p := range pts {
+		ab, _ := abOf(p, tri)
+		abs[i] = ab
+	}
+	ai, bi, best := 0, 1, math.Inf(1)
+	for i := range abs {
+		for j := i + 1; j < len(abs); j++ {
+			if d := abs[i].Dist(abs[j]); d < best {
+				ai, bi, best = i, j, d
+			}
+		}
+	}
+	return ai, bi
+}

@@ -1,0 +1,69 @@
+package csk
+
+import (
+	"testing"
+
+	"colorbars/internal/cie"
+)
+
+func TestReceiverOptimizedImprovesABMargin(t *testing.T) {
+	// The whole point of the future-work design: distance measured in
+	// the receiver's {a,b} plane must improve over the xy-optimized
+	// standard layout.
+	for _, o := range []Order{CSK8, CSK16, CSK32} {
+		std := MustNew(o, cie.SRGBTriangle)
+		opt := MustNewReceiverOptimized(o, cie.SRGBTriangle)
+		if got, base := opt.MinReceivedDistance(), std.MinReceivedDistance(); got <= base {
+			t.Errorf("%v: optimized ab margin %v not above standard %v", o, got, base)
+		}
+	}
+}
+
+func TestReceiverOptimizedStaysInGamut(t *testing.T) {
+	tri := cie.SRGBTriangle
+	for _, o := range Orders {
+		c := MustNewReceiverOptimized(o, tri)
+		for i := 0; i < c.Size(); i++ {
+			if !tri.Contains(c.Point(i)) {
+				t.Errorf("%v symbol %d at %v outside gamut", o, i, c.Point(i))
+			}
+		}
+	}
+}
+
+func TestReceiverOptimizedCSK4IsStandard(t *testing.T) {
+	std := MustNew(CSK4, cie.SRGBTriangle)
+	opt := MustNewReceiverOptimized(CSK4, cie.SRGBTriangle)
+	for i := 0; i < 4; i++ {
+		if std.Point(i) != opt.Point(i) {
+			t.Errorf("4-CSK layout changed at %d", i)
+		}
+	}
+}
+
+func TestReceiverOptimizedDeterministic(t *testing.T) {
+	a := MustNewReceiverOptimized(CSK16, cie.SRGBTriangle)
+	b := MustNewReceiverOptimized(CSK16, cie.SRGBTriangle)
+	for i := 0; i < a.Size(); i++ {
+		if a.Point(i) != b.Point(i) {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestReceiverOptimizedRejectsInvalid(t *testing.T) {
+	if _, err := NewReceiverOptimized(Order(7), cie.SRGBTriangle); err == nil {
+		t.Error("invalid order accepted")
+	}
+}
+
+func TestReceiverOptimizedRoundTrips(t *testing.T) {
+	// The optimized constellation must still demap its own references.
+	c := MustNewReceiverOptimized(CSK32, cie.SRGBTriangle)
+	refs := c.ReferenceABs()
+	for i := 0; i < c.Size(); i++ {
+		if NearestAB(c.ReferenceAB(i), refs) != i {
+			t.Errorf("symbol %d demaps wrong", i)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers for the experiment results, so the figures can be
+// re-plotted with any external tool. Column layouts mirror the paper's
+// axes.
+
+// WriteTable1CSV writes Table 1 as device, rate, symbols/s, loss rows.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"device", "symbol_rate_hz", "symbols_per_second", "avg_loss_ratio"}); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for _, rate := range Frequencies {
+			rec := []string{
+				row.Device,
+				fmtF(rate),
+				fmtF(row.SymbolsPerSecond[rate]),
+				fmtF(row.AvgLossRatio),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig3bCSV writes the white-fraction curve.
+func WriteFig3bCSV(w io.Writer, pts []Fig3bPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"symbol_frequency_hz", "white_fraction"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{fmtF(p.SymbolFrequency), fmtF(p.WhiteFraction)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGridCSV writes the Figs 9/10/11 evaluation grid.
+func WriteGridCSV(w io.Writer, cells []EvalCell) error {
+	cw := csv.NewWriter(w)
+	header := []string{"device", "order", "symbol_rate_hz", "ser", "throughput_bps", "goodput_bps"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		rec := []string{
+			c.Device,
+			fmt.Sprintf("%d", int(c.Order)),
+			fmtF(c.SymbolRate),
+			fmtF(c.Result.SER),
+			fmtF(c.Result.ThroughputBps),
+			fmtF(c.Result.GoodputBps),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDistanceCSV writes the range-study sweep.
+func WriteDistanceCSV(w io.Writer, pts []DistancePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"power", "distance_m", "goodput_bps", "ser"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{fmtF(p.Power), fmtF(p.DistanceMeters), fmtF(p.GoodputBps), fmtF(p.SER)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"colorbars/internal/csk"
+	"colorbars/internal/metrics"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestWriteTable1CSV(t *testing.T) {
+	rows := []Table1Row{
+		{
+			Device: "Nexus 5",
+			SymbolsPerSecond: map[float64]float64{
+				1000: 780, 2000: 1550, 3000: 2330, 4000: 3140,
+			},
+			AvgLossRatio: 0.22,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 1+len(Frequencies) {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "device" {
+		t.Errorf("header %v", recs[0])
+	}
+	if recs[1][0] != "Nexus 5" || recs[1][1] != "1000" {
+		t.Errorf("first row %v", recs[1])
+	}
+}
+
+func TestWriteFig3bCSV(t *testing.T) {
+	pts := []Fig3bPoint{{500, 0.9}, {5000, 0.25}}
+	var buf bytes.Buffer
+	if err := WriteFig3bCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[2][0] != "5000" || recs[2][1] != "0.25" {
+		t.Errorf("row %v", recs[2])
+	}
+}
+
+func TestWriteGridCSV(t *testing.T) {
+	cells := []EvalCell{{
+		Device: "iPhone 5S", Order: csk.CSK16, SymbolRate: 4000,
+		Result: metrics.LinkResult{SER: 0.01, ThroughputBps: 6000, GoodputBps: 600},
+	}}
+	var buf bytes.Buffer
+	if err := WriteGridCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[1][1] != "16" {
+		t.Errorf("order column %v", recs[1])
+	}
+	if !strings.HasPrefix(recs[1][3], "0.01") {
+		t.Errorf("ser column %v", recs[1])
+	}
+}
+
+func TestWriteDistanceCSV(t *testing.T) {
+	pts := []DistancePoint{{DistanceMeters: 0.12, Power: 16, GoodputBps: 648, SER: 0}}
+	var buf bytes.Buffer
+	if err := WriteDistanceCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, &buf)
+	if len(recs) != 2 || recs[1][0] != "16" || recs[1][1] != "0.12" {
+		t.Fatalf("records %v", recs)
+	}
+}

@@ -1,0 +1,539 @@
+// Package experiments regenerates every table and figure from the
+// ColorBars paper's evaluation (§8), plus the flicker study (§4) and
+// the motivation-section baseline comparison. Each experiment returns
+// typed rows/series; cmd/colorbars-bench prints them in the paper's
+// layout, and bench_test.go wraps them as Go benchmarks.
+//
+// Absolute numbers come from the simulated substrate (see DESIGN.md),
+// so they are not expected to match the paper's testbed digit for
+// digit; the shapes — orderings, trends, crossovers — are the
+// reproduction targets, and the package's tests assert them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"colorbars/internal/baseline"
+	"colorbars/internal/camera"
+	"colorbars/internal/channel"
+	"colorbars/internal/cie"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+	"colorbars/internal/flicker"
+	"colorbars/internal/led"
+	"colorbars/internal/metrics"
+)
+
+// Frequencies is the paper's symbol-rate sweep (Hz).
+var Frequencies = []float64{1000, 2000, 3000, 4000}
+
+// Devices returns the two evaluated phone profiles in paper order.
+func Devices() []camera.Profile {
+	return []camera.Profile{camera.Nexus5(), camera.IPhone5S()}
+}
+
+// --- Table 1 ---
+
+// Table1Row is one device's row in Table 1.
+type Table1Row struct {
+	Device           string
+	SymbolsPerSecond map[float64]float64 // by transmitted symbol rate
+	AvgLossRatio     float64
+}
+
+// Table1 measures received symbols per second and the average
+// inter-frame loss ratio for each device at each symbol rate.
+func Table1(duration float64, seed int64) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, prof := range Devices() {
+		row := Table1Row{Device: prof.Name, SymbolsPerSecond: map[float64]float64{}}
+		var lossSum float64
+		for _, rate := range Frequencies {
+			res, err := metrics.Run(metrics.LinkParams{
+				Order:         csk.CSK8,
+				SymbolRate:    rate,
+				Profile:       prof,
+				WhiteFraction: 0.2,
+				Duration:      duration,
+				Seed:          seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table 1 %s @%v Hz: %w", prof.Name, rate, err)
+			}
+			row.SymbolsPerSecond[rate] = res.SymbolsPerSecond
+			lossSum += res.MeasuredLossRatio
+		}
+		row.AvgLossRatio = lossSum / float64(len(Frequencies))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// --- Fig 3(b) ---
+
+// Fig3bPoint is one point of the white-light-fraction curve.
+type Fig3bPoint struct {
+	SymbolFrequency float64
+	WhiteFraction   float64
+}
+
+// Fig3bFrequencies is the paper's flicker sweep.
+var Fig3bFrequencies = []float64{500, 1000, 2000, 3000, 4000, 5000}
+
+// Fig3b computes the minimum white-symbol fraction that keeps the
+// Bloch's-law observer from perceiving color flicker, per symbol
+// frequency.
+func Fig3b(seed int64) []Fig3bPoint {
+	obs := flicker.DefaultObserver()
+	cons := csk.MustNew(csk.CSK8, cie.SRGBTriangle)
+	drives := make([]colorspace.RGB, cons.Size())
+	for i := range drives {
+		drives[i] = cons.Drive(i)
+	}
+	pts := make([]Fig3bPoint, 0, len(Fig3bFrequencies))
+	for _, f := range Fig3bFrequencies {
+		frac := flicker.MinWhiteFraction(obs, drives, f, 4000, seed)
+		pts = append(pts, Fig3bPoint{SymbolFrequency: f, WhiteFraction: frac})
+	}
+	return pts
+}
+
+// --- Fig 3(c) ---
+
+// Fig3cPoint reports the received band width at a symbol rate.
+type Fig3cPoint struct {
+	SymbolRate    float64
+	BandWidthRows float64
+}
+
+// Fig3c measures the width in pixels (scanlines) of the color bands on
+// the given device at each symbol rate — the quantity whose 10-pixel
+// floor limits the usable symbol frequency (§4).
+func Fig3c(prof camera.Profile, rates []float64, seed int64) ([]Fig3cPoint, error) {
+	var pts []Fig3cPoint
+	for _, rate := range rates {
+		// Alternate two well-separated colors so every symbol edge is
+		// a band edge.
+		n := int(0.2 * rate)
+		drives := make([]colorspace.RGB, n)
+		for i := range drives {
+			if i%2 == 0 {
+				drives[i] = colorspace.RGB{R: 1}
+			} else {
+				drives[i] = colorspace.RGB{B: 1}
+			}
+		}
+		w, err := led.NewWaveform(led.Config{SymbolRate: rate, Power: 1}, drives)
+		if err != nil {
+			return nil, err
+		}
+		cam := camera.New(prof, seed)
+		cam.SetManual(100e-6, 100)
+		f := cam.Capture(w, 0)
+		// Count dominant-channel runs.
+		var runs, rows int
+		prevRed := f.RowMean(0).R > f.RowMean(0).B
+		run := 1
+		for r := 1; r < f.Rows; r++ {
+			m := f.RowMean(r)
+			red := m.R > m.B
+			if red == prevRed {
+				run++
+			} else {
+				runs++
+				rows += run
+				run = 1
+				prevRed = red
+			}
+		}
+		if runs == 0 {
+			runs, rows = 1, f.Rows
+		}
+		pts = append(pts, Fig3cPoint{SymbolRate: rate, BandWidthRows: float64(rows) / float64(runs)})
+	}
+	return pts, nil
+}
+
+// --- Fig 6 ---
+
+// Fig6aRow is one device's observation of the 8-CSK constellation.
+type Fig6aRow struct {
+	Device   string
+	Observed []colorspace.AB // indexed by constellation symbol
+	Ideal    []colorspace.AB
+}
+
+// Fig6a captures how each device perceives the same transmitted 8-CSK
+// symbols: the receiver-diversity illustration.
+func Fig6a(seed int64) ([]Fig6aRow, error) {
+	cons := csk.MustNew(csk.CSK8, cie.SRGBTriangle)
+	var rows []Fig6aRow
+	for _, prof := range Devices() {
+		row := Fig6aRow{Device: prof.Name, Ideal: cons.ReferenceABs()}
+		obs, err := observeConstellation(cons, prof, seed)
+		if err != nil {
+			return nil, err
+		}
+		row.Observed = obs
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// observeConstellation holds each constellation color steady and
+// measures the {a,b} the device reports from the frame center.
+func observeConstellation(cons *csk.Constellation, prof camera.Profile, seed int64) ([]colorspace.AB, error) {
+	out := make([]colorspace.AB, cons.Size())
+	for i := 0; i < cons.Size(); i++ {
+		lab, err := observeColor(cons.Drive(i), prof, seed, 200e-6, 100)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = lab.AB()
+	}
+	return out, nil
+}
+
+// observeColor captures one steady color and returns the Lab value at
+// the frame center.
+func observeColor(drive colorspace.RGB, prof camera.Profile, seed int64, exposure, iso float64) (colorspace.Lab, error) {
+	rate := 1000.0
+	drives := make([]colorspace.RGB, int(0.2*rate))
+	for i := range drives {
+		drives[i] = drive
+	}
+	w, err := led.NewWaveform(led.Config{SymbolRate: rate, Power: 1}, drives)
+	if err != nil {
+		return colorspace.Lab{}, err
+	}
+	cam := camera.New(prof, seed)
+	cam.SetManual(exposure, iso)
+	f := cam.Capture(w, 0.01)
+	// Average a central patch to suppress noise.
+	var sum colorspace.RGB
+	n := 0
+	for r := f.Rows/2 - 20; r < f.Rows/2+20; r++ {
+		for c := 0; c < f.Cols; c++ {
+			sum = sum.Add(f.At(r, c))
+			n++
+		}
+	}
+	return colorspace.LinearRGBToLab(sum.Scale(1 / float64(n))), nil
+}
+
+// Fig6bcPoint is one exposure/ISO sweep sample of the perceived color
+// of pure blue.
+type Fig6bcPoint struct {
+	Exposure float64
+	ISO      float64
+	AB       colorspace.AB
+}
+
+// Fig6b sweeps exposure time at fixed ISO; Fig6c sweeps ISO at fixed
+// exposure. Both show the same transmitted color (pure blue, as in the
+// paper) being perceived differently — the motivation for periodic
+// calibration.
+func Fig6b(prof camera.Profile, seed int64) ([]Fig6bcPoint, error) {
+	var pts []Fig6bcPoint
+	for _, exp := range []float64{100e-6, 200e-6, 400e-6, 800e-6, 1.6e-3, 3.2e-3, 6.4e-3} {
+		lab, err := observeColor(colorspace.RGB{B: 1}, prof, seed, exp, 100)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Fig6bcPoint{Exposure: exp, ISO: 100, AB: lab.AB()})
+	}
+	return pts, nil
+}
+
+// Fig6c sweeps ISO at fixed exposure; see Fig6b.
+func Fig6c(prof camera.Profile, seed int64) ([]Fig6bcPoint, error) {
+	var pts []Fig6bcPoint
+	for _, iso := range []float64{100, 200, 400, 800, 1600} {
+		lab, err := observeColor(colorspace.RGB{B: 1}, prof, seed, 400e-6, iso)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Fig6bcPoint{Exposure: 400e-6, ISO: iso, AB: lab.AB()})
+	}
+	return pts, nil
+}
+
+// --- Fig 8(b) ---
+
+// Fig8bResult compares per-position color variance in RGB vs CIELab
+// {a,b} for a single-color, vignetted frame.
+type Fig8bResult struct {
+	VarianceRGB float64
+	VarianceLab float64
+}
+
+// Fig8b captures one steady color symbol with a vignetting camera and
+// measures how much each position's color deviates from the frame's
+// mean color, in RGB space versus the {a,b} plane. CIELab removes the
+// brightness dimension, so its variance is far smaller (§7 Step 1).
+func Fig8b(prof camera.Profile, seed int64) (Fig8bResult, error) {
+	rate := 1000.0
+	drive := colorspace.RGB{R: 0.2, G: 0.3, B: 0.9}
+	drives := make([]colorspace.RGB, int(0.2*rate))
+	for i := range drives {
+		drives[i] = drive
+	}
+	w, err := led.NewWaveform(led.Config{SymbolRate: rate, Power: 1}, drives)
+	if err != nil {
+		return Fig8bResult{}, err
+	}
+	cam := camera.New(prof, seed)
+	cam.SetManual(400e-6, 100)
+	f := cam.Capture(w, 0.01)
+
+	// Normalized-RGB chrominance and {a,b} per pixel, then distance
+	// from the respective means. Distances are scaled to comparable
+	// units (RGB in [0,1] → ×100 to match Lab's range).
+	var meanRGB colorspace.RGB
+	var meanAB colorspace.AB
+	labs := make([]colorspace.AB, len(f.Pix))
+	for i, p := range f.Pix {
+		meanRGB = meanRGB.Add(p)
+		labs[i] = colorspace.LinearRGBToLab(p).AB()
+		meanAB.A += labs[i].A
+		meanAB.B += labs[i].B
+	}
+	n := float64(len(f.Pix))
+	meanRGB = meanRGB.Scale(1 / n)
+	meanAB.A /= n
+	meanAB.B /= n
+	var varRGB, varLab float64
+	for i, p := range f.Pix {
+		dr, dg, db := p.R-meanRGB.R, p.G-meanRGB.G, p.B-meanRGB.B
+		dRGB := (dr*dr + dg*dg + db*db) * 100 * 100
+		varRGB += dRGB
+		da, dbb := labs[i].A-meanAB.A, labs[i].B-meanAB.B
+		varLab += da*da + dbb*dbb
+	}
+	return Fig8bResult{VarianceRGB: varRGB / n, VarianceLab: varLab / n}, nil
+}
+
+// --- Figs 9, 10, 11 ---
+
+// EvalCell is one (device, order, frequency) measurement carrying all
+// three §8 metrics; Figs 9, 10 and 11 are views over the same grid.
+type EvalCell struct {
+	Device     string
+	Order      csk.Order
+	SymbolRate float64
+	Result     metrics.LinkResult
+}
+
+// EvaluationGrid measures every (device, order, frequency) cell.
+// duration is simulated seconds per cell. Cells are independent and
+// deterministic, so they run in parallel across the machine's cores;
+// the returned order is fixed (device, order, frequency).
+func EvaluationGrid(duration float64, seed int64) ([]EvalCell, error) {
+	type job struct {
+		idx   int
+		prof  camera.Profile
+		order csk.Order
+		rate  float64
+	}
+	var jobs []job
+	for _, prof := range Devices() {
+		for _, order := range csk.Orders {
+			for _, rate := range Frequencies {
+				jobs = append(jobs, job{len(jobs), prof, order, rate})
+			}
+		}
+	}
+	cells := make([]EvalCell, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := metrics.Run(metrics.LinkParams{
+				Order:         j.order,
+				SymbolRate:    j.rate,
+				Profile:       j.prof,
+				WhiteFraction: 0.2,
+				Duration:      duration,
+				Seed:          seed,
+			})
+			if err != nil {
+				errs[j.idx] = fmt.Errorf("grid %s %v @%v: %w", j.prof.Name, j.order, j.rate, err)
+				return
+			}
+			cells[j.idx] = EvalCell{
+				Device: j.prof.Name, Order: j.order, SymbolRate: j.rate, Result: res,
+			}
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}
+
+// --- distance sweep (paper §10 future work: LED arrays for range) ---
+
+// DistancePoint is one cell of the range study.
+type DistancePoint struct {
+	DistanceMeters float64
+	Power          float64
+	GoodputBps     float64
+	SER            float64
+}
+
+// DistanceSweep measures goodput against LED–camera distance for a
+// single low-lumen tri-LED (Power 1, the paper's prototype, usable
+// only within a few centimeters) and an LED array (higher Power, the
+// paper's proposed extension). Received power follows the
+// inverse-square law of internal/channel.
+func DistanceSweep(prof camera.Profile, distances []float64, powers []float64, duration float64, seed int64) ([]DistancePoint, error) {
+	var out []DistancePoint
+	for _, power := range powers {
+		for _, d := range distances {
+			res, err := metrics.Run(metrics.LinkParams{
+				Order:         csk.CSK8,
+				SymbolRate:    2000,
+				Profile:       prof,
+				WhiteFraction: 0.2,
+				Duration:      duration,
+				Seed:          seed,
+				Power:         power,
+				Channel: channel.Config{
+					Distance:          d,
+					ReferenceDistance: 0.03,
+					Ambient:           colorspace.RGB{R: 0.002, G: 0.002, B: 0.002},
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, DistancePoint{
+				DistanceMeters: d,
+				Power:          power,
+				GoodputBps:     res.GoodputBps,
+				SER:            res.SER,
+			})
+		}
+	}
+	return out, nil
+}
+
+// --- baseline comparison ---
+
+// BaselineResult summarizes the motivating rate comparison.
+type BaselineResult struct {
+	OOKBytesPerSecond       float64
+	FSKBytesPerSecond       float64
+	ColorBarsBestGoodputBps float64 // bits per second
+}
+
+// BaselineComparison measures the undersampled-OOK and FSK baselines
+// and the best ColorBars goodput on the Nexus 5 profile.
+func BaselineComparison(duration float64, seed int64) (BaselineResult, error) {
+	// Baselines' effective rates, after measuring their error rates on
+	// the shared camera: raw rate × (1 − error rate).
+	prof := camera.Nexus5()
+
+	ookCfg := baseline.OOKConfig{FrameRate: prof.FrameRate, Manchester: true}
+	ookErr, err := baselineOOKErrorRate(ookCfg, prof, duration, seed)
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	fskCfg := baseline.DefaultFSKConfig(prof.FrameRate)
+	fskErr, err := baselineFSKErrorRate(fskCfg, prof, duration, seed)
+	if err != nil {
+		return BaselineResult{}, err
+	}
+
+	best := 0.0
+	for _, order := range csk.Orders {
+		res, err := metrics.Run(metrics.LinkParams{
+			Order:         order,
+			SymbolRate:    4000,
+			Profile:       prof,
+			WhiteFraction: 0.15,
+			Duration:      duration,
+			Seed:          seed,
+		})
+		if err != nil {
+			return BaselineResult{}, err
+		}
+		if res.GoodputBps > best {
+			best = res.GoodputBps
+		}
+	}
+	return BaselineResult{
+		OOKBytesPerSecond:       ookCfg.BitsPerSecond() * (1 - ookErr) / 8,
+		FSKBytesPerSecond:       fskCfg.BitsPerSecond() * (1 - fskErr) / 8,
+		ColorBarsBestGoodputBps: best,
+	}, nil
+}
+
+func baselineOOKErrorRate(cfg baseline.OOKConfig, prof camera.Profile, duration float64, seed int64) (float64, error) {
+	nBits := int(cfg.BitsPerSecond() * duration)
+	if nBits < 8 {
+		nBits = 8
+	}
+	bits := make([]bool, nBits)
+	for i := range bits {
+		bits[i] = (seed+int64(i*7))%3 == 0
+	}
+	w, err := baseline.OOKModulate(cfg, bits)
+	if err != nil {
+		return 0, err
+	}
+	cam := camera.New(prof, seed)
+	cam.SetManual(100e-6, 100)
+	frames := cam.CaptureVideo(w, 0, int(w.Duration()*prof.FrameRate))
+	got := baseline.OOKDemodulate(cfg, frames)
+	errs, n := 0, 0
+	for i := 0; i < len(bits) && i < len(got); i++ {
+		n++
+		if bits[i] != got[i] {
+			errs++
+		}
+	}
+	if n == 0 {
+		return 1, nil
+	}
+	return float64(errs) / float64(n), nil
+}
+
+func baselineFSKErrorRate(cfg baseline.FSKConfig, prof camera.Profile, duration float64, seed int64) (float64, error) {
+	nSyms := int(prof.FrameRate * duration)
+	if nSyms < 4 {
+		nSyms = 4
+	}
+	symbols := make([]int, nSyms)
+	for i := range symbols {
+		symbols[i] = int(seed+int64(i*5)) % len(cfg.Frequencies)
+		if symbols[i] < 0 {
+			symbols[i] += len(cfg.Frequencies)
+		}
+	}
+	w, err := baseline.FSKModulate(cfg, symbols)
+	if err != nil {
+		return 0, err
+	}
+	cam := camera.New(prof, seed)
+	cam.SetManual(100e-6, 100)
+	frames := cam.CaptureVideo(w, 0, nSyms)
+	got := baseline.FSKDemodulate(cfg, frames)
+	errs := 0
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(symbols)), nil
+}

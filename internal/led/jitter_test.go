@@ -1,0 +1,105 @@
+package led
+
+import (
+	"math"
+	"testing"
+
+	"colorbars/internal/colorspace"
+)
+
+func TestDriveJitterValidation(t *testing.T) {
+	bad := Config{SymbolRate: 1000, Power: 1, DriveJitter: -0.1}
+	if bad.Validate() == nil {
+		t.Error("negative jitter accepted")
+	}
+	bad.DriveJitter = 0.9
+	if bad.Validate() == nil {
+		t.Error("excessive jitter accepted")
+	}
+	good := Config{SymbolRate: 1000, Power: 1, DriveJitter: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid jitter rejected: %v", err)
+	}
+}
+
+func TestDriveJitterDeterministic(t *testing.T) {
+	drives := make([]colorspace.RGB, 100)
+	for i := range drives {
+		drives[i] = colorspace.RGB{R: 0.5, G: 0.5, B: 0.5}
+	}
+	cfg := Config{SymbolRate: 1000, Power: 1, DriveJitter: 0.05, Seed: 9}
+	a, _ := NewWaveform(cfg, drives)
+	b, _ := NewWaveform(cfg, drives)
+	for i := 0; i < 100; i++ {
+		if a.Drive(i) != b.Drive(i) {
+			t.Fatalf("same seed diverged at symbol %d", i)
+		}
+	}
+	cfg.Seed = 10
+	c, _ := NewWaveform(cfg, drives)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Drive(i) != c.Drive(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestDriveJitterStatistics(t *testing.T) {
+	// Jitter must perturb each symbol around its nominal level with
+	// roughly the configured spread and no mean bias.
+	n := 5000
+	drives := make([]colorspace.RGB, n)
+	for i := range drives {
+		drives[i] = colorspace.RGB{R: 0.5, G: 0.5, B: 0.5}
+	}
+	cfg := Config{SymbolRate: 1000, Power: 1, DriveJitter: 0.05, Seed: 1}
+	w, err := NewWaveform(cfg, drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := w.Drive(i).R
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean-0.5) > 0.003 {
+		t.Errorf("jitter mean bias: %v", mean)
+	}
+	wantSD := 0.5 * 0.05
+	if math.Abs(sd-wantSD) > wantSD*0.2 {
+		t.Errorf("jitter spread %v, want ~%v", sd, wantSD)
+	}
+}
+
+func TestDriveJitterNeverNegative(t *testing.T) {
+	drives := make([]colorspace.RGB, 2000)
+	for i := range drives {
+		drives[i] = colorspace.RGB{R: 0.01, G: 0.01, B: 0.01} // near zero
+	}
+	cfg := Config{SymbolRate: 1000, Power: 1, DriveJitter: 0.5, Seed: 2}
+	w, err := NewWaveform(cfg, drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		d := w.Drive(i)
+		if d.R < 0 || d.G < 0 || d.B < 0 {
+			t.Fatalf("negative radiance at %d: %v", i, d)
+		}
+	}
+}
+
+func TestZeroJitterExact(t *testing.T) {
+	drives := []colorspace.RGB{{R: 0.3, G: 0.6, B: 0.9}}
+	w, _ := NewWaveform(Config{SymbolRate: 1000, Power: 1}, drives)
+	if w.Drive(0) != drives[0] {
+		t.Errorf("zero jitter altered drive: %v", w.Drive(0))
+	}
+}

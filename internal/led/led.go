@@ -1,0 +1,203 @@
+// Package led models the ColorBars transmitter hardware: a tri-LED
+// (separate red, green and blue dies) driven by three PWM channels on
+// an embedded controller (a BeagleBone Black in the paper).
+//
+// The model is a radiance waveform: a piecewise-constant function of
+// time mapping to linear RGB radiance. Each symbol holds the LED at
+// one drive level (PWM duty triple) for one symbol period. Two
+// physical simplifications are made, both justified by scale
+// separation:
+//
+//   - PWM ripple is averaged out. The PWM carrier (tens of kHz) is far
+//     above both the symbol rate (≤ 4.5 kHz) and the reciprocal of any
+//     camera exposure, so a scanline integrating the waveform sees
+//     exactly the duty-cycle average.
+//   - Switching transients are ignored. LED rise/fall is nanoseconds;
+//     controller GPIO switching is microseconds; symbol periods are
+//     hundreds of microseconds.
+//
+// The paper's empirical controller limit — the BeagleBone cannot
+// change colors faster than about 4500 Hz — is exposed as
+// MaxSymbolRate and enforced by Validate.
+package led
+
+import (
+	"fmt"
+	"math/rand"
+
+	"colorbars/internal/colorspace"
+)
+
+// MaxSymbolRate is the maximum symbol frequency (Hz) supported by the
+// modeled transmitter, matching the BeagleBone Black limit the paper
+// measured (§8: "less than 4500 Hz").
+const MaxSymbolRate = 4500.0
+
+// Config describes a tri-LED transmitter.
+type Config struct {
+	// SymbolRate is the number of symbols emitted per second.
+	SymbolRate float64
+	// Power scales the emitted radiance. 1.0 is the nominal "low
+	// lumen" LED from the paper (the receiver must be close); larger
+	// values model LED arrays (the paper's future work).
+	Power float64
+	// DriveJitter is the per-symbol multiplicative noise on each
+	// channel's emitted intensity (standard deviation as a fraction,
+	// e.g. 0.02 = 2%). Real tri-LED drivers jitter with junction
+	// temperature and PWM clock tolerance, shifting each emitted
+	// symbol's chromaticity slightly — the error floor that separates
+	// dense constellations from sparse ones at the receiver. Zero
+	// disables it.
+	DriveJitter float64
+	// Seed makes the drive jitter deterministic. Only used when
+	// DriveJitter > 0.
+	Seed int64
+}
+
+// Validate checks the configuration against hardware limits.
+func (c Config) Validate() error {
+	if c.SymbolRate <= 0 {
+		return fmt.Errorf("led: symbol rate %v must be positive", c.SymbolRate)
+	}
+	if c.SymbolRate > MaxSymbolRate {
+		return fmt.Errorf("led: symbol rate %v exceeds controller limit %v Hz", c.SymbolRate, MaxSymbolRate)
+	}
+	if c.Power <= 0 {
+		return fmt.Errorf("led: power %v must be positive", c.Power)
+	}
+	if c.DriveJitter < 0 || c.DriveJitter > 0.5 {
+		return fmt.Errorf("led: drive jitter %v outside [0, 0.5]", c.DriveJitter)
+	}
+	return nil
+}
+
+// Waveform is the emitted radiance over time: a sequence of symbols,
+// each holding a constant linear-RGB radiance for one symbol period.
+// Construct with NewWaveform.
+type Waveform struct {
+	period float64 // symbol period in seconds
+	drives []colorspace.RGB
+	cum    []colorspace.RGB // cum[i] = integral over symbols [0, i)
+}
+
+// NewWaveform builds a waveform from per-symbol drive levels at the
+// configured rate and power.
+func NewWaveform(cfg Config, drives []colorspace.RGB) (*Waveform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Waveform{
+		period: 1.0 / cfg.SymbolRate,
+		drives: make([]colorspace.RGB, len(drives)),
+		cum:    make([]colorspace.RGB, len(drives)+1),
+	}
+	var rng *rand.Rand
+	if cfg.DriveJitter > 0 {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	for i, d := range drives {
+		d = d.Clamp().Scale(cfg.Power)
+		if rng != nil {
+			d = colorspace.RGB{
+				R: d.R * (1 + rng.NormFloat64()*cfg.DriveJitter),
+				G: d.G * (1 + rng.NormFloat64()*cfg.DriveJitter),
+				B: d.B * (1 + rng.NormFloat64()*cfg.DriveJitter),
+			}
+			if d.R < 0 {
+				d.R = 0
+			}
+			if d.G < 0 {
+				d.G = 0
+			}
+			if d.B < 0 {
+				d.B = 0
+			}
+		}
+		w.drives[i] = d
+		w.cum[i+1] = w.cum[i].Add(w.drives[i].Scale(w.period))
+	}
+	return w, nil
+}
+
+// NumSymbols returns the number of symbols in the waveform.
+func (w *Waveform) NumSymbols() int { return len(w.drives) }
+
+// SymbolPeriod returns the duration of one symbol in seconds.
+func (w *Waveform) SymbolPeriod() float64 { return w.period }
+
+// Duration returns the waveform's total duration in seconds.
+func (w *Waveform) Duration() float64 { return w.period * float64(len(w.drives)) }
+
+// At samples the radiance at time t (seconds). Times outside the
+// waveform return black (LED off before start and after end).
+func (w *Waveform) At(t float64) colorspace.RGB {
+	if t < 0 {
+		return colorspace.RGB{}
+	}
+	i := int(t / w.period)
+	if i >= len(w.drives) {
+		return colorspace.RGB{}
+	}
+	return w.drives[i]
+}
+
+// Drive returns the drive level of symbol i.
+func (w *Waveform) Drive(i int) colorspace.RGB { return w.drives[i] }
+
+// Integrate returns the integral of the radiance over [t0, t1]
+// (seconds), the quantity a camera scanline accumulates during its
+// exposure. Intervals outside the waveform contribute zero. t1 < t0
+// returns black.
+func (w *Waveform) Integrate(t0, t1 float64) colorspace.RGB {
+	if t1 <= t0 || len(w.drives) == 0 {
+		return colorspace.RGB{}
+	}
+	end := w.Duration()
+	if t0 < 0 {
+		t0 = 0
+	}
+	if t1 > end {
+		t1 = end
+	}
+	if t1 <= t0 {
+		return colorspace.RGB{}
+	}
+	i0 := int(t0 / w.period)
+	i1 := int(t1 / w.period)
+	if i1 >= len(w.drives) {
+		i1 = len(w.drives) - 1
+	}
+	if i0 == i1 {
+		return w.drives[i0].Scale(t1 - t0)
+	}
+	// Partial head + whole middle (from cumulative sums) + partial tail.
+	head := w.drives[i0].Scale(float64(i0+1)*w.period - t0)
+	mid := subRGB(w.cum[i1], w.cum[i0+1])
+	tail := w.drives[i1].Scale(t1 - float64(i1)*w.period)
+	return head.Add(mid).Add(tail)
+}
+
+// Mean returns the average radiance over [t0, t1].
+func (w *Waveform) Mean(t0, t1 float64) colorspace.RGB {
+	if t1 <= t0 {
+		return colorspace.RGB{}
+	}
+	return w.Integrate(t0, t1).Scale(1 / (t1 - t0))
+}
+
+// SymbolIndexAt returns the index of the symbol being emitted at time
+// t, or -1 if t is outside the waveform.
+func (w *Waveform) SymbolIndexAt(t float64) int {
+	if t < 0 {
+		return -1
+	}
+	i := int(t / w.period)
+	if i >= len(w.drives) {
+		return -1
+	}
+	return i
+}
+
+func subRGB(a, b colorspace.RGB) colorspace.RGB {
+	return colorspace.RGB{R: a.R - b.R, G: a.G - b.G, B: a.B - b.B}
+}

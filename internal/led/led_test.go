@@ -1,0 +1,204 @@
+package led
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"colorbars/internal/colorspace"
+)
+
+func validCfg() Config { return Config{SymbolRate: 2000, Power: 1} }
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{SymbolRate: 1000, Power: 1}, true},
+		{Config{SymbolRate: 4500, Power: 1}, true},
+		{Config{SymbolRate: 4501, Power: 1}, false},
+		{Config{SymbolRate: 0, Power: 1}, false},
+		{Config{SymbolRate: -5, Power: 1}, false},
+		{Config{SymbolRate: 1000, Power: 0}, false},
+		{Config{SymbolRate: 1000, Power: -1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", tc.cfg, err, tc.ok)
+		}
+	}
+}
+
+func TestNewWaveformRejectsBadConfig(t *testing.T) {
+	if _, err := NewWaveform(Config{SymbolRate: 9000, Power: 1}, nil); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestWaveformBasics(t *testing.T) {
+	drives := []colorspace.RGB{{R: 1}, {G: 1}, {B: 1}, {R: 1, G: 1, B: 1}}
+	w, err := NewWaveform(validCfg(), drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumSymbols() != 4 {
+		t.Errorf("NumSymbols = %d", w.NumSymbols())
+	}
+	if math.Abs(w.SymbolPeriod()-0.0005) > 1e-12 {
+		t.Errorf("SymbolPeriod = %v", w.SymbolPeriod())
+	}
+	if math.Abs(w.Duration()-0.002) > 1e-12 {
+		t.Errorf("Duration = %v", w.Duration())
+	}
+}
+
+func TestWaveformAt(t *testing.T) {
+	drives := []colorspace.RGB{{R: 1}, {G: 1}}
+	w, _ := NewWaveform(validCfg(), drives)
+	p := w.SymbolPeriod()
+	if got := w.At(p * 0.5); got != (colorspace.RGB{R: 1}) {
+		t.Errorf("At(mid sym0) = %v", got)
+	}
+	if got := w.At(p * 1.5); got != (colorspace.RGB{G: 1}) {
+		t.Errorf("At(mid sym1) = %v", got)
+	}
+	if got := w.At(-1); got != (colorspace.RGB{}) {
+		t.Errorf("At(-1) = %v", got)
+	}
+	if got := w.At(p * 10); got != (colorspace.RGB{}) {
+		t.Errorf("At(beyond) = %v", got)
+	}
+}
+
+func TestSymbolIndexAt(t *testing.T) {
+	drives := make([]colorspace.RGB, 10)
+	w, _ := NewWaveform(validCfg(), drives)
+	p := w.SymbolPeriod()
+	if got := w.SymbolIndexAt(p * 3.2); got != 3 {
+		t.Errorf("index = %d, want 3", got)
+	}
+	if got := w.SymbolIndexAt(-0.1); got != -1 {
+		t.Errorf("index = %d, want -1", got)
+	}
+	if got := w.SymbolIndexAt(p * 100); got != -1 {
+		t.Errorf("index = %d, want -1", got)
+	}
+}
+
+func TestIntegrateWholeWaveform(t *testing.T) {
+	drives := []colorspace.RGB{{R: 1}, {G: 1}, {B: 1}}
+	w, _ := NewWaveform(validCfg(), drives)
+	got := w.Integrate(0, w.Duration())
+	p := w.SymbolPeriod()
+	want := colorspace.RGB{R: p, G: p, B: p}
+	if math.Abs(got.R-want.R) > 1e-12 || math.Abs(got.G-want.G) > 1e-12 || math.Abs(got.B-want.B) > 1e-12 {
+		t.Errorf("Integrate = %v, want %v", got, want)
+	}
+}
+
+func TestIntegrateMatchesNumericQuadrature(t *testing.T) {
+	drives := []colorspace.RGB{
+		{R: 0.2, G: 0.4, B: 0.9},
+		{R: 1, G: 0, B: 0},
+		{R: 0, G: 0.5, B: 0.5},
+		{R: 0.7, G: 0.7, B: 0.7},
+		{},
+		{R: 0.1, G: 0.9, B: 0.3},
+	}
+	w, _ := NewWaveform(validCfg(), drives)
+	f := func(a, b float64) bool {
+		t0 := math.Mod(math.Abs(a), w.Duration()*1.2) - 0.0002
+		t1 := t0 + math.Mod(math.Abs(b), w.Duration())
+		got := w.Integrate(t0, t1)
+		// Riemann sum.
+		const steps = 4000
+		var want colorspace.RGB
+		dt := (t1 - t0) / steps
+		if dt <= 0 {
+			return got == colorspace.RGB{}
+		}
+		for i := 0; i < steps; i++ {
+			want = want.Add(w.At(t0 + (float64(i)+0.5)*dt).Scale(dt))
+		}
+		tol := 1e-4 * (t1 - t0 + 1)
+		return math.Abs(got.R-want.R) < tol && math.Abs(got.G-want.G) < tol && math.Abs(got.B-want.B) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegrateAdditivity(t *testing.T) {
+	drives := []colorspace.RGB{{R: 1}, {G: 0.5}, {B: 0.25}, {R: 0.1, G: 0.2, B: 0.3}}
+	w, _ := NewWaveform(validCfg(), drives)
+	f := func(a, b, c float64) bool {
+		d := w.Duration()
+		t0 := math.Mod(math.Abs(a), d)
+		t2 := t0 + math.Mod(math.Abs(b), d-t0)
+		t1 := t0 + math.Mod(math.Abs(c), t2-t0+1e-12)
+		whole := w.Integrate(t0, t2)
+		split := w.Integrate(t0, t1).Add(w.Integrate(t1, t2))
+		return math.Abs(whole.R-split.R) < 1e-9 &&
+			math.Abs(whole.G-split.G) < 1e-9 &&
+			math.Abs(whole.B-split.B) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegrateDegenerate(t *testing.T) {
+	w, _ := NewWaveform(validCfg(), []colorspace.RGB{{R: 1}})
+	if got := w.Integrate(0.5, 0.1); got != (colorspace.RGB{}) {
+		t.Errorf("reversed interval = %v", got)
+	}
+	if got := w.Integrate(10, 20); got != (colorspace.RGB{}) {
+		t.Errorf("outside interval = %v", got)
+	}
+	empty, _ := NewWaveform(validCfg(), nil)
+	if got := empty.Integrate(0, 1); got != (colorspace.RGB{}) {
+		t.Errorf("empty waveform = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	drives := []colorspace.RGB{{R: 1}, {}} // 50% duty red
+	w, _ := NewWaveform(validCfg(), drives)
+	m := w.Mean(0, w.Duration())
+	if math.Abs(m.R-0.5) > 1e-12 || m.G != 0 || m.B != 0 {
+		t.Errorf("Mean = %v, want 0.5 red", m)
+	}
+	if got := w.Mean(1, 1); got != (colorspace.RGB{}) {
+		t.Errorf("zero-length mean = %v", got)
+	}
+}
+
+func TestPowerScaling(t *testing.T) {
+	drives := []colorspace.RGB{{R: 1, G: 1, B: 1}}
+	w1, _ := NewWaveform(Config{SymbolRate: 1000, Power: 1}, drives)
+	w2, _ := NewWaveform(Config{SymbolRate: 1000, Power: 3}, drives)
+	if w2.At(0).R != 3*w1.At(0).R {
+		t.Errorf("power scaling wrong: %v vs %v", w2.At(0), w1.At(0))
+	}
+}
+
+func TestDrivesClamped(t *testing.T) {
+	w, _ := NewWaveform(validCfg(), []colorspace.RGB{{R: 2, G: -1, B: 0.5}})
+	if got := w.Drive(0); got != (colorspace.RGB{R: 1, G: 0, B: 0.5}) {
+		t.Errorf("Drive = %v, want clamped", got)
+	}
+}
+
+func BenchmarkIntegrate(b *testing.B) {
+	drives := make([]colorspace.RGB, 8000)
+	for i := range drives {
+		drives[i] = colorspace.RGB{R: float64(i%3) / 2, G: float64(i%5) / 4, B: float64(i%7) / 6}
+	}
+	w, _ := NewWaveform(Config{SymbolRate: 4000, Power: 1}, drives)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Integrate(0.1, 0.1+0.0005)
+	}
+}

@@ -1,0 +1,83 @@
+package modem
+
+import (
+	"testing"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/cie"
+	"colorbars/internal/coding"
+	"colorbars/internal/csk"
+	"colorbars/internal/packet"
+)
+
+// TestMultiGapPacketsDecode exercises the multi-frame-packet path: at
+// 1 kHz a packet spans several frame periods, so almost every packet
+// straddles two or more inter-frame gaps and the receiver must search
+// the loss split between them.
+func TestMultiGapPacketsDecode(t *testing.T) {
+	prof := camera.Ideal()
+	params := coding.Params{
+		SymbolRate:   1000,
+		FrameRate:    prof.FrameRate,
+		LossRatio:    prof.LossRatio(),
+		Order:        csk.CSK8,
+		DataFraction: 0.8,
+	}
+	code, err := params.LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the sized packet really does span multiple frame periods
+	// at this rate.
+	slots := packet.SlotsForData(csk.CSK8.SymbolsPerBytes(code.N()), 0.2)
+	headerSyms := len(packet.DataPrefix()) + 2*packet.SizeSymbols(csk.CSK8)
+	packetSyms := float64(slots + headerSyms)
+	framePeriodSyms := 1000.0 / prof.FrameRate
+	if packetSyms < 1.5*framePeriodSyms {
+		t.Fatalf("packet %v symbols does not span multiple periods (%v per period)",
+			packetSyms, framePeriodSyms)
+	}
+
+	tx, err := NewTransmitter(TxConfig{
+		Order: csk.CSK8, SymbolRate: 1000, WhiteFraction: 0.2, Power: 1,
+		Triangle: cie.SRGBTriangle, CalibrationEvery: 3, Code: code,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(RxConfig{
+		Order: csk.CSK8, SymbolRate: 1000, WhiteFraction: 0.2, Code: code,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, code.K())
+	for i := range msg {
+		msg[i] = byte(i * 31)
+	}
+	w, err := tx.BuildWaveformRepeating(msg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := camera.New(prof, 9)
+	var ok, multiGapRecovered int
+	for _, f := range cam.CaptureVideo(w, 0, 180) {
+		for _, b := range rx.ProcessFrame(f) {
+			if b.Recovered {
+				ok++
+				if b.Erasures > 0 {
+					multiGapRecovered++
+				}
+				if string(b.Data) != string(msg) {
+					t.Fatal("recovered block corrupt")
+				}
+			}
+		}
+	}
+	if ok == 0 {
+		t.Fatalf("no blocks recovered at 1 kHz (stats %+v)", rx.Stats())
+	}
+	if multiGapRecovered == 0 {
+		t.Error("no gap-straddling packet recovered — the split search never succeeded")
+	}
+}

@@ -1,0 +1,188 @@
+package modem
+
+import (
+	"math/rand"
+	"testing"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/channel"
+	"colorbars/internal/cie"
+	"colorbars/internal/coding"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+	"colorbars/internal/led"
+	"colorbars/internal/packet"
+)
+
+// TestAmbientLightRobustness checks §6.2's claim that periodic
+// calibration lets receivers adapt to the channel: strong white
+// ambient light desaturates every received color, and the link must
+// keep decoding because the calibration references shift with it.
+func TestAmbientLightRobustness(t *testing.T) {
+	prof := camera.Ideal()
+	params := coding.Params{
+		SymbolRate: 2000, FrameRate: prof.FrameRate, LossRatio: prof.LossRatio(),
+		Order: csk.CSK16, DataFraction: 0.8,
+	}
+	code, err := params.LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := NewTransmitter(TxConfig{
+		Order: csk.CSK16, SymbolRate: 2000, WhiteFraction: 0.2, Power: 1,
+		Triangle: cie.SRGBTriangle, CalibrationEvery: 4, Code: code,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, code.K())
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	w, err := tx.BuildWaveformRepeating(msg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ambient at 25% of the LED's radiance: a strongly lit room.
+	ch, err := channel.New(channel.Config{
+		Distance: 0.03, ReferenceDistance: 0.03,
+		Ambient: colorspace.RGB{R: 0.25, G: 0.25, B: 0.25},
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(RxConfig{
+		Order: csk.CSK16, SymbolRate: 2000, WhiteFraction: 0.2, Code: code,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := camera.New(prof, 3)
+	ok := 0
+	for _, f := range cam.CaptureVideo(ch, 0, 90) {
+		for _, b := range rx.ProcessFrame(f) {
+			if b.Recovered && string(b.Data) == string(msg) {
+				ok++
+			}
+		}
+	}
+	if ok < 10 {
+		t.Errorf("only %d blocks recovered under strong ambient (stats %+v)", ok, rx.Stats())
+	}
+}
+
+// TestReceiverNeverPanicsOnNoise feeds the receiver frames of pure
+// sensor noise (no LED at all): it must produce no packets and no
+// panics.
+func TestReceiverNeverPanicsOnNoise(t *testing.T) {
+	prof := camera.Nexus5()
+	code, err := (coding.Params{
+		SymbolRate: 2000, FrameRate: prof.FrameRate, LossRatio: prof.LossRatio(),
+		Order: csk.CSK8, DataFraction: 0.8,
+	}).LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(RxConfig{
+		Order: csk.CSK8, SymbolRate: 2000, WhiteFraction: 0.2, Code: code,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Waveform": a dark room with flickering dim ambient.
+	rng := rand.New(rand.NewSource(11))
+	drives := make([]colorspace.RGB, 4000)
+	for i := range drives {
+		v := rng.Float64() * 0.01
+		drives[i] = colorspace.RGB{R: v, G: v * rng.Float64(), B: v * rng.Float64()}
+	}
+	w, err := led.NewWaveform(led.Config{SymbolRate: 2000, Power: 1}, drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := camera.New(prof, 11)
+	var blocks []Block
+	for _, f := range cam.CaptureVideo(w, 0, 30) {
+		blocks = append(blocks, rx.ProcessFrame(f)...)
+	}
+	blocks = append(blocks, rx.Flush()...)
+	for _, b := range blocks {
+		if b.Recovered {
+			t.Error("receiver hallucinated a block from noise")
+		}
+	}
+}
+
+// TestDeframerNeverPanics pushes random symbol streams (including gap
+// markers and out-of-range kinds) through the deframer.
+func TestDeframerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		d := packet.NewDeframer(packet.Config{Order: csk.CSK8, WhiteFraction: 0.2})
+		n := rng.Intn(500)
+		var stream []packet.RxSymbol
+		for i := 0; i < n; i++ {
+			s := packet.RxSymbol{
+				Kind: packet.Kind(rng.Intn(5)), // includes one invalid kind
+				AB: colorspace.AB{
+					A: rng.Float64()*200 - 100,
+					B: rng.Float64()*200 - 100,
+				},
+			}
+			stream = append(stream, s)
+		}
+		// Random chunking.
+		for len(stream) > 0 {
+			k := 1 + rng.Intn(20)
+			if k > len(stream) {
+				k = len(stream)
+			}
+			d.Push(stream[:k])
+			stream = stream[k:]
+		}
+		d.Flush()
+	}
+}
+
+// TestDecodeDataNeverPanicsOnRandomPackets drives the receiver's data
+// decoder with structurally valid but content-random packets.
+func TestDecodeDataNeverPanicsOnRandomPackets(t *testing.T) {
+	prof := camera.Ideal()
+	code, err := (coding.Params{
+		SymbolRate: 2000, FrameRate: prof.FrameRate, LossRatio: prof.LossRatio(),
+		Order: csk.CSK8, DataFraction: 0.8,
+	}).LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(RxConfig{
+		Order: csk.CSK8, SymbolRate: 2000, WhiteFraction: 0.2, Code: code,
+		UseFactoryReferences: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		nSlots := rng.Intn(200)
+		pkt := packet.RxPacket{Kind: packet.PacketData}
+		for i := 0; i < nSlots; i++ {
+			kind := packet.KindData
+			if rng.Intn(5) == 0 {
+				kind = packet.KindWhite
+			}
+			pkt.Slots = append(pkt.Slots, packet.RxSlot{
+				Kind: kind,
+				AB:   colorspace.AB{A: rng.Float64()*200 - 100, B: rng.Float64()*200 - 100},
+			})
+		}
+		for g := 0; g < rng.Intn(3); g++ {
+			if nSlots > 0 {
+				pkt.Gaps = append(pkt.Gaps, rng.Intn(nSlots))
+			}
+		}
+		// Must not panic; recovery of random noise is astronomically
+		// unlikely but harmless if the syndrome check passes.
+		rx.handlePacket(pkt)
+	}
+}

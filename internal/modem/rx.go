@@ -1,0 +1,549 @@
+package modem
+
+import (
+	"fmt"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/cie"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+	"colorbars/internal/packet"
+	"colorbars/internal/rs"
+)
+
+// RxConfig configures a ColorBars receiver.
+type RxConfig struct {
+	// Order is the CSK constellation order in use on the link.
+	Order csk.Order
+	// SymbolRate is the transmitter's symbol frequency in Hz; the
+	// receiver needs it to convert band widths into symbol counts.
+	SymbolRate float64
+	// WhiteFraction is the link's white illumination fraction (needed
+	// to reconstruct the kinds of slots lost in the gap).
+	WhiteFraction float64
+	// Code is the link's Reed-Solomon code.
+	Code *rs.Code
+	// Triangle is the transmitter's constellation triangle, used to
+	// build the factory constellation the receiver bootstraps its
+	// symbol classification from. The zero value means cie.SRGBTriangle.
+	Triangle cie.Triangle
+	// UseFactoryReferences makes the receiver demodulate against the
+	// constellation's ideal colors instead of waiting for calibration
+	// packets (the ablation baseline for §6; real receivers leave this
+	// false).
+	UseFactoryReferences bool
+	// NoErasureDecoding disables the erasure-position hints derived
+	// from the packet header, forcing the RS decoder to treat gap
+	// losses as unknown-position errors (an ablation: erasure decoding
+	// doubles the recoverable loss).
+	NoErasureDecoding bool
+	// ReceiverOptimized must match the transmitter's setting (see
+	// TxConfig.ReceiverOptimized).
+	ReceiverOptimized bool
+}
+
+// Validate checks the configuration.
+func (c RxConfig) Validate() error {
+	if !c.Order.Valid() {
+		return fmt.Errorf("modem: invalid order %d", int(c.Order))
+	}
+	if c.SymbolRate <= 0 {
+		return fmt.Errorf("modem: symbol rate %v", c.SymbolRate)
+	}
+	if c.WhiteFraction < 0 || c.WhiteFraction >= 1 {
+		return fmt.Errorf("modem: white fraction %v", c.WhiteFraction)
+	}
+	if c.Code == nil {
+		return fmt.Errorf("modem: nil RS code")
+	}
+	return nil
+}
+
+// triangle returns the configured triangle, defaulting to sRGB.
+func (c RxConfig) triangle() cie.Triangle {
+	if (c.Triangle == cie.Triangle{}) {
+		return cie.SRGBTriangle
+	}
+	return c.Triangle
+}
+
+// Block is one decoded Reed-Solomon block delivered by the receiver.
+type Block struct {
+	// Data is the recovered k-byte block (nil if decoding failed).
+	Data []byte
+	// Recovered reports whether RS decoding succeeded.
+	Recovered bool
+	// Erasures is how many payload bytes the inter-frame gap erased.
+	Erasures int
+	// SymbolsObserved is the number of data symbols seen on air for
+	// this block (pre-RS), for throughput accounting.
+	SymbolsObserved int
+	// RawSymbols are the matched constellation indices before RS
+	// decoding, -1 where lost — exposed for symbol-error-rate
+	// measurement against the transmitted indices.
+	RawSymbols []int
+}
+
+// RxStats counts receiver-side events across a session.
+type RxStats struct {
+	Frames             int
+	SymbolsIn          int // classified on-air symbols (all kinds)
+	DataSymbolsIn      int // classified color (data) symbols
+	WhiteSymbolsIn     int // classified white illumination symbols
+	OffSymbolsIn       int // classified OFF symbols
+	DataPackets        int
+	CalibrationPackets int
+	DiscardedPackets   int
+	BlocksOK           int
+	BlocksFailed       int
+	// RejectedCalibrations counts calibration-flagged packets whose
+	// body failed the plausibility check.
+	RejectedCalibrations int
+}
+
+// Receiver decodes camera frames into data blocks.
+type Receiver struct {
+	cfg      RxConfig
+	pktCfg   packet.Config
+	cons     *csk.Constellation // factory constellation
+	deframer *packet.Deframer
+	cls      *classifier
+	refs     []colorspace.AB // current demodulation references
+	haveRefs bool
+	stats    RxStats
+	started  bool
+}
+
+// NewReceiver builds a receiver.
+func NewReceiver(cfg RxConfig) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cons, err := buildConstellation(cfg.Order, cfg.triangle(), cfg.ReceiverOptimized)
+	if err != nil {
+		return nil, err
+	}
+	pktCfg := packet.Config{Order: cfg.Order, WhiteFraction: cfg.WhiteFraction}
+	r := &Receiver{
+		cfg:      cfg,
+		pktCfg:   pktCfg,
+		cons:     cons,
+		deframer: packet.NewDeframer(pktCfg),
+		cls:      newClassifier(),
+	}
+	// The classifier always knows the factory constellation geometry —
+	// it only uses it to tell white apart from data, which is a
+	// public property of the standard's constellation design.
+	r.cls.setDataRefs(cons.ReferenceABs())
+	if cfg.UseFactoryReferences {
+		r.refs = cons.ReferenceABs()
+		r.haveRefs = true
+	}
+	return r, nil
+}
+
+// Stats returns the receiver's counters.
+func (r *Receiver) Stats() RxStats {
+	s := r.stats
+	s.DiscardedPackets = r.deframer.Discarded
+	return s
+}
+
+// Calibrated reports whether the receiver has demodulation references
+// (from a calibration packet, or factory ones).
+func (r *Receiver) Calibrated() bool { return r.haveRefs }
+
+// validCalibration sanity-checks a calibration body. A genuine body is
+// the full constellation, so all colors are pairwise distinct; a body
+// parsed out of a damaged data packet is a stretch of payload symbols,
+// which — drawn from the same small alphabet — virtually always
+// repeats within the window and collides. Factory-agreement checks are
+// deliberately avoided: strong per-device distortion is exactly what
+// calibration exists to absorb, and it can legitimately fold many
+// observed colors toward the same factory reference.
+func (r *Receiver) validCalibration(colors []colorspace.AB) bool {
+	if len(colors) != int(r.cfg.Order) {
+		return false
+	}
+	for i, c := range colors {
+		for j := i + 1; j < len(colors); j++ {
+			if c.Dist(colors[j]) < 2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// References returns a copy of the current demodulation references.
+func (r *Receiver) References() []colorspace.AB {
+	return append([]colorspace.AB(nil), r.refs...)
+}
+
+// ProcessFrame runs the full receive pipeline on one frame and returns
+// any blocks that completed. Frames must be fed in capture order; the
+// receiver inserts the inter-frame gap marker between consecutive
+// frames automatically.
+func (r *Receiver) ProcessFrame(f *camera.Frame) []Block {
+	r.stats.Frames++
+	rowsPerSym := 1 / (r.cfg.SymbolRate * f.RowTime)
+	syms := frameSymbols(f, rowsPerSym, r.cls)
+	r.stats.SymbolsIn += len(syms)
+	for _, s := range syms {
+		switch s.Kind {
+		case packet.KindData:
+			r.stats.DataSymbolsIn++
+		case packet.KindWhite:
+			r.stats.WhiteSymbolsIn++
+		case packet.KindOff:
+			r.stats.OffSymbolsIn++
+		}
+	}
+
+	var feed []packet.RxSymbol
+	if r.started {
+		feed = append(feed, packet.RxSymbol{Kind: packet.KindGap})
+	}
+	r.started = true
+	feed = append(feed, syms...)
+
+	var blocks []Block
+	for _, pkt := range r.deframer.Push(feed) {
+		if b := r.handlePacket(pkt); b != nil {
+			blocks = append(blocks, *b)
+		}
+	}
+	return blocks
+}
+
+// Flush drains any partially buffered packet at end of capture.
+func (r *Receiver) Flush() []Block {
+	var blocks []Block
+	for _, pkt := range r.deframer.Flush() {
+		if b := r.handlePacket(pkt); b != nil {
+			blocks = append(blocks, *b)
+		}
+	}
+	return blocks
+}
+
+// handlePacket dispatches one deframed packet.
+func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
+	switch pkt.Kind {
+	case packet.PacketCalibration:
+		r.stats.CalibrationPackets++
+		if !r.validCalibration(pkt.Colors) {
+			// A damaged data packet can masquerade as a calibration
+			// packet; accepting its colors would poison the reference
+			// set for every later packet. Reject implausible bodies.
+			r.stats.RejectedCalibrations++
+			return nil
+		}
+		if len(pkt.Colors) == int(r.cfg.Order) && !r.cfg.UseFactoryReferences {
+			// Undo the transmission permutation (see
+			// csk.Constellation.CalibrationOrder).
+			perm := r.cons.CalibrationOrder()
+			colors := make([]colorspace.AB, len(pkt.Colors))
+			for i, idx := range perm {
+				colors[idx] = pkt.Colors[i]
+			}
+			pkt.Colors = colors
+			if !r.haveRefs {
+				r.refs = append(r.refs[:0], pkt.Colors...)
+			} else {
+				// Exponential smoothing: each calibration packet is a
+				// single noisy observation of the constellation;
+				// averaging packets tracks slow channel drift without
+				// inheriting one packet's noise.
+				const alpha = 0.35
+				for i := range r.refs {
+					r.refs[i].A += alpha * (pkt.Colors[i].A - r.refs[i].A)
+					r.refs[i].B += alpha * (pkt.Colors[i].B - r.refs[i].B)
+				}
+			}
+			r.haveRefs = true
+			// The classifier discriminates white-vs-data better with
+			// the device's own view of the constellation.
+			r.cls.setDataRefs(r.refs)
+		}
+		return nil
+	case packet.PacketData:
+		r.stats.DataPackets++
+		if !r.haveRefs {
+			// Cannot demodulate before the first calibration packet
+			// (§6.2: a new receiver waits for one).
+			return nil
+		}
+		b := r.decodeData(pkt)
+		if b.Recovered {
+			r.stats.BlocksOK++
+		} else {
+			r.stats.BlocksFailed++
+		}
+		return b
+	}
+	return nil
+}
+
+// decodeData demodulates and RS-decodes one data packet. When the
+// packet straddled several inter-frame gaps, only the *total* number
+// of missing slots is known (from the header size field), not how the
+// loss split between the gaps; the decoder searches the splits,
+// letting the Reed-Solomon syndrome check reject wrong guesses.
+func (r *Receiver) decodeData(pkt packet.RxPacket) *Block {
+	blk := &Block{}
+	nSize := packet.SizeSymbols(r.cfg.Order)
+	if len(pkt.Slots) < nSize {
+		return blk
+	}
+	// Match and decode the size field.
+	sizeIdx := make([]int, nSize)
+	for i := 0; i < nSize; i++ {
+		sizeIdx[i] = csk.NearestAB(pkt.Slots[i].AB, r.refs)
+	}
+	totalSlots, err := r.pktCfg.DecodeSizeField(sizeIdx)
+	if err != nil {
+		return blk
+	}
+
+	observed := pkt.Slots[nSize:]
+	missing := totalSlots - len(observed)
+	if missing < 0 {
+		// More slots observed than declared: corrupt size field.
+		return blk
+	}
+	gaps := make([]int, 0, len(pkt.Gaps)+1)
+	for _, g := range pkt.Gaps {
+		gaps = append(gaps, g-nSize)
+	}
+	if missing > 0 && len(gaps) == 0 {
+		// Stream ended mid-packet without a gap marker: the tail is
+		// the loss.
+		gaps = append(gaps, len(observed))
+	}
+	for _, g := range gaps {
+		if g < 0 || g > len(observed) {
+			return blk
+		}
+	}
+
+	// Reconstruct the slot kinds for the whole packet from the shared
+	// layout rule.
+	layout := packet.WhiteLayout(totalSlots, r.cfg.WhiteFraction)
+	dataCount := 0
+	for _, w := range layout {
+		if !w {
+			dataCount++
+		}
+	}
+	n := r.cfg.Code.N()
+	if dataCount != r.cfg.Order.SymbolsPerBytes(n) {
+		// Declared size does not correspond to one codeword: corrupt
+		// size field.
+		return blk
+	}
+
+	// Try loss splits across the gaps, most even first. With zero or
+	// one gap there is exactly one split, whose erasure positions are
+	// certain — that single deterministic attempt may consume the
+	// code's full parity. Every further attempt (multi-gap splits,
+	// position jitter) is a guess and must leave verification slack so
+	// a wrong guess cannot masquerade as a valid decode (see rsDecode).
+	recovered := false
+	needSlack := len(gaps) > 1
+	trySplit := func(split []int) bool {
+		raw, erasures, symbolsObserved := r.assembleSymbols(layout, observed, gaps, split, n)
+		if blk.RawSymbols == nil {
+			// Keep the first (most even, most likely) assembly for
+			// SER accounting even if no split decodes.
+			blk.RawSymbols = raw
+			blk.Erasures = len(erasures)
+			blk.SymbolsObserved = symbolsObserved
+		}
+		data, decodeOK := r.rsDecode(raw, erasures, n, needSlack)
+		if !decodeOK {
+			return false
+		}
+		blk.RawSymbols = raw
+		blk.Erasures = len(erasures)
+		blk.SymbolsObserved = symbolsObserved
+		blk.Data = data
+		recovered = true
+		return true
+	}
+	forEachSplit(missing, len(gaps), 2000, trySplit)
+	if !recovered && len(gaps) == 1 && missing > 0 {
+		// Band miscounting can offset the gap's apparent position by a
+		// slot or two; these retries are guesses, so they too require
+		// verification slack.
+		needSlack = true
+		base := gaps[0]
+		for _, delta := range []int{-1, 1, -2, 2, -3, 3} {
+			g := base + delta
+			if g < 0 || g > len(observed) {
+				continue
+			}
+			gaps[0] = g
+			if trySplit([]int{missing}) {
+				break
+			}
+		}
+		gaps[0] = base
+	}
+	blk.Recovered = recovered
+	return blk
+}
+
+// assembleSymbols walks the packet's slots for one hypothesized loss
+// split (split[i] slots lost at gap i), returning the matched
+// constellation indices (-1 = erased), the byte-level erasure
+// positions, and the observed-symbol count.
+func (r *Receiver) assembleSymbols(layout []bool, observed []packet.RxSlot, gaps, split []int, n int) (raw []int, erasures []int, symbolsObserved int) {
+	c := r.cfg.Order.BitsPerSymbol()
+	erasedBytes := map[int]bool{}
+	markErased := func(symIdx int) {
+		firstByte := symIdx * c / 8
+		lastByte := ((symIdx+1)*c - 1) / 8
+		for by := firstByte; by <= lastByte && by < n; by++ {
+			erasedBytes[by] = true
+		}
+	}
+	raw = make([]int, 0, r.cfg.Order.SymbolsPerBytes(n))
+	oi := 0          // next observed slot
+	gi := 0          // next gap
+	pendingLoss := 0 // slots still missing at the current position
+	activateGaps := func() {
+		for gi < len(gaps) && gaps[gi] == oi {
+			pendingLoss += split[gi]
+			gi++
+		}
+	}
+	activateGaps()
+	for slot := 0; slot < len(layout); slot++ {
+		fromGap := pendingLoss > 0
+		if fromGap {
+			pendingLoss--
+		}
+		if layout[slot] {
+			// Illumination slot: consume an observed slot when it was
+			// not lost; nothing to demodulate either way.
+			if !fromGap && oi < len(observed) {
+				oi++
+			}
+		} else {
+			if fromGap || oi >= len(observed) {
+				markErased(len(raw))
+				raw = append(raw, -1)
+			} else {
+				idx := csk.NearestAB(observed[oi].AB, r.refs)
+				oi++
+				raw = append(raw, idx)
+				symbolsObserved++
+			}
+		}
+		if pendingLoss == 0 {
+			activateGaps()
+		}
+	}
+	erasures = make([]int, 0, len(erasedBytes))
+	for by := range erasedBytes {
+		erasures = append(erasures, by)
+	}
+	return raw, erasures, symbolsObserved
+}
+
+// rsDecode converts matched symbols into the codeword and runs the RS
+// decoder with the byte erasures. needSlack marks speculative decode
+// attempts, which must leave spare parity for verification.
+func (r *Receiver) rsDecode(raw []int, erasures []int, n int, needSlack bool) ([]byte, bool) {
+	filled := make([]int, len(raw))
+	for i, s := range raw {
+		if s < 0 {
+			filled[i] = 0
+		} else {
+			filled[i] = s
+		}
+	}
+	codeword, err := r.cfg.Order.Unpack(filled, n)
+	if err != nil {
+		return nil, false
+	}
+	codeword = packet.Scramble(codeword) // undo payload whitening
+	eras := erasures
+	if r.cfg.NoErasureDecoding {
+		eras = nil
+	}
+	// Erasure decoding with exactly n−k erasures is an exactly
+	// determined system: it "succeeds" for ANY erasure positions,
+	// yielding a valid-syndrome but wrong codeword when the positions
+	// are wrong. Deterministic attempts (positions known from the
+	// single gap) may use the full parity; speculative attempts must
+	// leave slack: with s spare parity bytes, a wrong guess passes
+	// only with probability ~2^(-8s).
+	limit := r.cfg.Code.ParityBytes()
+	if needSlack {
+		limit -= 4
+	}
+	if len(eras) > limit {
+		return nil, false
+	}
+	data, err := r.cfg.Code.Decode(codeword, eras)
+	if err != nil {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// forEachSplit enumerates ways to split total lost slots among parts
+// gaps, near-even splits first (gaps have equal durations, so even
+// splits are overwhelmingly likely), calling fn for each until fn
+// returns true or maxTries splits have been tried.
+func forEachSplit(total, parts, maxTries int, fn func([]int) bool) {
+	switch {
+	case parts <= 0:
+		fn(nil)
+		return
+	case parts == 1:
+		fn([]int{total})
+		return
+	}
+	base := total / parts
+	// Candidate per-part values ordered by distance from the even
+	// share.
+	order := make([]int, 0, total+1)
+	seen := make(map[int]bool)
+	for d := 0; len(order) <= total; d++ {
+		for _, v := range []int{base + d, base - d} {
+			if v >= 0 && v <= total && !seen[v] {
+				seen[v] = true
+				order = append(order, v)
+			}
+		}
+		if d > total {
+			break
+		}
+	}
+	tries := 0
+	var rec func(split []int, idx, remaining int) bool
+	rec = func(split []int, idx, remaining int) bool {
+		if tries >= maxTries {
+			return true
+		}
+		if idx == parts-1 {
+			tries++
+			split[idx] = remaining
+			return fn(append([]int(nil), split...))
+		}
+		for _, v := range order {
+			if v > remaining {
+				continue
+			}
+			split[idx] = v
+			if rec(split, idx+1, remaining-v) {
+				return true
+			}
+		}
+		return false
+	}
+	rec(make([]int, parts), 0, total)
+}

@@ -1,0 +1,100 @@
+package modem
+
+import (
+	"testing"
+)
+
+func collectSplits(total, parts, maxTries int) [][]int {
+	var out [][]int
+	forEachSplit(total, parts, maxTries, func(s []int) bool {
+		out = append(out, append([]int(nil), s...))
+		return false
+	})
+	return out
+}
+
+func TestForEachSplitSingleGap(t *testing.T) {
+	got := collectSplits(7, 1, 100)
+	if len(got) != 1 || got[0][0] != 7 {
+		t.Errorf("single gap splits = %v", got)
+	}
+}
+
+func TestForEachSplitZeroParts(t *testing.T) {
+	calls := 0
+	forEachSplit(0, 0, 100, func(s []int) bool {
+		calls++
+		if s != nil {
+			t.Errorf("expected nil split, got %v", s)
+		}
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("zero-parts called %d times", calls)
+	}
+}
+
+func TestForEachSplitTwoGapsCoversAll(t *testing.T) {
+	got := collectSplits(4, 2, 100)
+	if len(got) != 5 {
+		t.Fatalf("got %d splits, want 5: %v", len(got), got)
+	}
+	seen := map[[2]int]bool{}
+	for _, s := range got {
+		if s[0]+s[1] != 4 || s[0] < 0 || s[1] < 0 {
+			t.Errorf("invalid split %v", s)
+		}
+		seen[[2]int{s[0], s[1]}] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("duplicate splits: %v", got)
+	}
+}
+
+func TestForEachSplitEvenFirst(t *testing.T) {
+	// Gaps have equal durations, so the even split must be tried
+	// first.
+	got := collectSplits(10, 2, 100)
+	if got[0][0] != 5 || got[0][1] != 5 {
+		t.Errorf("first split %v, want [5 5]", got[0])
+	}
+	// And the next candidates must stay near even.
+	for _, s := range got[:3] {
+		if s[0] < 3 || s[0] > 7 {
+			t.Errorf("early split %v far from even", s)
+		}
+	}
+}
+
+func TestForEachSplitStopsOnTrue(t *testing.T) {
+	calls := 0
+	forEachSplit(6, 2, 100, func(s []int) bool {
+		calls++
+		return calls == 3
+	})
+	if calls != 3 {
+		t.Errorf("did not stop: %d calls", calls)
+	}
+}
+
+func TestForEachSplitHonorsMaxTries(t *testing.T) {
+	got := collectSplits(50, 3, 10)
+	if len(got) > 10 {
+		t.Errorf("maxTries exceeded: %d", len(got))
+	}
+}
+
+func TestForEachSplitThreeGapsSumInvariant(t *testing.T) {
+	for _, s := range collectSplits(9, 3, 500) {
+		sum := 0
+		for _, v := range s {
+			if v < 0 {
+				t.Fatalf("negative part in %v", s)
+			}
+			sum += v
+		}
+		if sum != 9 {
+			t.Fatalf("split %v sums to %d", s, sum)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package modem
+
+import (
+	"math"
+	"sort"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/packet"
+)
+
+// This file implements the receiver's image-processing front end
+// (paper §7, Steps 1–2): reduce each frame to a 1-D strip of CIELab
+// row colors, segment the strip into color bands, and classify each
+// band into OFF / white / data symbols.
+
+// stripRow is one scanline reduced to its mean CIELab color.
+type stripRow struct {
+	lab colorspace.Lab
+}
+
+// extractStrip converts a frame to its 1-D CIELab strip: each row's
+// pixels are averaged (the paper's dimension reduction) and the mean
+// is converted to Lab.
+func extractStrip(f *camera.Frame) []stripRow {
+	rows := make([]stripRow, f.Rows)
+	for r := 0; r < f.Rows; r++ {
+		mean := f.RowMean(r)
+		rows[r] = stripRow{lab: colorspace.LinearRGBToLab(mean)}
+	}
+	return rows
+}
+
+// band is a run of rows judged to show a single transmitted symbol
+// (or several identical ones).
+type band struct {
+	start, end int // row range [start, end)
+	lab        colorspace.Lab
+}
+
+func (b band) width() int { return b.end - b.start }
+
+// boundaryTheta is the minimum windowed color step (ΔE in full Lab)
+// that counts as a symbol boundary. It sits above the post-averaging
+// noise floor and below the smallest inter-symbol distance of the
+// supported constellations; transitions smaller than this merge into
+// one band — the inter-symbol-interference failure mode the paper
+// observes for high CSK orders at high symbol rates.
+const boundaryTheta = 8.0
+
+// segmentBands splits the strip at color discontinuities. rowsPerSym
+// is the expected band width (symbol period / row time); smearRows is
+// the width of the exposure smear (exposure time / row time), which
+// spreads each transition over several rows. Band colors are taken
+// from rows clear of the smeared edges.
+func segmentBands(strip []stripRow, rowsPerSym, smearRows float64) []band {
+	if len(strip) == 0 {
+		return nil
+	}
+	// Windowed color difference: compare rows half a smear apart so a
+	// transition's full amplitude shows up even when the per-row
+	// change is small. h ≥ 1.
+	h := int(smearRows/2 + 1)
+	diff := make([]float64, len(strip))
+	for i := range strip {
+		lo, hi := i-h, i+h
+		if lo < 0 || hi >= len(strip) {
+			continue
+		}
+		diff[i] = colorspace.DeltaE(strip[lo].lab, strip[hi].lab)
+	}
+	minSpacing := int(rowsPerSym / 2)
+	if minSpacing < 1 {
+		minSpacing = 1
+	}
+	// Boundaries are local maxima of the windowed difference above the
+	// threshold, greedily separated by minSpacing.
+	var cuts []int
+	lastCut := -minSpacing
+	for i := 1; i+1 < len(diff); i++ {
+		if diff[i] >= boundaryTheta && diff[i] >= diff[i-1] && diff[i] > diff[i+1] {
+			if i-lastCut >= minSpacing {
+				cuts = append(cuts, i)
+				lastCut = i
+			}
+		}
+	}
+	bounds := append([]int{0}, cuts...)
+	bounds = append(bounds, len(strip))
+	bands := make([]band, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		b := band{start: bounds[i], end: bounds[i+1]}
+		b.lab = bandColor(strip, b, smearRows)
+		bands = append(bands, b)
+	}
+	return mergeSimilarBands(bands)
+}
+
+// mergeSimilarBands coalesces adjacent bands whose mean colors sit
+// closer than the boundary threshold: such cuts were spurious (noise
+// can exceed the per-row threshold inside dark bands, where the Lab
+// transform amplifies chroma jitter). Runs of identical transmitted
+// symbols deliberately re-merge here and are split again by band width
+// in frameSymbols.
+func mergeSimilarBands(bands []band) []band {
+	if len(bands) < 2 {
+		return bands
+	}
+	out := bands[:1]
+	for _, b := range bands[1:] {
+		prev := &out[len(out)-1]
+		if colorspace.DeltaE(prev.lab, b.lab) < boundaryTheta {
+			// Width-weighted color merge.
+			wp, wb := float64(prev.width()), float64(b.width())
+			total := wp + wb
+			prev.lab = colorspace.Lab{
+				L: (prev.lab.L*wp + b.lab.L*wb) / total,
+				A: (prev.lab.A*wp + b.lab.A*wb) / total,
+				B: (prev.lab.B*wp + b.lab.B*wb) / total,
+			}
+			prev.end = b.end
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// bandColor averages the band's central rows, keeping clear of the
+// exposure smear at each edge (at least one row is always kept).
+func bandColor(strip []stripRow, b band, smearRows float64) colorspace.Lab {
+	w := b.width()
+	trim := int(math.Max(float64(w)*0.3, smearRows*0.75))
+	lo, hi := b.start+trim, b.end-trim
+	if lo >= hi {
+		mid := (b.start + b.end) / 2
+		lo, hi = mid, mid+1
+	}
+	var sum colorspace.Lab
+	for r := lo; r < hi; r++ {
+		sum.L += strip[r].lab.L
+		sum.A += strip[r].lab.A
+		sum.B += strip[r].lab.B
+	}
+	n := float64(hi - lo)
+	return colorspace.Lab{L: sum.L / n, A: sum.A / n, B: sum.B / n}
+}
+
+// classifier turns band colors into symbol kinds.
+type classifier struct {
+	// offLevel is the lightness below which a band is an OFF symbol.
+	offLevel float64
+	// whiteAB is the reference {a,b} of the white illumination symbol.
+	// Device color matrices preserve white (row-stochastic), so {0,0}
+	// holds for every camera.
+	whiteAB colorspace.AB
+	// dataRefs are the known constellation colors, used to decide
+	// white-vs-data by nearest reference. Bootstrapped from the
+	// factory constellation and replaced by calibrated colors as
+	// calibration packets arrive.
+	dataRefs []colorspace.AB
+	// whiteMargin is the absolute white radius in the a,b-plane.
+	whiteMargin float64
+	// offChroma is the maximum a,b-plane chroma of an OFF band.
+	offChroma float64
+}
+
+func newClassifier() *classifier {
+	return &classifier{
+		offLevel:    18,
+		whiteAB:     colorspace.AB{},
+		whiteMargin: 10,
+		offChroma:   12,
+	}
+}
+
+// adaptOffLevel retunes the OFF lightness threshold from the frame's
+// own statistics. Two effects make a fixed threshold misfire:
+// vignetting dims edge rows by a device-dependent factor, and ambient
+// light lifts the whole frame — under room lighting an "off" LED still
+// leaves the band at the ambient level, not at black. OFF symbols are
+// therefore detected *relative to the frame's darkest bands*: the
+// threshold sits a fraction of the dark-to-lit spread above the 5th
+// percentile of row lightness.
+func (c *classifier) adaptOffLevel(strip []stripRow) {
+	if len(strip) == 0 {
+		return
+	}
+	ls := make([]float64, len(strip))
+	for i, r := range strip {
+		ls[i] = r.lab.L
+	}
+	sort.Float64s(ls)
+	p5 := ls[len(ls)/20]
+	p75 := ls[len(ls)*3/4]
+	spread := p75 - p5
+	c.offLevel = math.Max(8, p5+math.Max(5, 0.25*spread))
+}
+
+// setDataRefs installs the constellation colors used for
+// white-vs-data discrimination.
+func (c *classifier) setDataRefs(refs []colorspace.AB) {
+	c.dataRefs = append(c.dataRefs[:0], refs...)
+}
+
+// classify maps a band color to a received symbol. OFF is decided by
+// lightness. White requires BOTH an absolute test — true white always
+// lands near {a,b} = {0,0} because sensor color matrices preserve
+// gray — and a relative test against the known constellation colors,
+// so low-saturation constellation points are not swallowed while
+// strongly hue-rotated ones are not mistaken for white.
+func (c *classifier) classify(lab colorspace.Lab) packet.RxSymbol {
+	// OFF means the LED emitted nothing: the band is both dark and
+	// colorless (ambient light only). Checking chroma keeps dim,
+	// saturated symbols at vignetted frame edges from reading as OFF.
+	if lab.L < c.offLevel && lab.AB().Dist(colorspace.AB{}) < c.offChroma {
+		return packet.RxSymbol{Kind: packet.KindOff}
+	}
+	ab := lab.AB()
+	dWhite := ab.Dist(c.whiteAB)
+	if dWhite >= c.whiteMargin {
+		return packet.RxSymbol{Kind: packet.KindData, AB: ab}
+	}
+	dData := math.Inf(1)
+	for _, r := range c.dataRefs {
+		if d := ab.Dist(r); d < dData {
+			dData = d
+		}
+	}
+	if dWhite < dData {
+		return packet.RxSymbol{Kind: packet.KindWhite, AB: ab}
+	}
+	return packet.RxSymbol{Kind: packet.KindData, AB: ab}
+}
+
+// frameSymbols runs the full front end on one frame: strip, segment,
+// split merged runs of identical symbols by the expected band width,
+// and classify. rowsPerSym must be > 0.
+func frameSymbols(f *camera.Frame, rowsPerSym float64, cls *classifier) []packet.RxSymbol {
+	strip := extractStrip(f)
+	smearRows := f.Exposure / f.RowTime
+	bands := segmentBands(strip, rowsPerSym, smearRows)
+	cls.adaptOffLevel(strip)
+	// The transmitter's symbol clock projects onto the frame as a
+	// strictly periodic grid of period rowsPerSym. Fitting the grid
+	// phase to ALL detected band boundaries (circular mean of the cut
+	// residuals) and snapping every boundary to it makes each band's
+	// symbol count robust to individual boundary jitter — a single
+	// misplaced cut can no longer shift the rest of the stream.
+	var cuts []float64
+	for _, b := range bands[1:] {
+		cuts = append(cuts, float64(b.start))
+	}
+	phase := fitGridPhase(cuts, rowsPerSym)
+	snap := func(x float64) int {
+		return int(math.Round((x - phase) / rowsPerSym))
+	}
+	var out []packet.RxSymbol
+	for i, b := range bands {
+		count := snap(float64(b.end)) - snap(float64(b.start))
+		if count < 1 {
+			// A band squeezed below one grid cell: at the frame edges
+			// it is a partial symbol cut by the readout window (part
+			// of the gap loss); in the interior it is a real symbol
+			// displaced by boundary jitter.
+			if i == 0 || i == len(bands)-1 {
+				continue
+			}
+			count = 1
+		}
+		sym := cls.classify(b.lab)
+		for j := 0; j < count; j++ {
+			out = append(out, sym)
+		}
+	}
+	return out
+}
+
+// fitGridPhase estimates the symbol grid's phase offset from the cut
+// positions by a circular mean of their residuals modulo the period.
+func fitGridPhase(cuts []float64, period float64) float64 {
+	if len(cuts) == 0 {
+		return 0
+	}
+	var sinSum, cosSum float64
+	for _, c := range cuts {
+		theta := 2 * math.Pi * math.Mod(c, period) / period
+		sinSum += math.Sin(theta)
+		cosSum += math.Cos(theta)
+	}
+	if sinSum == 0 && cosSum == 0 {
+		return 0
+	}
+	theta := math.Atan2(sinSum, cosSum)
+	if theta < 0 {
+		theta += 2 * math.Pi
+	}
+	return theta * period / (2 * math.Pi)
+}

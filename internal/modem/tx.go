@@ -1,0 +1,254 @@
+// Package modem implements the ColorBars transmitter and receiver
+// pipelines (paper Fig 2(b)).
+//
+// Transmit path: message bytes → Reed-Solomon blocks → packets
+// (delimiter, flag, size, payload) → CSK color symbols with
+// interleaved white illumination symbols → tri-LED drive waveform.
+//
+// Receive path: camera frames → CIELab conversion and column-mean
+// reduction to a 1-D strip → band segmentation → symbol classification
+// (OFF / white / color) → deframing → calibration-referenced color
+// matching → Reed-Solomon decoding (erasures at the inter-frame gap) →
+// message bytes.
+package modem
+
+import (
+	"fmt"
+
+	"colorbars/internal/cie"
+	"colorbars/internal/coding"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+	"colorbars/internal/led"
+	"colorbars/internal/packet"
+	"colorbars/internal/rs"
+)
+
+// TxConfig configures a ColorBars transmitter.
+type TxConfig struct {
+	// Order is the CSK constellation order.
+	Order csk.Order
+	// SymbolRate is the LED symbol frequency in Hz (≤ led.MaxSymbolRate).
+	SymbolRate float64
+	// WhiteFraction is the fraction of payload slots carrying white
+	// illumination symbols; pick it from flicker.MinWhiteFraction for
+	// the symbol rate in use.
+	WhiteFraction float64
+	// Power scales LED radiance (see led.Config).
+	Power float64
+	// Triangle is the tri-LED's constellation triangle.
+	Triangle cie.Triangle
+	// CalibrationEvery inserts one calibration packet before every
+	// CalibrationEvery data packets (the paper sends 5 per second).
+	// Zero disables calibration packets.
+	CalibrationEvery int
+	// Code is the Reed-Solomon code applied to the payload stream,
+	// normally sized with coding.Params for the target receiver.
+	Code *rs.Code
+	// DriveJitter is the tri-LED's per-symbol intensity jitter (see
+	// led.Config.DriveJitter). Zero means an ideal driver.
+	DriveJitter float64
+	// Seed makes the drive jitter deterministic.
+	Seed int64
+	// ReceiverOptimized selects the receiver-plane constellation
+	// design (csk.NewReceiverOptimized, the paper's §10 future work)
+	// instead of the standard xy-optimized layout. Both link ends must
+	// agree.
+	ReceiverOptimized bool
+}
+
+// Validate checks the configuration.
+func (c TxConfig) Validate() error {
+	if !c.Order.Valid() {
+		return fmt.Errorf("modem: invalid order %d", int(c.Order))
+	}
+	ledCfg := c.ledConfig()
+	if err := ledCfg.Validate(); err != nil {
+		return err
+	}
+	if c.WhiteFraction < 0 || c.WhiteFraction >= 1 {
+		return fmt.Errorf("modem: white fraction %v outside [0, 1)", c.WhiteFraction)
+	}
+	if c.CalibrationEvery < 0 {
+		return fmt.Errorf("modem: negative calibration interval")
+	}
+	if c.Code == nil {
+		return fmt.Errorf("modem: nil RS code")
+	}
+	return nil
+}
+
+// buildConstellation selects between the standard and
+// receiver-optimized designs.
+func buildConstellation(order csk.Order, tri cie.Triangle, receiverOptimized bool) (*csk.Constellation, error) {
+	if receiverOptimized {
+		return csk.NewReceiverOptimized(order, tri)
+	}
+	return csk.New(order, tri)
+}
+
+// ledConfig assembles the LED parameters.
+func (c TxConfig) ledConfig() led.Config {
+	return led.Config{
+		SymbolRate:  c.SymbolRate,
+		Power:       c.Power,
+		DriveJitter: c.DriveJitter,
+		Seed:        c.Seed,
+	}
+}
+
+// Transmitter encodes messages into LED waveforms.
+type Transmitter struct {
+	cfg     TxConfig
+	cons    *csk.Constellation
+	pktCfg  packet.Config
+	blocker *coding.Blocker
+}
+
+// NewTransmitter builds a transmitter.
+func NewTransmitter(cfg TxConfig) (*Transmitter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cons, err := buildConstellation(cfg.Order, cfg.Triangle, cfg.ReceiverOptimized)
+	if err != nil {
+		return nil, err
+	}
+	pktCfg := packet.Config{Order: cfg.Order, WhiteFraction: cfg.WhiteFraction}
+	if cfg.Code.N() > pktCfg.MaxPayloadBytes() {
+		return nil, fmt.Errorf("modem: codeword %d bytes exceeds packet capacity %d",
+			cfg.Code.N(), pktCfg.MaxPayloadBytes())
+	}
+	return &Transmitter{
+		cfg:     cfg,
+		cons:    cons,
+		pktCfg:  pktCfg,
+		blocker: coding.NewBlocker(cfg.Code),
+	}, nil
+}
+
+// Config returns the transmitter configuration.
+func (t *Transmitter) Config() TxConfig { return t.cfg }
+
+// Constellation returns the transmitter's constellation.
+func (t *Transmitter) Constellation() *csk.Constellation { return t.cons }
+
+// PacketConfig returns the framing configuration shared with
+// receivers.
+func (t *Transmitter) PacketConfig() packet.Config { return t.pktCfg }
+
+// EncodeMessage converts a message into the on-air symbol stream: the
+// message is RS-blocked, each codeword becomes a data packet, and
+// calibration packets are interleaved per CalibrationEvery. The stream
+// always begins with a calibration packet (when enabled) so a fresh
+// receiver can calibrate before the first data packet (§6.2).
+func (t *Transmitter) EncodeMessage(msg []byte) ([]packet.TxSymbol, error) {
+	blocks, err := t.blocker.Encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	var out []packet.TxSymbol
+	sinceCal := 0
+	appendCal := func() error {
+		cal, err := t.pktCfg.BuildCalibration(t.cons.CalibrationOrder())
+		if err != nil {
+			return err
+		}
+		out = append(out, cal...)
+		sinceCal = 0
+		return nil
+	}
+	if t.cfg.CalibrationEvery > 0 {
+		if err := appendCal(); err != nil {
+			return nil, err
+		}
+	}
+	for j, cw := range blocks {
+		if t.cfg.CalibrationEvery > 0 && sinceCal >= t.cfg.CalibrationEvery {
+			if err := appendCal(); err != nil {
+				return nil, err
+			}
+		}
+		pkt, err := t.pktCfg.BuildData(cw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkt...)
+		sinceCal++
+		// A short cycling idle pad between packets walks each packet's
+		// phase relative to the camera's frame clock: packets are
+		// sized to about one frame+gap period, so without the pad the
+		// same packet would hit the inter-frame gap with its header in
+		// every frame. Overhead is at most 6 symbols per packet (~3%).
+		for p := 0; p < (j*3)%7; p++ {
+			out = append(out, packet.Off())
+		}
+	}
+	return out, nil
+}
+
+// SymbolDrives maps on-air symbols to tri-LED drive levels.
+func (t *Transmitter) SymbolDrives(symbols []packet.TxSymbol) []colorspace.RGB {
+	out := make([]colorspace.RGB, len(symbols))
+	for i, s := range symbols {
+		switch s.Kind {
+		case packet.KindOff:
+			out[i] = colorspace.RGB{}
+		case packet.KindWhite:
+			out[i] = colorspace.RGB{R: 1, G: 1, B: 1}
+		case packet.KindData:
+			out[i] = t.cons.Drive(s.Index)
+		}
+	}
+	return out
+}
+
+// BuildWaveform encodes a message straight to the LED radiance
+// waveform the camera will image.
+func (t *Transmitter) BuildWaveform(msg []byte) (*led.Waveform, error) {
+	symbols, err := t.EncodeMessage(msg)
+	if err != nil {
+		return nil, err
+	}
+	drives := t.SymbolDrives(symbols)
+	return led.NewWaveform(t.cfg.ledConfig(), drives)
+}
+
+// BuildWaveformRepeating encodes the message and repeats the symbol
+// stream until the waveform covers at least the given duration —
+// ColorBars transmitters broadcast in a loop (retail signs, floor
+// maps), and repetition is also what lets receivers recover packets
+// they missed entirely.
+//
+// A varying idle pad (a few OFF symbols) is inserted between
+// repetitions. Transmitter and camera are unsynchronized, but their
+// clocks can still phase-lock — a message cycle close to a multiple of
+// the frame period makes the inter-frame gap swallow the *same*
+// packets in every repetition. The pad walks the relative phase so
+// every packet eventually lands inside a frame.
+func (t *Transmitter) BuildWaveformRepeating(msg []byte, seconds float64) (*led.Waveform, error) {
+	symbols, err := t.EncodeMessage(msg)
+	if err != nil {
+		return nil, err
+	}
+	if len(symbols) == 0 {
+		return nil, fmt.Errorf("modem: message produced no symbols")
+	}
+	need := int(seconds*t.cfg.SymbolRate) + 1
+	drives := t.SymbolDrives(symbols)
+	all := make([]colorspace.RGB, 0, need+len(drives))
+	// The inter-repetition pad walks the whole stream's phase through a
+	// full frame period (133 symbols at 4 kHz/30 fps) across
+	// repetitions, so even a single-packet message cannot stay locked
+	// to the inter-frame gap. 53 and 127 are coprime, giving a
+	// pseudo-random sequence of offsets covering [0, 127).
+	rep := 0
+	for len(all) < need {
+		all = append(all, drives...)
+		for i := 0; i < (rep*53)%127; i++ {
+			all = append(all, colorspace.RGB{}) // idle (LED off)
+		}
+		rep++
+	}
+	return led.NewWaveform(t.cfg.ledConfig(), all)
+}

@@ -1,0 +1,349 @@
+package packet
+
+import (
+	"colorbars/internal/colorspace"
+)
+
+// PacketKind distinguishes parsed packet types.
+type PacketKind uint8
+
+// Parsed packet kinds.
+const (
+	PacketData PacketKind = iota
+	PacketCalibration
+)
+
+func (k PacketKind) String() string {
+	if k == PacketCalibration {
+		return "calibration"
+	}
+	return "data"
+}
+
+// RxSlot is one received payload slot of a data packet.
+type RxSlot struct {
+	// Kind is the classified kind of the slot (KindWhite or KindData).
+	Kind Kind
+	// AB is the observed color of a data slot.
+	AB colorspace.AB
+}
+
+// RxPacket is one parsed packet.
+type RxPacket struct {
+	Kind PacketKind
+
+	// Data packets: the observed slots. The first
+	// SizeSymbols(cfg.Order) slots are the raw size field (to be
+	// matched against calibration references and decoded with
+	// Config.DecodeSizeField); the rest are payload slots in arrival
+	// order. Slots swallowed by the inter-frame gap are NOT present;
+	// HasGap/GapAt say where they went missing.
+	Slots []RxSlot
+
+	// Gaps lists the indexes into Slots where inter-frame gaps
+	// interrupted the payload (ascending, possibly empty). Every slot
+	// lost to gap g sits between Slots[Gaps[g]-1] and Slots[Gaps[g]];
+	// the header size field tells the consumer how many slots are
+	// missing in total, and with more than one gap the split between
+	// them must be searched (see the modem receiver).
+	Gaps []int
+
+	// Calibration packets: the observed constellation colors in index
+	// order.
+	Colors []colorspace.AB
+}
+
+// MaxGapsPerPacket bounds how many inter-frame gaps one data packet
+// may straddle and still be parsed. Packets sized to one frame+gap see
+// at most one; multi-frame packets (low symbol rates) see more, and
+// each additional gap multiplies the decoder's split-search work. The
+// near-even-first split ordering keeps the search cheap because real
+// gaps have equal durations.
+const MaxGapsPerPacket = 5
+
+// Deframer incrementally parses a stream of received symbols into
+// packets. Feed symbols with Push (one or more at a time; frame
+// boundaries are represented by a KindGap symbol) and collect parsed
+// packets from the return values. A packet whose delimiter, flag or
+// size field was damaged by the gap is discarded, as the paper
+// specifies (§5).
+type Deframer struct {
+	cfg Config
+	buf []RxSymbol
+
+	// Discarded counts packets or fragments dropped because their
+	// header was unusable.
+	Discarded int
+}
+
+// NewDeframer returns a deframer for the link configuration. It
+// panics on an invalid configuration (configurations are programmer
+// input, validated at link setup).
+func NewDeframer(cfg Config) *Deframer {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Deframer{cfg: cfg}
+}
+
+// Push appends received symbols to the parse buffer and returns any
+// packets that became complete. Use a single RxSymbol{Kind: KindGap}
+// to mark each inter-frame gap.
+func (d *Deframer) Push(symbols []RxSymbol) []RxPacket {
+	d.buf = append(d.buf, symbols...)
+	var out []RxPacket
+	for {
+		pkt, consumed, ok := d.tryParse(false)
+		if !ok {
+			break
+		}
+		d.buf = d.buf[consumed:]
+		if pkt != nil {
+			out = append(out, *pkt)
+		}
+	}
+	return out
+}
+
+// Flush parses any packet still pending at end of stream (a final data
+// packet is normally terminated by the next packet's delimiter; Flush
+// terminates it with the stream end instead) and resets the buffer.
+func (d *Deframer) Flush() []RxPacket {
+	var out []RxPacket
+	for {
+		pkt, consumed, ok := d.tryParse(true)
+		if !ok {
+			break
+		}
+		d.buf = d.buf[consumed:]
+		if pkt != nil {
+			out = append(out, *pkt)
+		}
+	}
+	d.buf = nil
+	return out
+}
+
+// tryParse attempts to parse one packet from the front of the buffer.
+// It returns (packet, consumed, progressed): progressed is false when
+// nothing more can be done with the current buffer (need more input),
+// and packet may be nil when garbage was skipped or a damaged packet
+// was discarded (consumed > 0 still applies).
+//
+// Headers are matched structurally rather than symbol-for-symbol:
+// payloads never contain OFF symbols, so any region of alternating
+// OFF/white runs is a delimiter+flag, and the number of alternating
+// runs — 7 for a data packet (O W OO W O W O), 9 for a calibration
+// packet (two more W O alternations) — identifies the packet type.
+// Matching run counts instead of exact run lengths tolerates the ±1
+// symbol-count jitter that exposure smear causes at high symbol rates,
+// and transparently skips idle OFF padding, which merges into the
+// delimiter's first run.
+func (d *Deframer) tryParse(eof bool) (*RxPacket, int, bool) {
+	// Skip to the first OFF symbol — everything before it is either
+	// mid-stream garbage or payload of a packet whose start we missed.
+	start := 0
+	for start < len(d.buf) && d.buf[start].Kind != KindOff {
+		start++
+	}
+	if start > 0 {
+		d.Discarded++
+		return nil, start, true
+	}
+	if len(d.buf) == 0 {
+		return nil, 0, false
+	}
+
+	runs, end, terminated, damaged := scanRuns(d.buf)
+	if damaged {
+		return d.discardThroughGap()
+	}
+	if !terminated {
+		if eof {
+			d.Discarded++
+			return nil, len(d.buf), true
+		}
+		return nil, 0, false // header may still be arriving
+	}
+	// Trailing white runs cannot belong to a prefix (prefixes end with
+	// OFF); drop them from the match but keep them consumed only if
+	// the match fails.
+	m := len(runs)
+	for m > 0 && runs[m-1].kind == KindWhite {
+		m--
+	}
+	prefixEnd := end
+	if m < len(runs) {
+		prefixEnd = runs[m-1].end
+	}
+	switch m {
+	case 7:
+		return d.parseData(prefixEnd, eof)
+	case 9:
+		return d.parseCalibration(prefixEnd, eof)
+	}
+	// Not a recognizable header: discard the whole run region.
+	d.Discarded++
+	return nil, end, true
+}
+
+// headerRun is one run of identical-kind symbols in a header region.
+type headerRun struct {
+	kind Kind
+	end  int // index just past the run
+}
+
+// scanRuns collects the alternating OFF/white runs at the front of the
+// buffer. It stops at the first data symbol (terminated=true), at a
+// gap marker (damaged=true), or at the end of the buffer
+// (terminated=false: need more input).
+func scanRuns(buf []RxSymbol) (runs []headerRun, end int, terminated, damaged bool) {
+	i := 0
+	for i < len(buf) {
+		k := buf[i].Kind
+		switch k {
+		case KindGap:
+			return runs, i, false, true
+		case KindData:
+			return runs, i, true, false
+		case KindOff, KindWhite:
+			j := i
+			for j < len(buf) && buf[j].Kind == k {
+				j++
+			}
+			if j == len(buf) {
+				// Run may continue beyond the buffer.
+				return runs, j, false, false
+			}
+			runs = append(runs, headerRun{kind: k, end: j})
+			i = j
+		default:
+			return runs, i, true, false
+		}
+	}
+	return runs, i, false, false
+}
+
+// discardThroughGap drops buffered symbols up to and including the
+// first gap marker, counting one discarded packet.
+func (d *Deframer) discardThroughGap() (*RxPacket, int, bool) {
+	for i, s := range d.buf {
+		if s.Kind == KindGap {
+			d.Discarded++
+			return nil, i + 1, true
+		}
+	}
+	d.Discarded++
+	return nil, len(d.buf), true
+}
+
+// parseCalibration parses the body of a calibration packet starting
+// after its prefix. The body is exactly Order constellation colors; a
+// gap or early delimiter discards the packet (the next periodic one
+// will arrive shortly).
+func (d *Deframer) parseCalibration(bodyStart int, eof bool) (*RxPacket, int, bool) {
+	m := int(d.cfg.Order)
+	if len(d.buf) < bodyStart+m {
+		if !eof {
+			return nil, 0, false
+		}
+		d.Discarded++
+		return nil, len(d.buf), true
+	}
+	colors := make([]colorspace.AB, 0, m)
+	for i := 0; i < m; i++ {
+		s := d.buf[bodyStart+i]
+		if s.Kind != KindData && s.Kind != KindWhite {
+			// Damaged calibration body: discard up to the offending
+			// symbol (an OFF there begins the next delimiter, so do
+			// not consume it). White-classified slots are kept — a
+			// low-saturation constellation color legitimately reads
+			// as white, and its observed {a,b} is still the wanted
+			// reference.
+			d.Discarded++
+			consumed := bodyStart + i
+			if s.Kind == KindGap {
+				consumed++ // gaps are markers; consume them
+			}
+			return nil, consumed, true
+		}
+		colors = append(colors, s.AB)
+	}
+	return &RxPacket{Kind: PacketCalibration, Colors: colors}, bodyStart + m, true
+}
+
+// parseData parses a data packet: size field, then payload slots until
+// the declared slot count is satisfied or the next delimiter begins.
+func (d *Deframer) parseData(bodyStart int, eof bool) (*RxPacket, int, bool) {
+	nSize := SizeSymbols(d.cfg.Order)
+	// The size field is nSize data symbols at even offsets, alternating
+	// with white separators (see Config.BuildData). The separators
+	// guarantee a band boundary after every size symbol, so slot
+	// positions here are reliable — parse positionally and take the
+	// colors at even offsets, ignoring the classified kinds (a
+	// low-saturation size symbol may legitimately classify as white).
+	fieldLen := 2 * nSize // nSize symbols + (nSize−1) separators + trailer
+	if len(d.buf) < bodyStart+fieldLen {
+		if !eof {
+			return nil, 0, false
+		}
+		d.Discarded++
+		return nil, len(d.buf), true
+	}
+	sizeABs := make([]colorspace.AB, 0, nSize)
+	for j := 0; j < fieldLen; j++ {
+		s := d.buf[bodyStart+j]
+		if s.Kind == KindGap || s.Kind == KindOff {
+			d.Discarded++
+			consumed := bodyStart + j
+			if s.Kind == KindGap {
+				consumed++
+			}
+			return nil, consumed, true
+		}
+		if j%2 == 0 {
+			sizeABs = append(sizeABs, s.AB)
+		}
+	}
+	i := bodyStart + fieldLen
+	// Size symbols are matched by the consumer (they need calibration
+	// references); the deframer carries them raw in the first slots.
+	// Scan payload until we either see the next OFF (delimiter),
+	// accumulate the whole stream end (eof), or hit a second gap.
+	var gaps []int // observed-slot indexes where gaps occurred
+	var observed []RxSymbol
+	for ; i < len(d.buf); i++ {
+		s := d.buf[i]
+		if s.Kind == KindOff {
+			break // next packet's delimiter
+		}
+		if s.Kind == KindGap {
+			if len(gaps) >= MaxGapsPerPacket {
+				d.Discarded++
+				return nil, i + 1, true
+			}
+			gaps = append(gaps, len(observed))
+			continue
+		}
+		observed = append(observed, s)
+	}
+	terminated := i < len(d.buf) || eof
+	if !terminated {
+		return nil, 0, false
+	}
+
+	pkt := &RxPacket{Kind: PacketData}
+	pkt.Slots = make([]RxSlot, 0, len(observed)+nSize)
+	// First nSize slots carry the raw size field colors for the
+	// consumer to match and decode.
+	for _, ab := range sizeABs {
+		pkt.Slots = append(pkt.Slots, RxSlot{Kind: KindData, AB: ab})
+	}
+	for _, s := range observed {
+		pkt.Slots = append(pkt.Slots, RxSlot{Kind: s.Kind, AB: s.AB})
+	}
+	for _, g := range gaps {
+		pkt.Gaps = append(pkt.Gaps, nSize+g)
+	}
+	return pkt, i, true
+}

@@ -1,0 +1,302 @@
+package packet
+
+import (
+	"testing"
+
+	"colorbars/internal/cie"
+	"colorbars/internal/csk"
+)
+
+// txToRx converts transmitted symbols into ideal received symbols,
+// using the constellation's reference colors for data symbols.
+func txToRx(t *testing.T, cons *csk.Constellation, syms []TxSymbol) []RxSymbol {
+	t.Helper()
+	out := make([]RxSymbol, len(syms))
+	for i, s := range syms {
+		switch s.Kind {
+		case KindData:
+			out[i] = RxSymbol{Kind: KindData, AB: cons.ReferenceAB(s.Index)}
+		default:
+			out[i] = RxSymbol{Kind: s.Kind}
+		}
+	}
+	return out
+}
+
+func gap() RxSymbol { return RxSymbol{Kind: KindGap} }
+
+func TestDeframeCleanDataPacket(t *testing.T) {
+	cfg := cfg8()
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	payload := []byte("the quick brown fox")
+	txSyms, err := cfg.BuildData(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeframer(cfg)
+	pkts := d.Push(txToRx(t, cons, txSyms))
+	pkts = append(pkts, d.Flush()...)
+	if len(pkts) != 1 {
+		t.Fatalf("got %d packets, want 1", len(pkts))
+	}
+	p := pkts[0]
+	if p.Kind != PacketData {
+		t.Fatalf("kind %v", p.Kind)
+	}
+	if len(p.Gaps) != 0 {
+		t.Error("unexpected gap")
+	}
+	// Decode size from the first slots.
+	n := SizeSymbols(cfg.Order)
+	refs := cons.ReferenceABs()
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		idx[i] = csk.NearestAB(p.Slots[i].AB, refs)
+	}
+	slots, err := cfg.DecodeSizeField(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Slots) - n; got != slots {
+		t.Errorf("observed %d payload slots, header says %d", got, slots)
+	}
+}
+
+func TestDeframeCleanCalibrationPacket(t *testing.T) {
+	cfg := cfg8()
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	txSyms, _ := cfg.BuildCalibration(nil)
+	d := NewDeframer(cfg)
+	pkts := d.Push(txToRx(t, cons, txSyms))
+	if len(pkts) != 1 {
+		t.Fatalf("got %d packets", len(pkts))
+	}
+	p := pkts[0]
+	if p.Kind != PacketCalibration {
+		t.Fatalf("kind %v", p.Kind)
+	}
+	if len(p.Colors) != 8 {
+		t.Fatalf("%d colors", len(p.Colors))
+	}
+	for i, c := range p.Colors {
+		if c.Dist(cons.ReferenceAB(i)) > 1e-9 {
+			t.Errorf("color %d = %v, want %v", i, c, cons.ReferenceAB(i))
+		}
+	}
+}
+
+func TestDeframeBackToBackPackets(t *testing.T) {
+	cfg := cfg8()
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	var stream []RxSymbol
+	cal, _ := cfg.BuildCalibration(nil)
+	stream = append(stream, txToRx(t, cons, cal)...)
+	for i := 0; i < 3; i++ {
+		dp, _ := cfg.BuildData([]byte{byte(i), 1, 2, 3, 4, 5})
+		stream = append(stream, txToRx(t, cons, dp)...)
+	}
+	d := NewDeframer(cfg)
+	pkts := d.Push(stream)
+	pkts = append(pkts, d.Flush()...)
+	if len(pkts) != 4 {
+		t.Fatalf("got %d packets, want 4", len(pkts))
+	}
+	if pkts[0].Kind != PacketCalibration {
+		t.Error("first packet should be calibration")
+	}
+	for i := 1; i < 4; i++ {
+		if pkts[i].Kind != PacketData {
+			t.Errorf("packet %d kind %v", i, pkts[i].Kind)
+		}
+	}
+	if d.Discarded != 0 {
+		t.Errorf("discarded %d", d.Discarded)
+	}
+}
+
+func TestDeframeIncrementalPush(t *testing.T) {
+	// Push the stream one symbol at a time; results must match the
+	// all-at-once parse.
+	cfg := cfg8()
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	var stream []RxSymbol
+	cal, _ := cfg.BuildCalibration(nil)
+	dp, _ := cfg.BuildData([]byte("incremental"))
+	stream = append(stream, txToRx(t, cons, cal)...)
+	stream = append(stream, txToRx(t, cons, dp)...)
+
+	d := NewDeframer(cfg)
+	var pkts []RxPacket
+	for _, s := range stream {
+		pkts = append(pkts, d.Push([]RxSymbol{s})...)
+	}
+	pkts = append(pkts, d.Flush()...)
+	if len(pkts) != 2 {
+		t.Fatalf("got %d packets, want 2", len(pkts))
+	}
+	if pkts[0].Kind != PacketCalibration || pkts[1].Kind != PacketData {
+		t.Errorf("kinds %v %v", pkts[0].Kind, pkts[1].Kind)
+	}
+}
+
+func TestDeframeGapInPayload(t *testing.T) {
+	cfg := cfg8()
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	payload := []byte("payload interrupted by the inter-frame gap")
+	txSyms, _ := cfg.BuildData(payload)
+	rx := txToRx(t, cons, txSyms)
+
+	// Drop a run of payload symbols and insert a gap marker. The
+	// header region is the prefix plus the white-separated size field
+	// (nSize data + nSize separator whites).
+	headerLen := len(DataPrefix()) + 2*SizeSymbols(cfg.Order)
+	cut0 := headerLen + 10
+	cut1 := cut0 + 7
+	stream := append([]RxSymbol{}, rx[:cut0]...)
+	stream = append(stream, gap())
+	stream = append(stream, rx[cut1:]...)
+
+	d := NewDeframer(cfg)
+	pkts := d.Push(stream)
+	pkts = append(pkts, d.Flush()...)
+	if len(pkts) != 1 {
+		t.Fatalf("got %d packets", len(pkts))
+	}
+	p := pkts[0]
+	if len(p.Gaps) != 1 {
+		t.Fatalf("gaps = %v, want one", p.Gaps)
+	}
+	wantGapAt := SizeSymbols(cfg.Order) + 10
+	if p.Gaps[0] != wantGapAt {
+		t.Errorf("gap at %d, want %d", p.Gaps[0], wantGapAt)
+	}
+	wantSlots := len(rx) - headerLen - 7 + SizeSymbols(cfg.Order)
+	if len(p.Slots) != wantSlots {
+		t.Errorf("observed slots = %d, want %d", len(p.Slots), wantSlots)
+	}
+}
+
+func TestDeframeGapInHeaderDiscards(t *testing.T) {
+	cfg := cfg8()
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	txSyms, _ := cfg.BuildData([]byte("header damage"))
+	rx := txToRx(t, cons, txSyms)
+	// Gap inside the prefix.
+	stream := append([]RxSymbol{}, rx[:4]...)
+	stream = append(stream, gap())
+	stream = append(stream, rx[9:]...)
+	d := NewDeframer(cfg)
+	pkts := d.Push(stream)
+	pkts = append(pkts, d.Flush()...)
+	if len(pkts) != 0 {
+		t.Fatalf("damaged-header packet not discarded: %d packets", len(pkts))
+	}
+	if d.Discarded == 0 {
+		t.Error("discard not counted")
+	}
+}
+
+func TestDeframeGapInSizeFieldDiscards(t *testing.T) {
+	cfg := cfg8()
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	txSyms, _ := cfg.BuildData([]byte("size damage"))
+	rx := txToRx(t, cons, txSyms)
+	cut := len(DataPrefix()) + 2 // inside size field
+	stream := append([]RxSymbol{}, rx[:cut]...)
+	stream = append(stream, gap())
+	stream = append(stream, rx[cut+3:]...)
+	d := NewDeframer(cfg)
+	pkts := d.Push(stream)
+	pkts = append(pkts, d.Flush()...)
+	if len(pkts) != 0 {
+		t.Fatalf("damaged-size packet not discarded: %d packets", len(pkts))
+	}
+}
+
+func TestDeframeDoubleGapDiscards(t *testing.T) {
+	cfg := cfg8()
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	txSyms, _ := cfg.BuildData([]byte("two gaps in one packet means trouble ............"))
+	rx := txToRx(t, cons, txSyms)
+	headerLen2 := len(DataPrefix()) + 2*SizeSymbols(cfg.Order)
+	stream := append([]RxSymbol{}, rx[:headerLen2+5]...)
+	stream = append(stream, gap())
+	stream = append(stream, rx[headerLen2+8:headerLen2+15]...)
+	stream = append(stream, gap())
+	stream = append(stream, rx[headerLen2+20:]...)
+	d := NewDeframer(cfg)
+	pkts := d.Push(stream)
+	pkts = append(pkts, d.Flush()...)
+	if len(pkts) != 1 {
+		t.Fatalf("double-gap packet should parse with two gap marks: %d packets", len(pkts))
+	}
+	if len(pkts[0].Gaps) != 2 {
+		t.Errorf("gaps = %v, want two entries", pkts[0].Gaps)
+	}
+}
+
+func TestDeframeGapInCalibrationDiscards(t *testing.T) {
+	cfg := cfg8()
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	txSyms, _ := cfg.BuildCalibration(nil)
+	rx := txToRx(t, cons, txSyms)
+	cut := len(CalPrefix()) + 3
+	stream := append([]RxSymbol{}, rx[:cut]...)
+	stream = append(stream, gap())
+	stream = append(stream, rx[cut+2:]...)
+	d := NewDeframer(cfg)
+	pkts := d.Push(stream)
+	pkts = append(pkts, d.Flush()...)
+	if len(pkts) != 0 {
+		t.Fatalf("damaged calibration not discarded: %d packets", len(pkts))
+	}
+}
+
+func TestDeframeMidStreamJoin(t *testing.T) {
+	// A receiver that joins mid-stream (first packet truncated) must
+	// still parse subsequent packets — the "new receiver waits for the
+	// first calibration packet" scenario (§6.2).
+	cfg := cfg8()
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	dp1, _ := cfg.BuildData([]byte("first, partially seen"))
+	cal, _ := cfg.BuildCalibration(nil)
+	dp2, _ := cfg.BuildData([]byte("second, complete"))
+	rx1 := txToRx(t, cons, dp1)
+	var stream []RxSymbol
+	stream = append(stream, rx1[len(rx1)/2:]...) // tail of packet 1
+	stream = append(stream, txToRx(t, cons, cal)...)
+	stream = append(stream, txToRx(t, cons, dp2)...)
+	d := NewDeframer(cfg)
+	pkts := d.Push(stream)
+	pkts = append(pkts, d.Flush()...)
+	if len(pkts) != 2 {
+		t.Fatalf("got %d packets, want 2 (cal + data)", len(pkts))
+	}
+	if pkts[0].Kind != PacketCalibration || pkts[1].Kind != PacketData {
+		t.Errorf("kinds %v, %v", pkts[0].Kind, pkts[1].Kind)
+	}
+}
+
+func TestDeframeFlushResets(t *testing.T) {
+	cfg := cfg8()
+	d := NewDeframer(cfg)
+	d.Push([]RxSymbol{{Kind: KindOff}, {Kind: KindWhite}})
+	d.Flush()
+	// After Flush the buffer must be clean: a fresh full packet parses.
+	cons := csk.MustNew(cfg.Order, cie.SRGBTriangle)
+	txSyms, _ := cfg.BuildData([]byte("after flush"))
+	pkts := d.Push(txToRx(t, cons, txSyms))
+	pkts = append(pkts, d.Flush()...)
+	if len(pkts) != 1 {
+		t.Fatalf("got %d packets after flush", len(pkts))
+	}
+}
+
+func TestNewDeframerPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDeframer(Config{Order: csk.Order(3)})
+}

@@ -1,0 +1,369 @@
+// Package packet implements ColorBars' symbol-level framing (paper §5
+// and §6): packets delimited by OFF/white sequences, a header with a
+// packet-type flag and a size field, deterministic interleaving of
+// white illumination symbols, and periodic calibration packets that
+// carry the whole constellation for receiver-side color calibration.
+//
+// Wire format of a data packet (each letter is one symbol period):
+//
+//	O W O | O W O W O | s s s… | payload slots (data colors + whites)
+//	 delim    flag       size
+//
+// and of a calibration packet:
+//
+//	O W O | O W O W O W O | c0 c1 … c(M−1)
+//	 delim       flag        all M constellation colors
+//
+// "O" is the LED turned off, "W" is full white. OFF symbols appear
+// nowhere else, which makes the delimiter+flag prefixes uniquely
+// recognizable in the symbol stream. The data flag ("owowo") is a
+// prefix of the calibration flag ("owowowo"); the parser disambiguates
+// by looking at the two symbols that follow.
+//
+// The size field holds the total number of payload slots. It occupies
+// ceil(15 / C) data symbols, which is the paper's 3 symbols for 8-,
+// 16- and 32-CSK; 4-CSK needs more than 3 symbols because 3 of its
+// 2-bit symbols could not cover a frame-plus-gap-sized packet.
+//
+// White illumination symbols are laid out by a deterministic greedy
+// rule shared by transmitter and receiver, so the receiver can tell
+// which *lost* slots were data and which were illumination without
+// receiving them.
+package packet
+
+import (
+	"fmt"
+
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+)
+
+// Kind classifies a symbol slot on the wire.
+type Kind uint8
+
+// Symbol kinds.
+const (
+	// KindOff is an LED-off (dark) symbol, used only in delimiters and
+	// flags.
+	KindOff Kind = iota
+	// KindWhite is a full-white illumination symbol.
+	KindWhite
+	// KindData is a constellation color symbol.
+	KindData
+	// KindGap is a receiver-side pseudo-symbol marking the inter-frame
+	// gap: the position in the stream where an unknown number of
+	// transmitted symbols were lost. Never transmitted.
+	KindGap
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindOff:
+		return "off"
+	case KindWhite:
+		return "white"
+	case KindData:
+		return "data"
+	case KindGap:
+		return "gap"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// TxSymbol is a transmitter-side symbol: a kind plus, for data
+// symbols, the constellation index.
+type TxSymbol struct {
+	Kind  Kind
+	Index int // constellation index; valid only for KindData
+}
+
+// Off, White and Data construct TxSymbols.
+func Off() TxSymbol           { return TxSymbol{Kind: KindOff} }
+func White() TxSymbol         { return TxSymbol{Kind: KindWhite} }
+func Data(index int) TxSymbol { return TxSymbol{Kind: KindData, Index: index} }
+
+// RxSymbol is a receiver-side symbol: the classified kind plus the
+// observed {a,b} color for data symbols.
+type RxSymbol struct {
+	Kind Kind
+	AB   colorspace.AB // observed color; meaningful for KindData
+}
+
+// SizeBits is the width of the size field in bits. 15 bits cover
+// packets of up to 32767 slots, far beyond the frame-plus-gap packets
+// ColorBars uses, while keeping the paper's 3-symbol field for 8-CSK
+// and up.
+const SizeBits = 15
+
+// SizeSymbols returns the number of data symbols in the size field for
+// the given order.
+func SizeSymbols(order csk.Order) int {
+	c := order.BitsPerSymbol()
+	return (SizeBits + c - 1) / c
+}
+
+// Prefix sequences. The delimiter separates packets; the flag
+// identifies the packet type (paper §5, Fig 4 and §6).
+var (
+	delimiter = []Kind{KindOff, KindWhite, KindOff}
+	dataFlag  = []Kind{KindOff, KindWhite, KindOff, KindWhite, KindOff}
+	calFlag   = []Kind{KindOff, KindWhite, KindOff, KindWhite, KindOff, KindWhite, KindOff}
+)
+
+// DataPrefix returns the full delimiter+flag kind sequence that opens
+// a data packet.
+func DataPrefix() []Kind {
+	return append(append([]Kind{}, delimiter...), dataFlag...)
+}
+
+// CalPrefix returns the full delimiter+flag kind sequence that opens a
+// calibration packet.
+func CalPrefix() []Kind {
+	return append(append([]Kind{}, delimiter...), calFlag...)
+}
+
+// --- white illumination layout ---
+
+// WhiteLayout returns, for a payload of totalSlots slots and a target
+// white fraction, which slots carry white illumination symbols. The
+// greedy rule — emit white whenever doing so keeps the running white
+// fraction at or below the target — is deterministic and depends only
+// on the slot index, so transmitter and receiver always agree, even
+// about slots the receiver never saw.
+func WhiteLayout(totalSlots int, whiteFraction float64) []bool {
+	if whiteFraction < 0 {
+		whiteFraction = 0
+	}
+	if whiteFraction >= 1 {
+		whiteFraction = 0.999
+	}
+	layout := make([]bool, totalSlots)
+	whites := 0.0
+	for i := range layout {
+		if (whites+1)/float64(i+1) <= whiteFraction {
+			layout[i] = true
+			whites++
+		}
+	}
+	return layout
+}
+
+// SlotsForData returns the minimal total slot count whose WhiteLayout
+// contains exactly dataCount data (non-white) slots, ending on a data
+// slot.
+func SlotsForData(dataCount int, whiteFraction float64) int {
+	if dataCount == 0 {
+		return 0
+	}
+	if whiteFraction < 0 {
+		whiteFraction = 0
+	}
+	if whiteFraction >= 1 {
+		whiteFraction = 0.999
+	}
+	total, data := 0, 0
+	whites := 0.0
+	for data < dataCount {
+		if (whites+1)/float64(total+1) <= whiteFraction {
+			whites++
+		} else {
+			data++
+		}
+		total++
+	}
+	return total
+}
+
+// DataSlots returns how many of the first totalSlots slots are data
+// slots under the layout rule.
+func DataSlots(totalSlots int, whiteFraction float64) int {
+	layout := WhiteLayout(totalSlots, whiteFraction)
+	n := 0
+	for _, w := range layout {
+		if !w {
+			n++
+		}
+	}
+	return n
+}
+
+// --- payload whitening ---
+
+// scrambler is a fixed pseudo-random byte sequence (maximal-length
+// LFSR over x^8+x^6+x^5+x^4+1). Codewords are XORed with it before
+// modulation and after demodulation: without whitening, repetitive
+// application payloads produce long runs of identical color symbols,
+// which merge into single bands on the receiver and break symbol
+// counting. XOR with a fixed sequence is self-inverse.
+var scrambler = func() [255]byte {
+	var out [255]byte
+	state := byte(0xA5)
+	for i := range out {
+		out[i] = state
+		// Galois LFSR step, taps 0x71 (x^8+x^6+x^5+x^4+1).
+		lsb := state & 1
+		state >>= 1
+		if lsb != 0 {
+			state ^= 0xB8
+		}
+	}
+	return out
+}()
+
+// Scramble XORs data with the whitening sequence (position-wise from
+// offset 0). Applying it twice restores the input.
+func Scramble(data []byte) []byte {
+	out := make([]byte, len(data))
+	for i, b := range data {
+		out[i] = b ^ scrambler[i%len(scrambler)]
+	}
+	return out
+}
+
+// --- building packets ---
+
+// Config holds the framing parameters shared by both ends of a link.
+type Config struct {
+	// Order is the CSK constellation order.
+	Order csk.Order
+	// WhiteFraction is the fraction of payload slots that carry white
+	// illumination symbols (1 − the paper's α_S).
+	WhiteFraction float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if !c.Order.Valid() {
+		return fmt.Errorf("packet: invalid CSK order %d", int(c.Order))
+	}
+	if c.WhiteFraction < 0 || c.WhiteFraction >= 1 {
+		return fmt.Errorf("packet: white fraction %v outside [0, 1)", c.WhiteFraction)
+	}
+	return nil
+}
+
+// MaxPayloadBytes returns the largest payload (RS codeword) size in
+// bytes whose slot count still fits the size field.
+func (c Config) MaxPayloadBytes() int {
+	// Conservative: find the largest n with SlotsForData(symbols(n))
+	// under the field limit.
+	maxSlots := 1<<SizeBits - 1
+	lo, hi := 0, 8192
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		syms := c.Order.SymbolsPerBytes(mid)
+		if SlotsForData(syms, c.WhiteFraction) <= maxSlots {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// BuildData frames one payload (typically an RS codeword) into the
+// complete on-air symbol sequence: delimiter, data flag, size field,
+// and payload slots with interleaved white symbols.
+func (c Config) BuildData(payload []byte) ([]TxSymbol, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("packet: empty payload")
+	}
+	if len(payload) > c.MaxPayloadBytes() {
+		return nil, fmt.Errorf("packet: payload %d bytes exceeds maximum %d", len(payload), c.MaxPayloadBytes())
+	}
+	dataSyms := c.Order.Pack(Scramble(payload))
+	totalSlots := SlotsForData(len(dataSyms), c.WhiteFraction)
+	layout := WhiteLayout(totalSlots, c.WhiteFraction)
+
+	out := make([]TxSymbol, 0, len(DataPrefix())+2*SizeSymbols(c.Order)+totalSlots)
+	for _, k := range DataPrefix() {
+		out = append(out, TxSymbol{Kind: k})
+	}
+	// Size symbols are separated by white symbols so that equal
+	// adjacent size values can never merge into a single band on the
+	// receiver — a framing-critical field gets band boundaries by
+	// construction.
+	for i, sym := range c.encodeSize(totalSlots) {
+		if i > 0 {
+			out = append(out, White())
+		}
+		out = append(out, sym)
+	}
+	out = append(out, White())
+	di := 0
+	for _, isWhite := range layout {
+		if isWhite {
+			out = append(out, White())
+		} else {
+			out = append(out, Data(dataSyms[di]))
+			di++
+		}
+	}
+	return out, nil
+}
+
+// BuildCalibration frames a calibration packet: delimiter, calibration
+// flag, then every constellation symbol (paper §6.2). perm optionally
+// reorders the body (e.g. csk.Constellation.CalibrationOrder, which
+// keeps adjacent body colors far apart so they cannot merge into one
+// band); nil transmits in index order. The receiver must undo the same
+// permutation.
+func (c Config) BuildCalibration(perm []int) ([]TxSymbol, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	m := int(c.Order)
+	if perm != nil && len(perm) != m {
+		return nil, fmt.Errorf("packet: permutation length %d, want %d", len(perm), m)
+	}
+	out := make([]TxSymbol, 0, len(CalPrefix())+m)
+	for _, k := range CalPrefix() {
+		out = append(out, TxSymbol{Kind: k})
+	}
+	for i := 0; i < m; i++ {
+		idx := i
+		if perm != nil {
+			idx = perm[i]
+		}
+		out = append(out, Data(idx))
+	}
+	return out, nil
+}
+
+// encodeSize encodes a slot count into the size field's data symbols,
+// MSB first.
+func (c Config) encodeSize(slots int) []TxSymbol {
+	bps := c.Order.BitsPerSymbol()
+	n := SizeSymbols(c.Order)
+	out := make([]TxSymbol, n)
+	// Left-align SizeBits into n·bps bits.
+	v := slots << (n*bps - SizeBits)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = Data(v & (int(c.Order) - 1))
+		v >>= bps
+	}
+	return out
+}
+
+// DecodeSizeField decodes the size field from matched symbol indices
+// (the constellation indices of a data packet's first SizeSymbols
+// slots).
+func (c Config) DecodeSizeField(symbols []int) (int, error) {
+	bps := c.Order.BitsPerSymbol()
+	n := SizeSymbols(c.Order)
+	if len(symbols) != n {
+		return 0, fmt.Errorf("packet: size field has %d symbols, want %d", len(symbols), n)
+	}
+	v := 0
+	for _, s := range symbols {
+		if s < 0 || s >= int(c.Order) {
+			return 0, fmt.Errorf("packet: size symbol %d out of range", s)
+		}
+		v = v<<bps | s
+	}
+	v >>= n*bps - SizeBits
+	return v, nil
+}

@@ -1,0 +1,314 @@
+package packet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"colorbars/internal/csk"
+)
+
+func cfg8() Config { return Config{Order: csk.CSK8, WhiteFraction: 0.2} }
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{Order: csk.CSK8, WhiteFraction: 0.2}, true},
+		{Config{Order: csk.CSK4, WhiteFraction: 0}, true},
+		{Config{Order: csk.Order(5), WhiteFraction: 0.2}, false},
+		{Config{Order: csk.CSK8, WhiteFraction: 1}, false},
+		{Config{Order: csk.CSK8, WhiteFraction: -0.1}, false},
+	}
+	for i, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("case %d: %v, want ok=%v", i, err, tc.ok)
+		}
+	}
+}
+
+func TestSizeSymbols(t *testing.T) {
+	// ceil(15/C): CSK4→8, CSK8→5, CSK16→4, CSK32→3.
+	cases := map[csk.Order]int{csk.CSK4: 8, csk.CSK8: 5, csk.CSK16: 4, csk.CSK32: 3}
+	for o, want := range cases {
+		if got := SizeSymbols(o); got != want {
+			t.Errorf("SizeSymbols(%v) = %d, want %d", o, got, want)
+		}
+	}
+}
+
+func TestWhiteLayoutFraction(t *testing.T) {
+	for _, frac := range []float64{0, 0.1, 0.2, 0.5, 0.9} {
+		layout := WhiteLayout(10000, frac)
+		whites := 0
+		for _, w := range layout {
+			if w {
+				whites++
+			}
+		}
+		got := float64(whites) / 10000
+		if math.Abs(got-frac) > 0.01 {
+			t.Errorf("fraction %v: layout has %v white", frac, got)
+		}
+	}
+}
+
+func TestWhiteLayoutPrefixStable(t *testing.T) {
+	// The layout for N slots must be a prefix of the layout for N+k
+	// slots — the property that lets the receiver reconstruct lost
+	// slots' kinds.
+	f := func(n, k uint8) bool {
+		a := WhiteLayout(int(n), 0.2)
+		b := WhiteLayout(int(n)+int(k), 0.2)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotsForDataInvertsDataSlots(t *testing.T) {
+	f := func(dRaw uint16, fRaw uint8) bool {
+		d := int(dRaw)%500 + 1
+		frac := float64(fRaw%90) / 100
+		total := SlotsForData(d, frac)
+		if DataSlots(total, frac) != d {
+			return false
+		}
+		// Minimality: the last slot must be a data slot.
+		layout := WhiteLayout(total, frac)
+		return !layout[total-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotsForDataZero(t *testing.T) {
+	if got := SlotsForData(0, 0.2); got != 0 {
+		t.Errorf("SlotsForData(0) = %d", got)
+	}
+}
+
+func TestBuildDataStructure(t *testing.T) {
+	cfg := cfg8()
+	payload := []byte("hello colorbars")
+	syms, err := cfg.BuildData(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := DataPrefix()
+	for i, k := range prefix {
+		if syms[i].Kind != k {
+			t.Fatalf("prefix symbol %d = %v, want %v", i, syms[i].Kind, k)
+		}
+	}
+	// Size field: nSize data symbols separated (and followed) by
+	// whites, so equal size values never merge into one band.
+	n := SizeSymbols(cfg.Order)
+	pos := len(prefix)
+	var sizeIdx []int
+	for len(sizeIdx) < n {
+		s := syms[pos]
+		pos++
+		switch s.Kind {
+		case KindData:
+			sizeIdx = append(sizeIdx, s.Index)
+		case KindWhite:
+			// separator
+		default:
+			t.Fatalf("unexpected %v in size field", s.Kind)
+		}
+	}
+	if syms[pos].Kind != KindWhite {
+		t.Fatalf("missing trailing size separator, got %v", syms[pos].Kind)
+	}
+	pos++
+	slots, err := cfg.DecodeSizeField(sizeIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadSlots := syms[pos:]
+	if len(payloadSlots) != slots {
+		t.Errorf("size field says %d slots, packet has %d", slots, len(payloadSlots))
+	}
+	// Payload slot kinds must follow WhiteLayout.
+	layout := WhiteLayout(slots, cfg.WhiteFraction)
+	dataCount := 0
+	for i, s := range payloadSlots {
+		if layout[i] && s.Kind != KindWhite {
+			t.Fatalf("slot %d should be white", i)
+		}
+		if !layout[i] {
+			if s.Kind != KindData {
+				t.Fatalf("slot %d should be data", i)
+			}
+			dataCount++
+		}
+	}
+	if want := cfg.Order.SymbolsPerBytes(len(payload)); dataCount != want {
+		t.Errorf("data slots = %d, want %d", dataCount, want)
+	}
+	// No OFF symbols anywhere in the body.
+	for i, s := range syms[len(prefix):] {
+		if s.Kind == KindOff {
+			t.Fatalf("OFF symbol leaked into body at %d", i)
+		}
+	}
+}
+
+func TestBuildDataRoundTripIndices(t *testing.T) {
+	// Extract data symbol indices from a built packet and unpack them.
+	for _, order := range csk.Orders {
+		cfg := Config{Order: order, WhiteFraction: 0.25}
+		payload := []byte{0xde, 0xad, 0xbe, 0xef, 0x42}
+		syms, err := cfg.BuildData(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Skip prefix and the white-separated size field.
+		pos := len(DataPrefix())
+		seen := 0
+		for seen < SizeSymbols(order) {
+			if syms[pos].Kind == KindData {
+				seen++
+			}
+			pos++
+		}
+		pos++ // trailing separator
+		var idx []int
+		for _, s := range syms[pos:] {
+			if s.Kind == KindData {
+				idx = append(idx, s.Index)
+			}
+		}
+		whitened, err := order.Unpack(idx, len(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// On-air payloads are whitened (see Scramble); undo it.
+		got := Scramble(whitened)
+		if string(got) != string(payload) {
+			t.Errorf("%v: payload mismatch", order)
+		}
+	}
+}
+
+func TestBuildDataErrors(t *testing.T) {
+	cfg := cfg8()
+	if _, err := cfg.BuildData(nil); err == nil {
+		t.Error("expected error for empty payload")
+	}
+	big := make([]byte, cfg.MaxPayloadBytes()+1)
+	if _, err := cfg.BuildData(big); err == nil {
+		t.Error("expected error for oversized payload")
+	}
+	bad := Config{Order: csk.Order(9), WhiteFraction: 0.2}
+	if _, err := bad.BuildData([]byte{1}); err == nil {
+		t.Error("expected error for invalid config")
+	}
+}
+
+func TestMaxPayloadBytesFitsField(t *testing.T) {
+	for _, order := range csk.Orders {
+		cfg := Config{Order: order, WhiteFraction: 0.2}
+		maxB := cfg.MaxPayloadBytes()
+		if maxB <= 0 {
+			t.Fatalf("%v: max payload %d", order, maxB)
+		}
+		syms := order.SymbolsPerBytes(maxB)
+		if slots := SlotsForData(syms, cfg.WhiteFraction); slots >= 1<<SizeBits {
+			t.Errorf("%v: max payload %d needs %d slots, exceeds field", order, maxB, slots)
+		}
+	}
+}
+
+func TestBuildCalibration(t *testing.T) {
+	cfg := cfg8()
+	syms, err := cfg.BuildCalibration(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := CalPrefix()
+	if len(syms) != len(prefix)+8 {
+		t.Fatalf("calibration length %d", len(syms))
+	}
+	for i, k := range prefix {
+		if syms[i].Kind != k {
+			t.Fatalf("prefix %d = %v, want %v", i, syms[i].Kind, k)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		s := syms[len(prefix)+i]
+		if s.Kind != KindData || s.Index != i {
+			t.Errorf("calibration body %d = %+v", i, s)
+		}
+	}
+}
+
+func TestSizeFieldRoundTrip(t *testing.T) {
+	for _, order := range csk.Orders {
+		cfg := Config{Order: order, WhiteFraction: 0.2}
+		for _, slots := range []int{1, 7, 127, 1000, 1<<SizeBits - 1} {
+			enc := cfg.encodeSize(slots)
+			idx := make([]int, len(enc))
+			for i, s := range enc {
+				if s.Kind != KindData {
+					t.Fatalf("%v: size symbol kind %v", order, s.Kind)
+				}
+				idx[i] = s.Index
+			}
+			got, err := cfg.DecodeSizeField(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != slots {
+				t.Errorf("%v: size %d round-tripped to %d", order, slots, got)
+			}
+		}
+	}
+}
+
+func TestDecodeSizeFieldErrors(t *testing.T) {
+	cfg := cfg8()
+	if _, err := cfg.DecodeSizeField([]int{1, 2}); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := cfg.DecodeSizeField([]int{0, 0, 0, 0, 99}); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestPrefixDisambiguation(t *testing.T) {
+	// The data prefix must be a strict prefix of the calibration
+	// prefix (the parser depends on it).
+	dp, cp := DataPrefix(), CalPrefix()
+	if len(dp) >= len(cp) {
+		t.Fatal("data prefix not shorter")
+	}
+	for i := range dp {
+		if dp[i] != cp[i] {
+			t.Fatalf("prefixes diverge at %d", i)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindOff: "off", KindWhite: "white", KindData: "data", KindGap: "gap"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+	if PacketData.String() != "data" || PacketCalibration.String() != "calibration" {
+		t.Error("PacketKind strings wrong")
+	}
+}

@@ -1,0 +1,95 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"colorbars/internal/csk"
+)
+
+func TestScrambleSelfInverse(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(Scramble(Scramble(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScrambleChangesRepetitiveData(t *testing.T) {
+	// The whole point of whitening: a constant payload must not stay
+	// constant on air.
+	data := bytes.Repeat([]byte{0x00}, 64)
+	s := Scramble(data)
+	distinct := map[byte]bool{}
+	for _, b := range s {
+		distinct[b] = true
+	}
+	if len(distinct) < 32 {
+		t.Errorf("scrambled constant payload has only %d distinct bytes", len(distinct))
+	}
+}
+
+func TestScrambleBreaksSymbolRuns(t *testing.T) {
+	// Repetitive application payloads must not produce long runs of
+	// identical CSK symbols after whitening (runs merge into single
+	// bands on the receiver).
+	data := bytes.Repeat([]byte("ABABABAB"), 16)
+	for _, order := range csk.Orders {
+		syms := order.Pack(Scramble(data))
+		run, maxRun := 1, 1
+		for i := 1; i < len(syms); i++ {
+			if syms[i] == syms[i-1] {
+				run++
+				if run > maxRun {
+					maxRun = run
+				}
+			} else {
+				run = 1
+			}
+		}
+		// A random-looking stream still produces short runs by chance
+		// (a 2-bit alphabet sees runs of ~log4(n)); the guard is
+		// against the unwhitened pathology, where the entire payload
+		// is one run.
+		if maxRun > 9 {
+			t.Errorf("%v: run of %d identical symbols after whitening", order, maxRun)
+		}
+	}
+}
+
+func TestScramblePreservesLength(t *testing.T) {
+	for _, n := range []int{0, 1, 254, 255, 256, 1000} {
+		if got := len(Scramble(make([]byte, n))); got != n {
+			t.Errorf("length %d scrambled to %d", n, got)
+		}
+	}
+}
+
+func TestScrambleDoesNotAliasInput(t *testing.T) {
+	in := []byte{1, 2, 3}
+	out := Scramble(in)
+	out[0] ^= 0xFF
+	if in[0] != 1 {
+		t.Error("Scramble aliased its input")
+	}
+}
+
+func TestScramblerSequenceNondegenerate(t *testing.T) {
+	// The whitening sequence itself must not be short-periodic.
+	zero := make([]byte, 255)
+	seq := Scramble(zero)
+	for period := 1; period <= 16; period++ {
+		match := true
+		for i := period; i < len(seq); i++ {
+			if seq[i] != seq[i-period] {
+				match = false
+				break
+			}
+		}
+		if match {
+			t.Fatalf("whitening sequence has period %d", period)
+		}
+	}
+}

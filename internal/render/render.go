@@ -1,0 +1,78 @@
+// Package render turns simulated camera frames and LED waveforms into
+// images for inspection — the band patterns of Figs 1 and 3(c) of the
+// paper, generated from the same pipeline the receiver decodes.
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/led"
+)
+
+// Frame renders a captured frame as an image. The rolling-shutter axis
+// (scanlines) runs vertically, as it would on a phone held upright;
+// each simulated column sample is widened to colWidth pixels so the
+// bands are visible at a glance.
+func Frame(f *camera.Frame, colWidth int) *image.RGBA {
+	if colWidth < 1 {
+		colWidth = 1
+	}
+	img := image.NewRGBA(image.Rect(0, 0, f.Cols*colWidth, f.Rows))
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			px := toSRGB(f.At(r, c))
+			for w := 0; w < colWidth; w++ {
+				img.SetRGBA(c*colWidth+w, r, px)
+			}
+		}
+	}
+	return img
+}
+
+// Waveform renders an LED waveform as a horizontal color stripe: one
+// column per symbol, symWidth pixels wide and height pixels tall —
+// the transmitted sequence before the camera sees it.
+func Waveform(w *led.Waveform, symWidth, height int) *image.RGBA {
+	if symWidth < 1 {
+		symWidth = 1
+	}
+	if height < 1 {
+		height = 1
+	}
+	n := w.NumSymbols()
+	img := image.NewRGBA(image.Rect(0, 0, n*symWidth, height))
+	for i := 0; i < n; i++ {
+		px := toSRGB(w.Drive(i))
+		for x := 0; x < symWidth; x++ {
+			for y := 0; y < height; y++ {
+				img.SetRGBA(i*symWidth+x, y, px)
+			}
+		}
+	}
+	return img
+}
+
+// WritePNG encodes the image as PNG.
+func WritePNG(w io.Writer, img image.Image) error {
+	if err := png.Encode(w, img); err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	return nil
+}
+
+// toSRGB converts a linear sensor value to a display pixel.
+func toSRGB(c colorspace.RGB) color.RGBA {
+	enc := c.Clamp().Delinearize()
+	return color.RGBA{
+		R: uint8(enc.R*255 + 0.5),
+		G: uint8(enc.G*255 + 0.5),
+		B: uint8(enc.B*255 + 0.5),
+		A: 255,
+	}
+}

@@ -1,0 +1,108 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/led"
+)
+
+func testWaveform(t *testing.T) *led.Waveform {
+	t.Helper()
+	drives := []colorspace.RGB{{R: 1}, {G: 1}, {B: 1}, {R: 1, G: 1, B: 1}}
+	w, err := led.NewWaveform(led.Config{SymbolRate: 1000, Power: 1}, drives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWaveformImageGeometry(t *testing.T) {
+	w := testWaveform(t)
+	img := Waveform(w, 5, 12)
+	if got := img.Bounds().Dx(); got != 4*5 {
+		t.Errorf("width %d, want 20", got)
+	}
+	if got := img.Bounds().Dy(); got != 12 {
+		t.Errorf("height %d, want 12", got)
+	}
+	// First symbol is pure red → the first column must be red-dominant.
+	r, g, b, _ := img.At(0, 0).RGBA()
+	if !(r > g && r > b) {
+		t.Errorf("first symbol pixel not red: %d %d %d", r, g, b)
+	}
+	// Fourth symbol is white.
+	r, g, b, _ = img.At(3*5+1, 0).RGBA()
+	if r < 0xF000 || g < 0xF000 || b < 0xF000 {
+		t.Errorf("white symbol pixel too dark: %d %d %d", r, g, b)
+	}
+}
+
+func TestWaveformImageClampsArgs(t *testing.T) {
+	w := testWaveform(t)
+	img := Waveform(w, 0, 0) // degenerate args clamp to 1
+	if img.Bounds().Dx() != 4 || img.Bounds().Dy() != 1 {
+		t.Errorf("bounds %v", img.Bounds())
+	}
+}
+
+func TestFrameImageShowsBands(t *testing.T) {
+	// An alternating red/blue LED must render as alternating bands
+	// along the vertical (scanline) axis.
+	prof := camera.Ideal()
+	cam := camera.New(prof, 1)
+	cam.SetManual(100e-6, 100)
+	drives := make([]colorspace.RGB, 300)
+	for i := range drives {
+		if i%2 == 0 {
+			drives[i] = colorspace.RGB{R: 1}
+		} else {
+			drives[i] = colorspace.RGB{B: 1}
+		}
+	}
+	w, _ := led.NewWaveform(led.Config{SymbolRate: 1000, Power: 1}, drives)
+	f := cam.Capture(w, 0)
+	img := Frame(f, 3)
+	if img.Bounds().Dx() != f.Cols*3 || img.Bounds().Dy() != f.Rows {
+		t.Fatalf("bounds %v for %dx%d frame", img.Bounds(), f.Cols, f.Rows)
+	}
+	// Count red/blue dominance transitions down one column.
+	transitions := 0
+	prevRed := false
+	first := true
+	for y := 0; y < f.Rows; y++ {
+		r, _, b, _ := img.At(0, y).RGBA()
+		red := r > b
+		if first {
+			prevRed, first = red, false
+			continue
+		}
+		if red != prevRed {
+			transitions++
+			prevRed = red
+		}
+	}
+	expected := int(prof.ActiveTime() * 1000)
+	if transitions < expected/2 || transitions > expected*2 {
+		t.Errorf("%d band transitions, expected ~%d", transitions, expected)
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	w := testWaveform(t)
+	img := Waveform(w, 2, 4)
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds() != img.Bounds() {
+		t.Errorf("decoded bounds %v, want %v", decoded.Bounds(), img.Bounds())
+	}
+}

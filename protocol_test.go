@@ -1,0 +1,145 @@
+package colorbars
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"colorbars/internal/modem"
+)
+
+// Tests for the application-layer message protocol (segment/takeBlock)
+// that don't need the full optical pipeline.
+
+// encodeBlocks runs segment and returns the per-block byte slices.
+func encodeBlocks(t *testing.T, tx *Transmitter, msg []byte) [][]byte {
+	t.Helper()
+	seg, err := tx.segment(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg)%tx.k != 0 {
+		t.Fatalf("segmented length %d not a multiple of k=%d", len(seg), tx.k)
+	}
+	var blocks [][]byte
+	for off := 0; off < len(seg); off += tx.k {
+		blocks = append(blocks, seg[off:off+tx.k])
+	}
+	return blocks
+}
+
+func TestSegmentHeadersConsistent(t *testing.T) {
+	tx, err := NewTransmitter(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("seg"), 40)
+	blocks := encodeBlocks(t, tx, msg)
+	total := len(blocks)
+	for i, b := range blocks {
+		if int(b[0]) != i {
+			t.Errorf("block %d: seq %d", i, b[0])
+		}
+		if int(b[1]) != total {
+			t.Errorf("block %d: total %d, want %d", i, b[1], total)
+		}
+		if got := int(binary.BigEndian.Uint16(b[2:4])); got != len(msg) {
+			t.Errorf("block %d: msgLen %d, want %d", i, got, len(msg))
+		}
+		if crc := binary.BigEndian.Uint16(b[4:6]); crc != crc16(b[blockHeaderLen:]) {
+			t.Errorf("block %d: CRC mismatch", i)
+		}
+	}
+}
+
+func TestReassemblyOutOfOrderAndDuplicates(t *testing.T) {
+	cfg := DefaultConfig()
+	tx, _ := NewTransmitter(cfg)
+	rx, _ := NewReceiver(cfg)
+	msg := bytes.Repeat([]byte("reorder-"), 30)
+	blocks := encodeBlocks(t, tx, msg)
+	if len(blocks) < 3 {
+		t.Fatalf("want multi-block message, got %d", len(blocks))
+	}
+	// Deliver: last, middle duplicated, first, then the rest.
+	order := []int{len(blocks) - 1, 1, 1, 0}
+	for i := 2; i < len(blocks)-1; i++ {
+		order = append(order, i)
+	}
+	var got *Message
+	for _, idx := range order {
+		if m := rx.takeBlock(modem.Block{Data: blocks[idx], Recovered: true}); m != nil {
+			got = m
+		}
+	}
+	if got == nil {
+		t.Fatal("message never completed")
+	}
+	if !bytes.Equal(got.Data, msg) {
+		t.Error("reassembled message corrupt")
+	}
+}
+
+func TestReassemblyRejectsBadCRC(t *testing.T) {
+	cfg := DefaultConfig()
+	tx, _ := NewTransmitter(cfg)
+	rx, _ := NewReceiver(cfg)
+	msg := []byte("crc-protected payload!")
+	blocks := encodeBlocks(t, tx, msg)
+	bad := append([]byte(nil), blocks[0]...)
+	bad[blockHeaderLen] ^= 0xFF // corrupt chunk without fixing CRC
+	if m := rx.takeBlock(modem.Block{Data: bad, Recovered: true}); m != nil {
+		t.Error("corrupt block accepted")
+	}
+	if have, _ := rx.Progress(); have != 0 {
+		t.Error("corrupt block entered reassembly state")
+	}
+}
+
+func TestReassemblyNewMessageResets(t *testing.T) {
+	cfg := DefaultConfig()
+	tx, _ := NewTransmitter(cfg)
+	rx, _ := NewReceiver(cfg)
+	msgA := bytes.Repeat([]byte("AAAA"), 40)
+	msgB := bytes.Repeat([]byte("BB"), 40) // different length → new message
+	blocksA := encodeBlocks(t, tx, msgA)
+	blocksB := encodeBlocks(t, tx, msgB)
+
+	// Partially deliver A, then fully deliver B: B must complete
+	// cleanly despite the stale A state.
+	rx.takeBlock(modem.Block{Data: blocksA[0], Recovered: true})
+	var got *Message
+	for _, b := range blocksB {
+		if m := rx.takeBlock(modem.Block{Data: b, Recovered: true}); m != nil {
+			got = m
+		}
+	}
+	if got == nil {
+		t.Fatal("second message never completed")
+	}
+	if !bytes.Equal(got.Data, msgB) {
+		t.Error("second message corrupt")
+	}
+}
+
+func TestSegmentLimits(t *testing.T) {
+	tx, err := NewTransmitter(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := tx.k - blockHeaderLen
+	// A message needing >255 blocks must be rejected.
+	if _, err := tx.segment(make([]byte, 256*chunk+1)); err == nil {
+		t.Error("oversized block count accepted")
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CCITT-FALSE check value for "123456789".
+	if got := crc16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("crc16 = %#04x, want 0x29B1", got)
+	}
+	if got := crc16(nil); got != 0xFFFF {
+		t.Errorf("crc16(empty) = %#04x, want init value", got)
+	}
+}
