@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+# ci is the full gate: static checks, build, the race-enabled test
+# suite, and a single-iteration pass over the ProcessFrame benchmarks
+# (so the telemetry-overhead path compiles and runs).
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=- -bench=BenchmarkProcessFrame -benchtime=1x ./...

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations]
-//	                [-duration seconds] [-seed n]
+//	                [-duration seconds] [-seed n] [-telemetry-addr host:port]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"colorbars/internal/csk"
 	"colorbars/internal/experiments"
 	"colorbars/internal/metrics"
+	"colorbars/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +28,23 @@ func main() {
 	duration := flag.Float64("duration", 3, "simulated seconds per measured cell")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	csvDir := flag.String("csv", "", "also write CSV files for the plottable experiments into this directory")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
 	flag.Parse()
 	csvOutDir = *csvDir
+
+	if *telemetryAddr != "" {
+		// Every metrics.Run rolls its counters up into the process
+		// registry, so the expvar endpoint shows live aggregate progress
+		// across all experiment cells.
+		telemetry.PublishExpvar("colorbars", telemetry.Process())
+		l, err := telemetry.ServeDebug(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer l.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: expvar and pprof on http://%s/debug/\n", l.Addr())
+	}
 
 	runners := map[string]func(float64, int64) error{
 		"table1":    runTable1,

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	colorbars-rx [-device nexus5|iphone5s|ideal] [-order n] [-rate hz]
-//	             [-white frac] [-duration s] [-seed n] [file]
+//	             [-white frac] [-duration s] [-seed n]
+//	             [-telemetry-addr host:port] [-trace file.jsonl] [file]
 //
 // The link parameters (order, rate, white fraction) must match the
 // transmitter's; in a deployment they are part of the published sign
@@ -25,6 +26,7 @@ import (
 	"colorbars/internal/camera"
 	"colorbars/internal/colorspace"
 	"colorbars/internal/led"
+	"colorbars/internal/telemetry"
 )
 
 func main() {
@@ -34,11 +36,22 @@ func main() {
 	white := flag.Float64("white", 0, "white illumination fraction (0 = auto; must match the transmitter)")
 	duration := flag.Float64("duration", 0, "capture seconds (0 = whole waveform)")
 	seed := flag.Int64("seed", 1, "camera noise seed")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
+	tracePath := flag.String("trace", "", "write a JSONL trace of every pipeline stage and counter to this file")
 	flag.Parse()
 
 	prof, ok := camera.Profiles()[*device]
 	if !ok {
 		fatal(fmt.Errorf("unknown device %q", *device))
+	}
+	if *telemetryAddr != "" {
+		telemetry.PublishExpvar("colorbars", telemetry.Process())
+		l, err := telemetry.ServeDebug(*telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer l.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: expvar and pprof on http://%s/debug/\n", l.Addr())
 	}
 
 	in := os.Stdin
@@ -68,6 +81,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var trace *telemetry.JSONLSink
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer tf.Close()
+		trace = telemetry.NewJSONLSink(tf)
+		rx.Telemetry().SetSink(trace)
+	}
 
 	capture := wave.Duration()
 	if *duration > 0 && *duration < capture {
@@ -86,9 +109,13 @@ func main() {
 		found++
 		fmt.Printf("message %d (%d blocks): %q\n", found, m.Blocks, m.Data)
 	}
-	s := rx.Stats()
-	fmt.Fprintf(os.Stderr, "frames %d, symbols %d, packets %d data / %d cal / %d discarded, blocks %d ok / %d failed\n",
-		s.Frames, s.SymbolsIn, s.DataPackets, s.CalibrationPackets, s.DiscardedPackets, s.BlocksOK, s.BlocksFailed)
+	fmt.Fprintln(os.Stderr, rx.Stats().String())
+	if trace != nil {
+		if err := trace.Err(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
+	}
 	if found == 0 {
 		fmt.Fprintln(os.Stderr, "no message recovered")
 		os.Exit(1)

@@ -19,6 +19,7 @@ import (
 	"colorbars/internal/colorspace"
 	"colorbars/internal/led"
 	"colorbars/internal/render"
+	"colorbars/internal/telemetry"
 )
 
 func main() {
@@ -31,12 +32,22 @@ func main() {
 	message := flag.String("message", "ColorBars: LED-to-camera communication with color shift keying.", "message to broadcast")
 	dumpFrame := flag.String("dump-frame", "", "write the first captured frame as a PNG to this path")
 	dumpWave := flag.String("dump-waveform", "", "write the first 400 transmitted symbols as a PNG stripe to this path")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
 	flag.Parse()
 
 	prof, ok := camera.Profiles()[*device]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown device %q (want nexus5, iphone5s, ideal)\n", *device)
 		os.Exit(2)
+	}
+	if *telemetryAddr != "" {
+		telemetry.PublishExpvar("colorbars", telemetry.Process())
+		l, err := telemetry.ServeDebug(*telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer l.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: expvar and pprof on http://%s/debug/\n", l.Addr())
 	}
 	cfg := colorbars.Config{
 		Order:         colorbars.Order(*order),

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"colorbars"
+	"colorbars/internal/telemetry"
 )
 
 func main() {
@@ -26,7 +27,18 @@ func main() {
 	white := flag.Float64("white", 0, "white illumination fraction (0 = auto)")
 	repeat := flag.Float64("repeat", 0, "repeat the broadcast to cover this many seconds (0 = single pass)")
 	out := flag.String("o", "-", "output file (- for stdout)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		telemetry.PublishExpvar("colorbars", telemetry.Process())
+		l, err := telemetry.ServeDebug(*telemetryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer l.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: expvar and pprof on http://%s/debug/\n", l.Addr())
+	}
 
 	message := strings.Join(flag.Args(), " ")
 	if message == "" {

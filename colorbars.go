@@ -43,6 +43,7 @@ import (
 	"colorbars/internal/led"
 	"colorbars/internal/modem"
 	"colorbars/internal/rs"
+	"colorbars/internal/telemetry"
 )
 
 // Re-exported building blocks. These aliases make the internal types
@@ -232,6 +233,7 @@ func NewTransmitter(cfg Config) (*Transmitter, error) {
 		Triangle:         cie.SRGBTriangle,
 		CalibrationEvery: cfg.CalibrationEvery,
 		Code:             code,
+		Telemetry:        telemetry.Process().NewChild(),
 	})
 	if err != nil {
 		return nil, err
@@ -241,6 +243,11 @@ func NewTransmitter(cfg Config) (*Transmitter, error) {
 
 // Config returns the link configuration (with defaults resolved).
 func (t *Transmitter) Config() Config { return t.cfg }
+
+// Telemetry returns the transmitter's metric registry (a child of
+// telemetry.Process(), so the tx.* counters also roll up into the
+// process-level registry exposed via -telemetry-addr).
+func (t *Transmitter) Telemetry() *telemetry.Registry { return t.tx.Telemetry() }
 
 // segment splits a message into headered blocks of exactly k bytes.
 func (t *Transmitter) segment(msg []byte) ([]byte, error) {
@@ -326,6 +333,7 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 		WhiteFraction: cfg.WhiteFraction,
 		Code:          code,
 		Triangle:      cie.SRGBTriangle,
+		Telemetry:     telemetry.Process().NewChild(),
 	})
 	if err != nil {
 		return nil, err
@@ -338,6 +346,11 @@ func (r *Receiver) Config() Config { return r.cfg }
 
 // Stats returns the receiver's low-level counters.
 func (r *Receiver) Stats() modem.RxStats { return r.rx.Stats() }
+
+// Telemetry returns the receiver's metric registry (a child of
+// telemetry.Process()); attach a trace sink with SetSink or read a
+// Snapshot for the per-stage latency histograms and failure counters.
+func (r *Receiver) Telemetry() *telemetry.Registry { return r.rx.Telemetry() }
 
 // Calibrated reports whether the receiver has obtained color
 // references from a calibration packet.

@@ -34,6 +34,7 @@ import (
 	"math/rand"
 
 	"colorbars/internal/colorspace"
+	"colorbars/internal/telemetry"
 )
 
 // Source is any radiance field the camera can image: something that
@@ -317,6 +318,13 @@ type Camera struct {
 	exposure float64
 	iso      float64
 	manual   bool
+
+	// Telemetry (optional, attached with Instrument): nil fields are
+	// inert, so an uninstrumented camera pays only nil checks.
+	tel         *telemetry.Registry
+	framesCount *telemetry.Counter
+	expGauge    *telemetry.Gauge
+	isoGauge    *telemetry.Gauge
 }
 
 // New returns a camera for the profile with a deterministic noise
@@ -336,6 +344,16 @@ func New(p Profile, seed int64) *Camera {
 
 // Profile returns the camera's device profile.
 func (c *Camera) Profile() Profile { return c.profile }
+
+// Instrument attaches a telemetry registry: Capture records the
+// camera.capture span and camera.frames counter, and the auto-exposure
+// state is published as camera.exposure_s / camera.iso gauges.
+func (c *Camera) Instrument(t *telemetry.Registry) {
+	c.tel = t
+	c.framesCount = t.Counter("camera.frames")
+	c.expGauge = t.Gauge("camera.exposure_s")
+	c.isoGauge = t.Gauge("camera.iso")
+}
 
 // Exposure returns the current exposure time in seconds.
 func (c *Camera) Exposure() float64 { return c.exposure }
@@ -358,6 +376,9 @@ func (c *Camera) SetAuto() { c.manual = false }
 // start (seconds on the waveform clock), and advances the
 // auto-exposure state.
 func (c *Camera) Capture(w Source, start float64) *Frame {
+	sp := c.tel.StartSpan("camera.capture")
+	defer sp.End()
+	c.framesCount.Inc()
 	p := c.profile
 	f := &Frame{
 		Rows:     p.Rows,
@@ -408,6 +429,8 @@ func (c *Camera) Capture(w Source, start float64) *Frame {
 	if !c.manual {
 		c.autoExpose(f)
 	}
+	c.expGauge.Set(c.exposure)
+	c.isoGauge.Set(c.iso)
 	return f
 }
 
@@ -415,6 +438,8 @@ func (c *Camera) Capture(w Source, start float64) *Frame {
 // rate (plus the profile's timing jitter). Light during the
 // inter-frame gaps is, by construction, never sampled.
 func (c *Camera) CaptureVideo(w Source, start float64, n int) []*Frame {
+	sp := c.tel.StartSpan("camera.capture_video")
+	defer sp.End()
 	frames := make([]*Frame, 0, n)
 	period := c.profile.FramePeriod()
 	maxJitter := c.profile.GapTime() * 0.45 // keep frames non-overlapping

@@ -26,6 +26,8 @@ import (
 	"colorbars/internal/csk"
 	"colorbars/internal/modem"
 	"colorbars/internal/packet"
+	"colorbars/internal/rs"
+	"colorbars/internal/telemetry"
 )
 
 // DefaultDriveJitter is the tri-LED driver's per-symbol intensity
@@ -96,6 +98,17 @@ type LinkParams struct {
 	// single tri-LED). Larger values model tri-LED arrays (the
 	// paper's §10 future work for longer range).
 	Power float64
+	// Telemetry receives the whole run's spans and counters
+	// (transmitter, camera, receiver, and the metrics.* phases). Nil
+	// creates a per-run child of telemetry.Process(), so every run
+	// rolls up into the process-level registry the cmd tools expose
+	// via -telemetry-addr while LinkResult stays per-run exact.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, is attached to the run's registry as its
+	// event sink: the run records a structured JSONL-able trace of
+	// every pipeline stage and counter increment — *why* blocks
+	// failed, not just how many.
+	Trace telemetry.TraceSink
 }
 
 // LinkResult holds the measured quantities.
@@ -114,6 +127,9 @@ type LinkResult struct {
 	MeasuredLossRatio float64
 	// Stats carries the receiver's raw counters.
 	Stats modem.RxStats
+	// Telemetry is the run's full metric snapshot: every counter of
+	// Stats plus the per-stage failure counters and latency spans.
+	Telemetry telemetry.Snapshot
 }
 
 // Run measures one link configuration end to end: it builds a
@@ -124,6 +140,16 @@ func Run(p LinkParams) (LinkResult, error) {
 	if p.Duration <= 0 {
 		return LinkResult{}, fmt.Errorf("metrics: duration %v must be positive", p.Duration)
 	}
+	tel := p.Telemetry
+	if tel == nil {
+		tel = telemetry.Process().NewChild()
+	}
+	if p.Trace != nil {
+		tel.SetSink(p.Trace)
+	}
+	run := tel.StartSpan("metrics.run")
+	defer run.End()
+
 	params := coding.Params{
 		SymbolRate:   p.SymbolRate,
 		FrameRate:    p.Profile.FrameRate,
@@ -131,9 +157,15 @@ func Run(p LinkParams) (LinkResult, error) {
 		Order:        p.Order,
 		DataFraction: 1 - p.WhiteFraction,
 	}
-	code, err := params.LinkCode()
+	// Each sizing path is checked exactly once (the erasure path used
+	// to overwrite the LinkCode result/err pair it had already
+	// computed).
+	var code *rs.Code
+	var err error
 	if p.ErasureSizing {
 		code, err = params.LinkCodeErasure()
+	} else {
+		code, err = params.LinkCode()
 	}
 	if err != nil {
 		return LinkResult{}, err
@@ -158,6 +190,7 @@ func Run(p LinkParams) (LinkResult, error) {
 		DriveJitter:       resolveJitter(p.DriveJitter),
 		Seed:              p.Seed,
 		ReceiverOptimized: p.ReceiverOptimized,
+		Telemetry:         tel,
 	})
 	if err != nil {
 		return LinkResult{}, err
@@ -170,6 +203,7 @@ func Run(p LinkParams) (LinkResult, error) {
 		UseFactoryReferences: p.UseFactoryRefs,
 		NoErasureDecoding:    p.NoErasureDecoding,
 		ReceiverOptimized:    p.ReceiverOptimized,
+		Telemetry:            tel,
 	})
 	if err != nil {
 		return LinkResult{}, err
@@ -189,7 +223,9 @@ func Run(p LinkParams) (LinkResult, error) {
 	// On-air symbols carry the whitened codeword (see packet.Scramble).
 	truth := p.Order.Pack(packet.Scramble(cw))
 
+	sp := run.StartChild("metrics.build_waveform")
 	w, err := tx.BuildWaveformRepeating(msg, p.Duration+0.5)
+	sp.End()
 	if err != nil {
 		return LinkResult{}, err
 	}
@@ -203,14 +239,24 @@ func Run(p LinkParams) (LinkResult, error) {
 	}
 
 	cam := camera.New(p.Profile, p.Seed)
+	cam.Instrument(tel)
 	nFrames := int(p.Duration * p.Profile.FrameRate)
+
+	sp = run.StartChild("metrics.capture")
+	frames := cam.CaptureVideo(ch, 0, nFrames)
+	sp.End()
+
+	sp = run.StartChild("metrics.decode")
 	var blocks []modem.Block
-	for _, f := range cam.CaptureVideo(ch, 0, nFrames) {
+	for _, f := range frames {
 		blocks = append(blocks, rx.ProcessFrame(f)...)
 	}
 	blocks = append(blocks, rx.Flush()...)
+	sp.End()
 
-	return score(p, code.K(), truth, blocks, rx.Stats(), block), nil
+	res := score(p, code.K(), truth, blocks, rx.Stats(), block)
+	res.Telemetry = tel.Snapshot()
+	return res, nil
 }
 
 // score computes the result metrics from decoded blocks.

@@ -1,10 +1,15 @@
 package metrics
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"testing"
 
 	"colorbars/internal/camera"
 	"colorbars/internal/csk"
+	"colorbars/internal/telemetry"
 )
 
 func TestRunRejectsBadDuration(t *testing.T) {
@@ -133,8 +138,121 @@ func TestRunDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	// Telemetry latency histograms measure wall-clock time and
+	// legitimately differ between runs; every counter must match.
+	if !reflect.DeepEqual(a.Telemetry.Counters, b.Telemetry.Counters) {
+		t.Errorf("same seed produced different telemetry counters:\n%+v\n%+v",
+			a.Telemetry.Counters, b.Telemetry.Counters)
+	}
+	a.Telemetry, b.Telemetry = telemetry.Snapshot{}, telemetry.Snapshot{}
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunTraceCountersMatchStats runs a link with a JSONL trace sink
+// attached and checks the books balance: summing every count event's
+// delta per counter must reproduce both the final snapshot and the
+// RxStats the run reports — the trace is a complete record, not a
+// sample.
+func TestRunTraceCountersMatchStats(t *testing.T) {
+	var buf bytes.Buffer
+	sink := telemetry.NewJSONLSink(&buf)
+	res, err := Run(LinkParams{
+		Order: csk.CSK8, SymbolRate: 2000, Profile: camera.Nexus5(),
+		WhiteFraction: 0.2, Duration: 2, Seed: 8,
+		Telemetry: telemetry.NewRegistry(), Trace: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sums := map[string]int64{}
+	spans := map[string]int64{}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e telemetry.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		switch e.Kind {
+		case telemetry.KindCount:
+			sums[e.Name] += e.Delta
+		case telemetry.KindSpan:
+			spans[e.Name]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := res.Stats
+	for name, want := range map[string]int{
+		"rx.frames":           s.Frames,
+		"rx.symbols_in":       s.SymbolsIn,
+		"rx.symbols_data":     s.DataSymbolsIn,
+		"rx.packets_data":     s.DataPackets,
+		"rx.deframe_discards": s.DiscardedPackets,
+		"rx.rs_decode_ok":     s.BlocksOK,
+		"rx.rs_decode_fail":   s.BlocksFailed,
+	} {
+		if sums[name] != int64(want) {
+			t.Errorf("trace sum %s = %d, RxStats says %d", name, sums[name], want)
+		}
+	}
+	if s.BlocksOK == 0 {
+		t.Error("run decoded nothing; trace consistency is vacuous")
+	}
+	// The trace's sums must also agree with the run's final snapshot.
+	for name, v := range res.Telemetry.Counters {
+		if sums[name] != v {
+			t.Errorf("trace sum %s = %d, snapshot says %d", name, sums[name], v)
+		}
+	}
+	// Stage spans fire once per frame; the run-level span exactly once.
+	if spans["rx.frame"] != int64(s.Frames) {
+		t.Errorf("rx.frame spans %d, frames %d", spans["rx.frame"], s.Frames)
+	}
+	if spans["metrics.run"] != 1 {
+		t.Errorf("metrics.run spans = %d, want 1", spans["metrics.run"])
+	}
+	for _, name := range []string{"metrics.build_waveform", "metrics.capture", "metrics.decode", "tx.encode", "camera.capture_video"} {
+		if spans[name] == 0 {
+			t.Errorf("trace has no %s span", name)
+		}
+	}
+}
+
+// TestRunSizingPaths checks the two RS sizing paths stay distinct and
+// each one is exercised exactly as selected: the codes differ in k
+// (erasure-aware sizing provisions half the parity), so with everything
+// else fixed the two runs must both carry data yet report different
+// goodput quanta.
+func TestRunSizingPaths(t *testing.T) {
+	base := LinkParams{
+		Order: csk.CSK8, SymbolRate: 2000, Profile: camera.Nexus5(),
+		WhiteFraction: 0.2, Duration: 2, Seed: 9,
+	}
+	paper, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erasure := base
+	erasure.ErasureSizing = true
+	eras, err := Run(erasure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.GoodputBps <= 0 || eras.GoodputBps <= 0 {
+		t.Fatalf("dead link: paper %v, erasure %v", paper.GoodputBps, eras.GoodputBps)
+	}
+	if eras.GoodputBps == paper.GoodputBps {
+		t.Errorf("sizing paths produced identical goodput %v; erasure path no longer selects a different code",
+			eras.GoodputBps)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"colorbars/internal/csk"
 	"colorbars/internal/packet"
 	"colorbars/internal/rs"
+	"colorbars/internal/telemetry"
 )
 
 // RxConfig configures a ColorBars receiver.
@@ -40,6 +41,11 @@ type RxConfig struct {
 	// ReceiverOptimized must match the transmitter's setting (see
 	// TxConfig.ReceiverOptimized).
 	ReceiverOptimized bool
+	// Telemetry receives the receiver's stage spans and counters (see
+	// DESIGN.md, "Observability", for the rx.* taxonomy). Nil gives
+	// the receiver a private registry, so Stats and Snapshot always
+	// work and concurrent receivers never share counters.
+	Telemetry *telemetry.Registry
 }
 
 // Validate checks the configuration.
@@ -84,7 +90,11 @@ type Block struct {
 	RawSymbols []int
 }
 
-// RxStats counts receiver-side events across a session.
+// RxStats counts receiver-side events across a session. It is a
+// point-in-time view over the receiver's telemetry registry (the
+// counters listed in rxCounters); the struct is kept so existing
+// consumers — metrics.score, the CLI tools, tests — see stable field
+// names.
 type RxStats struct {
 	Frames             int
 	SymbolsIn          int // classified on-air symbols (all kinds)
@@ -101,6 +111,56 @@ type RxStats struct {
 	RejectedCalibrations int
 }
 
+// String renders the stats as a one-line human-readable summary.
+func (s RxStats) String() string {
+	return fmt.Sprintf(
+		"frames %d · symbols %d (data %d, white %d, off %d) · packets %d data / %d cal (%d rejected) / %d discarded · blocks %d ok / %d failed",
+		s.Frames, s.SymbolsIn, s.DataSymbolsIn, s.WhiteSymbolsIn, s.OffSymbolsIn,
+		s.DataPackets, s.CalibrationPackets, s.RejectedCalibrations, s.DiscardedPackets,
+		s.BlocksOK, s.BlocksFailed)
+}
+
+// rxCounters pre-resolves the receiver's counters so hot-path
+// increments are a single atomic add. The names are the stable rx.*
+// taxonomy documented in DESIGN.md ("Observability").
+type rxCounters struct {
+	frames              *telemetry.Counter // rx.frames
+	symbolsIn           *telemetry.Counter // rx.symbols_in
+	symbolsData         *telemetry.Counter // rx.symbols_data
+	symbolsWhite        *telemetry.Counter // rx.symbols_white
+	symbolsOff          *telemetry.Counter // rx.symbols_off
+	packetsData         *telemetry.Counter // rx.packets_data
+	packetsCalibration  *telemetry.Counter // rx.packets_calibration
+	deframeDiscards     *telemetry.Counter // rx.deframe_discards
+	calibrationRejected *telemetry.Counter // rx.calibration_rejected
+	calibrationApplied  *telemetry.Counter // rx.calibration_applied
+	uncalibratedDrops   *telemetry.Counter // rx.uncalibrated_drops
+	sizeFieldBad        *telemetry.Counter // rx.size_field_bad
+	rsAttempts          *telemetry.Counter // rx.rs_attempts
+	rsDecodeOK          *telemetry.Counter // rx.rs_decode_ok
+	rsDecodeFail        *telemetry.Counter // rx.rs_decode_fail
+}
+
+func newRxCounters(t *telemetry.Registry) rxCounters {
+	return rxCounters{
+		frames:              t.Counter("rx.frames"),
+		symbolsIn:           t.Counter("rx.symbols_in"),
+		symbolsData:         t.Counter("rx.symbols_data"),
+		symbolsWhite:        t.Counter("rx.symbols_white"),
+		symbolsOff:          t.Counter("rx.symbols_off"),
+		packetsData:         t.Counter("rx.packets_data"),
+		packetsCalibration:  t.Counter("rx.packets_calibration"),
+		deframeDiscards:     t.Counter("rx.deframe_discards"),
+		calibrationRejected: t.Counter("rx.calibration_rejected"),
+		calibrationApplied:  t.Counter("rx.calibration_applied"),
+		uncalibratedDrops:   t.Counter("rx.uncalibrated_drops"),
+		sizeFieldBad:        t.Counter("rx.size_field_bad"),
+		rsAttempts:          t.Counter("rx.rs_attempts"),
+		rsDecodeOK:          t.Counter("rx.rs_decode_ok"),
+		rsDecodeFail:        t.Counter("rx.rs_decode_fail"),
+	}
+}
+
 // Receiver decodes camera frames into data blocks.
 type Receiver struct {
 	cfg      RxConfig
@@ -110,8 +170,13 @@ type Receiver struct {
 	cls      *classifier
 	refs     []colorspace.AB // current demodulation references
 	haveRefs bool
-	stats    RxStats
 	started  bool
+
+	tel *telemetry.Registry
+	c   rxCounters
+	// seenDiscards tracks how much of deframer.Discarded has been
+	// mirrored into the rx.deframe_discards counter.
+	seenDiscards int
 }
 
 // NewReceiver builds a receiver.
@@ -124,12 +189,18 @@ func NewReceiver(cfg RxConfig) (*Receiver, error) {
 		return nil, err
 	}
 	pktCfg := packet.Config{Order: cfg.Order, WhiteFraction: cfg.WhiteFraction}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	r := &Receiver{
 		cfg:      cfg,
 		pktCfg:   pktCfg,
 		cons:     cons,
 		deframer: packet.NewDeframer(pktCfg),
 		cls:      newClassifier(),
+		tel:      tel,
+		c:        newRxCounters(tel),
 	}
 	// The classifier always knows the factory constellation geometry —
 	// it only uses it to tell white apart from data, which is a
@@ -142,11 +213,45 @@ func NewReceiver(cfg RxConfig) (*Receiver, error) {
 	return r, nil
 }
 
-// Stats returns the receiver's counters.
+// Stats returns the receiver's counters as a point-in-time view over
+// its telemetry registry.
 func (r *Receiver) Stats() RxStats {
-	s := r.stats
-	s.DiscardedPackets = r.deframer.Discarded
-	return s
+	r.syncDiscards()
+	return RxStats{
+		Frames:               int(r.c.frames.Value()),
+		SymbolsIn:            int(r.c.symbolsIn.Value()),
+		DataSymbolsIn:        int(r.c.symbolsData.Value()),
+		WhiteSymbolsIn:       int(r.c.symbolsWhite.Value()),
+		OffSymbolsIn:         int(r.c.symbolsOff.Value()),
+		DataPackets:          int(r.c.packetsData.Value()),
+		CalibrationPackets:   int(r.c.packetsCalibration.Value()),
+		DiscardedPackets:     int(r.c.deframeDiscards.Value()),
+		BlocksOK:             int(r.c.rsDecodeOK.Value()),
+		BlocksFailed:         int(r.c.rsDecodeFail.Value()),
+		RejectedCalibrations: int(r.c.calibrationRejected.Value()),
+	}
+}
+
+// Telemetry returns the receiver's registry, for attaching a trace
+// sink or publishing snapshots.
+func (r *Receiver) Telemetry() *telemetry.Registry { return r.tel }
+
+// Snapshot captures all receiver metrics, including the stage latency
+// histograms that RxStats does not carry.
+func (r *Receiver) Snapshot() telemetry.Snapshot {
+	r.syncDiscards()
+	return r.tel.Snapshot()
+}
+
+// syncDiscards mirrors the deframer's discard count into the
+// registry. The deframer stays telemetry-free (it is a pure parser);
+// the receiver folds its drop count into the rx.* namespace after
+// every push.
+func (r *Receiver) syncDiscards() {
+	if d := r.deframer.Discarded - r.seenDiscards; d > 0 {
+		r.c.deframeDiscards.Add(int64(d))
+		r.seenDiscards = r.deframer.Discarded
+	}
 }
 
 // Calibrated reports whether the receiver has demodulation references
@@ -184,21 +289,44 @@ func (r *Receiver) References() []colorspace.AB {
 // any blocks that completed. Frames must be fed in capture order; the
 // receiver inserts the inter-frame gap marker between consecutive
 // frames automatically.
+//
+// Each stage runs under a telemetry span (rx.strip → rx.segment →
+// rx.classify → rx.deframe → rx.decode, all children of rx.frame), so
+// an attached registry records where each frame's processing time —
+// and each lost packet — went.
 func (r *Receiver) ProcessFrame(f *camera.Frame) []Block {
-	r.stats.Frames++
+	frame := r.tel.StartSpan("rx.frame")
+	defer frame.End()
+	r.c.frames.Inc()
 	rowsPerSym := 1 / (r.cfg.SymbolRate * f.RowTime)
-	syms := frameSymbols(f, rowsPerSym, r.cls)
-	r.stats.SymbolsIn += len(syms)
+
+	sp := frame.StartChild("rx.strip")
+	strip := extractStrip(f)
+	sp.End()
+
+	sp = frame.StartChild("rx.segment")
+	bands := segmentBands(strip, rowsPerSym, f.Exposure/f.RowTime)
+	sp.End()
+
+	sp = frame.StartChild("rx.classify")
+	syms := classifyBands(strip, bands, rowsPerSym, r.cls)
+	sp.End()
+
+	r.c.symbolsIn.Add(int64(len(syms)))
+	var nData, nWhite, nOff int64
 	for _, s := range syms {
 		switch s.Kind {
 		case packet.KindData:
-			r.stats.DataSymbolsIn++
+			nData++
 		case packet.KindWhite:
-			r.stats.WhiteSymbolsIn++
+			nWhite++
 		case packet.KindOff:
-			r.stats.OffSymbolsIn++
+			nOff++
 		}
 	}
+	r.c.symbolsData.Add(nData)
+	r.c.symbolsWhite.Add(nWhite)
+	r.c.symbolsOff.Add(nOff)
 
 	var feed []packet.RxSymbol
 	if r.started {
@@ -207,19 +335,30 @@ func (r *Receiver) ProcessFrame(f *camera.Frame) []Block {
 	r.started = true
 	feed = append(feed, syms...)
 
+	sp = frame.StartChild("rx.deframe")
+	pkts := r.deframer.Push(feed)
+	sp.End()
+	r.syncDiscards()
+
+	sp = frame.StartChild("rx.decode")
 	var blocks []Block
-	for _, pkt := range r.deframer.Push(feed) {
+	for _, pkt := range pkts {
 		if b := r.handlePacket(pkt); b != nil {
 			blocks = append(blocks, *b)
 		}
 	}
+	sp.End()
 	return blocks
 }
 
 // Flush drains any partially buffered packet at end of capture.
 func (r *Receiver) Flush() []Block {
+	sp := r.tel.StartSpan("rx.flush")
+	defer sp.End()
+	pkts := r.deframer.Flush()
+	r.syncDiscards()
 	var blocks []Block
-	for _, pkt := range r.deframer.Flush() {
+	for _, pkt := range pkts {
 		if b := r.handlePacket(pkt); b != nil {
 			blocks = append(blocks, *b)
 		}
@@ -231,12 +370,12 @@ func (r *Receiver) Flush() []Block {
 func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 	switch pkt.Kind {
 	case packet.PacketCalibration:
-		r.stats.CalibrationPackets++
+		r.c.packetsCalibration.Inc()
 		if !r.validCalibration(pkt.Colors) {
 			// A damaged data packet can masquerade as a calibration
 			// packet; accepting its colors would poison the reference
 			// set for every later packet. Reject implausible bodies.
-			r.stats.RejectedCalibrations++
+			r.c.calibrationRejected.Inc()
 			return nil
 		}
 		if len(pkt.Colors) == int(r.cfg.Order) && !r.cfg.UseFactoryReferences {
@@ -265,20 +404,22 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 			// The classifier discriminates white-vs-data better with
 			// the device's own view of the constellation.
 			r.cls.setDataRefs(r.refs)
+			r.c.calibrationApplied.Inc()
 		}
 		return nil
 	case packet.PacketData:
-		r.stats.DataPackets++
+		r.c.packetsData.Inc()
 		if !r.haveRefs {
 			// Cannot demodulate before the first calibration packet
 			// (§6.2: a new receiver waits for one).
+			r.c.uncalibratedDrops.Inc()
 			return nil
 		}
 		b := r.decodeData(pkt)
 		if b.Recovered {
-			r.stats.BlocksOK++
+			r.c.rsDecodeOK.Inc()
 		} else {
-			r.stats.BlocksFailed++
+			r.c.rsDecodeFail.Inc()
 		}
 		return b
 	}
@@ -303,6 +444,7 @@ func (r *Receiver) decodeData(pkt packet.RxPacket) *Block {
 	}
 	totalSlots, err := r.pktCfg.DecodeSizeField(sizeIdx)
 	if err != nil {
+		r.c.sizeFieldBad.Inc()
 		return blk
 	}
 
@@ -456,6 +598,7 @@ func (r *Receiver) assembleSymbols(layout []bool, observed []packet.RxSlot, gaps
 // decoder with the byte erasures. needSlack marks speculative decode
 // attempts, which must leave spare parity for verification.
 func (r *Receiver) rsDecode(raw []int, erasures []int, n int, needSlack bool) ([]byte, bool) {
+	r.c.rsAttempts.Inc()
 	filled := make([]int, len(raw))
 	for i, s := range raw {
 		if s < 0 {

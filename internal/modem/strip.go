@@ -235,11 +235,19 @@ func (c *classifier) classify(lab colorspace.Lab) packet.RxSymbol {
 
 // frameSymbols runs the full front end on one frame: strip, segment,
 // split merged runs of identical symbols by the expected band width,
-// and classify. rowsPerSym must be > 0.
+// and classify. rowsPerSym must be > 0. Receiver.ProcessFrame runs
+// the same stages individually (so each gets its own telemetry span);
+// this wrapper is the uninstrumented path for tests and direct use.
 func frameSymbols(f *camera.Frame, rowsPerSym float64, cls *classifier) []packet.RxSymbol {
 	strip := extractStrip(f)
-	smearRows := f.Exposure / f.RowTime
-	bands := segmentBands(strip, rowsPerSym, smearRows)
+	bands := segmentBands(strip, rowsPerSym, f.Exposure/f.RowTime)
+	return classifyBands(strip, bands, rowsPerSym, cls)
+}
+
+// classifyBands adapts the OFF threshold to the frame, snaps band
+// boundaries to the fitted symbol grid, and classifies each band into
+// a run of received symbols.
+func classifyBands(strip []stripRow, bands []band, rowsPerSym float64, cls *classifier) []packet.RxSymbol {
 	cls.adaptOffLevel(strip)
 	// The transmitter's symbol clock projects onto the frame as a
 	// strictly periodic grid of period rowsPerSym. Fitting the grid

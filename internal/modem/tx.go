@@ -22,6 +22,7 @@ import (
 	"colorbars/internal/led"
 	"colorbars/internal/packet"
 	"colorbars/internal/rs"
+	"colorbars/internal/telemetry"
 )
 
 // TxConfig configures a ColorBars transmitter.
@@ -55,6 +56,10 @@ type TxConfig struct {
 	// instead of the standard xy-optimized layout. Both link ends must
 	// agree.
 	ReceiverOptimized bool
+	// Telemetry receives the transmitter's tx.* spans and counters
+	// (see DESIGN.md, "Observability"). Nil gives the transmitter a
+	// private registry.
+	Telemetry *telemetry.Registry
 }
 
 // Validate checks the configuration.
@@ -103,6 +108,27 @@ type Transmitter struct {
 	cons    *csk.Constellation
 	pktCfg  packet.Config
 	blocker *coding.Blocker
+
+	tel *telemetry.Registry
+	c   txCounters
+}
+
+// txCounters pre-resolves the transmitter's counters (the tx.*
+// taxonomy in DESIGN.md).
+type txCounters struct {
+	messages           *telemetry.Counter // tx.messages
+	symbolsOut         *telemetry.Counter // tx.symbols_out
+	packetsData        *telemetry.Counter // tx.packets_data
+	packetsCalibration *telemetry.Counter // tx.packets_calibration
+}
+
+func newTxCounters(t *telemetry.Registry) txCounters {
+	return txCounters{
+		messages:           t.Counter("tx.messages"),
+		symbolsOut:         t.Counter("tx.symbols_out"),
+		packetsData:        t.Counter("tx.packets_data"),
+		packetsCalibration: t.Counter("tx.packets_calibration"),
+	}
 }
 
 // NewTransmitter builds a transmitter.
@@ -119,13 +145,22 @@ func NewTransmitter(cfg TxConfig) (*Transmitter, error) {
 		return nil, fmt.Errorf("modem: codeword %d bytes exceeds packet capacity %d",
 			cfg.Code.N(), pktCfg.MaxPayloadBytes())
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	return &Transmitter{
 		cfg:     cfg,
 		cons:    cons,
 		pktCfg:  pktCfg,
 		blocker: coding.NewBlocker(cfg.Code),
+		tel:     tel,
+		c:       newTxCounters(tel),
 	}, nil
 }
+
+// Telemetry returns the transmitter's registry.
+func (t *Transmitter) Telemetry() *telemetry.Registry { return t.tel }
 
 // Config returns the transmitter configuration.
 func (t *Transmitter) Config() TxConfig { return t.cfg }
@@ -143,10 +178,13 @@ func (t *Transmitter) PacketConfig() packet.Config { return t.pktCfg }
 // always begins with a calibration packet (when enabled) so a fresh
 // receiver can calibrate before the first data packet (§6.2).
 func (t *Transmitter) EncodeMessage(msg []byte) ([]packet.TxSymbol, error) {
+	sp := t.tel.StartSpan("tx.encode")
+	defer sp.End()
 	blocks, err := t.blocker.Encode(msg)
 	if err != nil {
 		return nil, err
 	}
+	t.c.messages.Inc()
 	var out []packet.TxSymbol
 	sinceCal := 0
 	appendCal := func() error {
@@ -155,6 +193,7 @@ func (t *Transmitter) EncodeMessage(msg []byte) ([]packet.TxSymbol, error) {
 			return err
 		}
 		out = append(out, cal...)
+		t.c.packetsCalibration.Inc()
 		sinceCal = 0
 		return nil
 	}
@@ -174,6 +213,7 @@ func (t *Transmitter) EncodeMessage(msg []byte) ([]packet.TxSymbol, error) {
 			return nil, err
 		}
 		out = append(out, pkt...)
+		t.c.packetsData.Inc()
 		sinceCal++
 		// A short cycling idle pad between packets walks each packet's
 		// phase relative to the camera's frame clock: packets are
@@ -184,6 +224,7 @@ func (t *Transmitter) EncodeMessage(msg []byte) ([]packet.TxSymbol, error) {
 			out = append(out, packet.Off())
 		}
 	}
+	t.c.symbolsOut.Add(int64(len(out)))
 	return out, nil
 }
 
@@ -206,6 +247,8 @@ func (t *Transmitter) SymbolDrives(symbols []packet.TxSymbol) []colorspace.RGB {
 // BuildWaveform encodes a message straight to the LED radiance
 // waveform the camera will image.
 func (t *Transmitter) BuildWaveform(msg []byte) (*led.Waveform, error) {
+	sp := t.tel.StartSpan("tx.waveform")
+	defer sp.End()
 	symbols, err := t.EncodeMessage(msg)
 	if err != nil {
 		return nil, err
@@ -227,6 +270,8 @@ func (t *Transmitter) BuildWaveform(msg []byte) (*led.Waveform, error) {
 // packets in every repetition. The pad walks the relative phase so
 // every packet eventually lands inside a frame.
 func (t *Transmitter) BuildWaveformRepeating(msg []byte, seconds float64) (*led.Waveform, error) {
+	sp := t.tel.StartSpan("tx.waveform")
+	defer sp.End()
 	symbols, err := t.EncodeMessage(msg)
 	if err != nil {
 		return nil, err

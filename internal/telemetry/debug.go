@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// process is the per-process aggregate registry (see Process).
+var (
+	processOnce sync.Once
+	process     *Registry
+)
+
+// Process returns the per-process aggregate registry. Components that
+// create per-link registries as children of Process (the metrics
+// runner and the public colorbars API do) automatically roll their
+// counters and span latencies up here, which is what the -telemetry-addr
+// debug endpoint of the cmd tools exposes.
+func Process() *Registry {
+	processOnce.Do(func() { process = NewRegistry() })
+	return process
+}
+
+// PublishExpvar publishes the registry's snapshot as the named expvar
+// variable (visible at /debug/vars). Publishing the same name twice
+// is a no-op, so callers need not coordinate.
+func PublishExpvar(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// ServeDebug starts an HTTP server on addr (e.g. ":8080", ":0" for an
+// ephemeral port) exposing expvar at /debug/vars and the pprof
+// profiling endpoints at /debug/pprof/. It returns the bound listener
+// (whose Addr reports the actual port); the server runs until the
+// listener is closed or the process exits.
+func ServeDebug(addr string) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+	return l, nil
+}

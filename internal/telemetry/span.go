@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event kinds emitted to a TraceSink.
+const (
+	// KindSpan marks a completed span: Name, Parent, TNs (start) and
+	// DurNs are set.
+	KindSpan = "span"
+	// KindCount marks a counter increment: Name, Delta and Value (the
+	// post-increment total) are set.
+	KindCount = "count"
+)
+
+// Event is one structured trace record. Events serialize one-per-line
+// as JSON (JSONL) through JSONLSink.
+type Event struct {
+	// Seq is the registry-unique emission sequence number (1-based).
+	Seq int64 `json:"seq"`
+	// TNs is the event time in nanoseconds on the registry clock: the
+	// start time for spans, the increment time for counts.
+	TNs int64 `json:"t_ns"`
+	// Kind is KindSpan or KindCount.
+	Kind string `json:"kind"`
+	// Name is the span or counter name.
+	Name string `json:"name"`
+	// Parent names the enclosing span (spans only, empty at the root).
+	Parent string `json:"parent,omitempty"`
+	// DurNs is the span duration in nanoseconds (spans only).
+	DurNs int64 `json:"dur_ns,omitempty"`
+	// Delta is the counter increment (counts only).
+	Delta int64 `json:"delta,omitempty"`
+	// Value is the counter total after the increment (counts only).
+	Value int64 `json:"value,omitempty"`
+}
+
+// TraceSink receives trace events. Implementations must be safe for
+// concurrent Emit calls.
+type TraceSink interface {
+	Emit(Event)
+}
+
+// Span is an in-progress timed region. Spans are plain values; the
+// zero value (from a nil registry) is inert. Each completed span
+// records its duration into the histogram named after the span and,
+// when a sink is attached, emits a KindSpan event carrying its parent
+// span's name — which is how a trace reconstructs the stage tree.
+type Span struct {
+	reg    *Registry
+	hist   *Histogram
+	name   string
+	parent string
+	start  int64
+}
+
+// StartSpan begins a root-level span.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{
+		reg:   r,
+		hist:  r.Histogram(name, nil),
+		name:  name,
+		start: r.nowNs(),
+	}
+}
+
+// StartChild begins a span nested under s.
+func (s Span) StartChild(name string) Span {
+	if s.reg == nil {
+		return Span{}
+	}
+	sp := s.reg.StartSpan(name)
+	sp.parent = s.name
+	return sp
+}
+
+// End completes the span, recording its duration (in seconds) into
+// the span's latency histogram and emitting a trace event when a sink
+// is attached. End on a zero span is a no-op.
+func (s Span) End() {
+	if s.reg == nil {
+		return
+	}
+	d := s.reg.nowNs() - s.start
+	if d < 0 {
+		d = 0
+	}
+	s.hist.Observe(float64(d) / 1e9)
+	if s.reg.hasSink() {
+		s.reg.emit(Event{TNs: s.start, Kind: KindSpan, Name: s.name, Parent: s.parent, DurNs: d})
+	}
+}
+
+// JSONLSink writes each event as one JSON line.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSONL to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Encode(e); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// CollectorSink buffers events in memory (for tests and in-process
+// consumers).
+type CollectorSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends one event.
+func (c *CollectorSink) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+// Events returns a copy of the collected events.
+func (c *CollectorSink) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}

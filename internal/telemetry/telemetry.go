@@ -1,0 +1,478 @@
+// Package telemetry is the repo's instrumentation layer: atomic
+// counters and gauges, fixed-bucket latency histograms, span timers,
+// and an optional structured JSONL event sink. It is zero-dependency
+// (standard library only) and allocation-light on the hot path — a
+// counter increment is one atomic add plus one atomic pointer load,
+// and a span is a stack value whose End() is an atomic histogram
+// update when no sink is attached.
+//
+// The unit of organization is the Registry. Every instrumented
+// component (modem receiver, transmitter, camera, metrics runner)
+// records into one; components create a private registry when the
+// caller does not supply one, so per-link views such as modem.RxStats
+// stay isolated. Registries form a tree: a child created with
+// NewChild propagates every counter increment, gauge set and
+// histogram observation to its parent, which is how the per-process
+// registry (Process) aggregates across sequential experiment runs
+// while each run keeps exact per-run numbers.
+//
+// Metric names are dot-separated and stable — experiment scripts may
+// rely on them. See DESIGN.md ("Observability") for the full stage
+// taxonomy.
+//
+// All methods are safe on a nil *Registry (and on the nil metrics it
+// hands out), so optional instrumentation costs callers no branches.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics and an optional trace sink.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	parent   *Registry
+
+	sink atomic.Pointer[sinkHolder]
+	seq  atomic.Int64
+
+	// now returns nanoseconds on the registry's clock (monotonic since
+	// creation by default). Replaceable via SetClock for deterministic
+	// traces in tests.
+	now func() int64
+}
+
+// sinkHolder boxes the sink interface so it can sit behind one atomic
+// pointer.
+type sinkHolder struct{ s TraceSink }
+
+// NewRegistry returns an empty root registry whose clock counts
+// monotonic nanoseconds since creation.
+func NewRegistry() *Registry {
+	epoch := time.Now()
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		now:      func() int64 { return time.Since(epoch).Nanoseconds() },
+	}
+}
+
+// NewChild returns a fresh registry that propagates every metric
+// update to r. A nil receiver yields a root registry.
+func (r *Registry) NewChild() *Registry {
+	c := NewRegistry()
+	c.parent = r
+	return c
+}
+
+// SetClock replaces the registry's nanosecond clock. Intended for
+// tests that need deterministic span timings; set it before any
+// metric activity.
+func (r *Registry) SetClock(now func() int64) {
+	if r != nil {
+		r.now = now
+	}
+}
+
+// SetSink attaches (or, with nil, detaches) a trace sink. With a sink
+// attached every counter increment and span completion is emitted as
+// an Event; without one the only cost is an atomic pointer load.
+func (r *Registry) SetSink(s TraceSink) {
+	if r == nil {
+		return
+	}
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&sinkHolder{s: s})
+}
+
+// emit delivers one event to the attached sink, stamping the sequence
+// number.
+func (r *Registry) emit(e Event) {
+	h := r.sink.Load()
+	if h == nil {
+		return
+	}
+	e.Seq = r.seq.Add(1)
+	h.s.Emit(e)
+}
+
+func (r *Registry) hasSink() bool { return r != nil && r.sink.Load() != nil }
+
+func (r *Registry) nowNs() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// --- counters ---
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	reg    *Registry
+	name   string
+	parent *Counter
+	v      atomic.Int64
+}
+
+// Counter returns the named counter, creating it on first use. Nil
+// registries return a nil counter, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{reg: r, name: name}
+	if r.parent != nil {
+		c.parent = r.parent.Counter(name)
+	}
+	r.counters[name] = c
+	return c
+}
+
+// Add increases the counter by n, propagating to the parent registry
+// and emitting a count event when a sink is attached.
+func (c *Counter) Add(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	v := c.v.Add(n)
+	if c.reg.hasSink() {
+		c.reg.emit(Event{TNs: c.reg.nowNs(), Kind: KindCount, Name: c.name, Delta: n, Value: v})
+	}
+	c.parent.Add(n)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// --- gauges ---
+
+// Gauge is an atomic float64 instantaneous value.
+type Gauge struct {
+	parent *Gauge
+	bits   atomic.Uint64
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	if r.parent != nil {
+		g.parent = r.parent.Gauge(name)
+	}
+	r.gauges[name] = g
+	return g
+}
+
+// Set stores the gauge value (propagated to the parent registry).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.parent.Set(v)
+}
+
+// Value returns the last value set (0 before the first Set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// --- histograms ---
+
+// DefaultLatencyBuckets returns the standard span-latency bucket
+// bounds in seconds: a 1-2-5 series from 1 µs to 5 s (21 buckets plus
+// the implicit overflow bucket).
+func DefaultLatencyBuckets() []float64 {
+	out := make([]float64, 0, 21)
+	for _, e := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1} {
+		for _, m := range []float64{1, 2, 5} {
+			out = append(out, e*m)
+		}
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket
+// counts. Bucket i counts observations v with v ≤ bounds[i] (and
+// above the previous bound); one extra overflow bucket counts values
+// above the last bound.
+type Histogram struct {
+	reg    *Registry
+	name   string
+	parent *Histogram
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last = overflow
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket bounds on first use (nil bounds select
+// DefaultLatencyBuckets). Later calls return the existing histogram
+// regardless of bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets()
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h := &Histogram{
+		reg:    r,
+		name:   name,
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+	if r.parent != nil {
+		h.parent = r.parent.Histogram(name, b)
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	h.parent.Observe(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the containing bucket. The first bucket
+// interpolates from 0; observations in the overflow bucket report the
+// last bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			if i == len(h.bounds) {
+				// Overflow bucket: the upper edge is unknown.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (target - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// --- snapshots ---
+
+// HistogramStats is the rendered summary of one histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		st := HistogramStats{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+		if st.Count > 0 {
+			st.Mean = st.Sum / float64(st.Count)
+		}
+		s.Histograms[name] = st
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// String renders the snapshot as sorted human-readable text.
+// Histogram values are span latencies in seconds and are printed as
+// durations.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-28s %12d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-28s %12.6g\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("spans:\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "  %-28s count %-8d mean %-10s p50 %-10s p90 %-10s p99 %s\n",
+				name, h.Count, fmtSeconds(h.Mean), fmtSeconds(h.P50), fmtSeconds(h.P90), fmtSeconds(h.P99))
+		}
+	}
+	if b.Len() == 0 {
+		return "(no metrics)"
+	}
+	return b.String()
+}
+
+// fmtSeconds renders a duration given in seconds.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(100 * time.Nanosecond).String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
