@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race race-pipeline fuzz-smoke bench
 
-# ci is the full gate: static checks, build, the race-enabled test
-# suite, and a single-iteration pass over the ProcessFrame benchmarks
-# (so the telemetry-overhead path compiles and runs).
-ci: vet build race bench
+# ci is the full gate: static checks, build, the test suite, a short
+# fuzz smoke over every fuzz target, the race-enabled pass over the
+# concurrent pipeline (the packages where races can actually live),
+# and a single-iteration pass over the ProcessFrame benchmarks (so the
+# telemetry-overhead path compiles and runs). Budget: ~3 minutes on a
+# laptop. The full-suite race run stays available as `make race` but
+# is too slow for the default gate.
+ci: vet build test fuzz-smoke race-pipeline bench
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +22,22 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-pipeline runs the concurrency-heavy packages under the race
+# detector: the worker-pool pipeline and the modem whose Analyze path
+# the workers share. The root-package facade tests also pass -race but
+# their multi-second end-to-end captures blow the ci budget; run
+# `make race` for the exhaustive version.
+race-pipeline:
+	$(GO) test -race -count=1 ./internal/pipeline/ ./internal/modem/
+
+# fuzz-smoke gives each fuzz target a few seconds of coverage-guided
+# input generation on top of the checked-in seed corpus. Panics found
+# here reproduce with `go test -run=Fuzz<Name>/<file>`.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzDeframe$$' -fuzztime=5s ./internal/packet/
+	$(GO) test -run='^$$' -fuzz='^FuzzRSDecode$$' -fuzztime=5s ./internal/rs/
+	$(GO) test -run='^$$' -fuzz='^FuzzStripSegment$$' -fuzztime=5s ./internal/modem/
 
 bench:
 	$(GO) test -run=- -bench=BenchmarkProcessFrame -benchtime=1x ./...

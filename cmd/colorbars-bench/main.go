@@ -5,8 +5,14 @@
 //
 // Usage:
 //
-//	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations]
-//	                [-duration seconds] [-seed n] [-telemetry-addr host:port]
+//	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations|distance|pipeline]
+//	                [-duration seconds] [-seed n] [-workers n]
+//	                [-telemetry-addr host:port]
+//
+// The pipeline experiment (not part of "all") compares serial decode
+// time against the concurrent pipeline at several worker counts on
+// the paper's densest workload; -workers sets the pool size used by
+// the measured experiments' decode stage (0 = serial decode).
 package main
 
 import (
@@ -24,13 +30,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3b, fig3c, fig6, fig8b, grid, baseline, ablations, distance")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3b, fig3c, fig6, fig8b, grid, baseline, ablations, distance, pipeline")
 	duration := flag.Float64("duration", 3, "simulated seconds per measured cell")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	workers := flag.Int("workers", 0, "decode with the concurrent pipeline using this many workers (0 = serial decode)")
 	csvDir := flag.String("csv", "", "also write CSV files for the plottable experiments into this directory")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
 	flag.Parse()
 	csvOutDir = *csvDir
+	decodeWorkers = *workers
 
 	if *telemetryAddr != "" {
 		// Every metrics.Run rolls its counters up into the process
@@ -56,7 +64,10 @@ func main() {
 		"baseline":  runBaseline,
 		"ablations": runAblations,
 		"distance":  runDistance,
+		"pipeline":  runPipeline,
 	}
+	// The pipeline scaling sweep is a performance measurement, not a
+	// paper figure, so "all" (the reproduction run) excludes it.
 	order := []string{"table1", "fig3b", "fig3c", "fig6", "fig8b", "grid", "baseline", "ablations", "distance"}
 
 	var names []string
@@ -80,6 +91,10 @@ func main() {
 // csvOutDir, when non-empty, receives CSV copies of the plottable
 // experiment outputs.
 var csvOutDir string
+
+// decodeWorkers is the -workers flag: the pipeline pool size the
+// locally-built measurement runs decode with (0 = serial).
+var decodeWorkers int
 
 // writeCSV writes one experiment's CSV file when -csv is set.
 func writeCSV(name string, write func(w *os.File) error) error {
@@ -236,6 +251,7 @@ func runAblations(duration float64, seed int64) error {
 	base := metrics.LinkParams{
 		Order: csk.CSK16, SymbolRate: 3000, Profile: camera.Nexus5(),
 		WhiteFraction: 0.2, Duration: duration, Seed: seed,
+		Workers: decodeWorkers,
 	}
 	full, err := metrics.Run(base)
 	if err != nil {
@@ -257,6 +273,35 @@ func runAblations(duration float64, seed int64) error {
 	fmt.Printf("  %-34s %10.4f %14.0f\n", "full system", full.SER, full.GoodputBps)
 	fmt.Printf("  %-34s %10.4f %14.0f\n", "factory references (no calib.)", factory.SER, factory.GoodputBps)
 	fmt.Printf("  %-34s %10.4f %14.0f\n", "no erasure hints (errors only)", errorsOnly.SER, errorsOnly.GoodputBps)
+	return nil
+}
+
+// runPipeline measures receiver-side decode scaling: the same CSK-32
+// @ 4 kHz capture decoded serially and through the concurrent
+// pipeline at 1, 2 and 4 workers. Decode wall time comes from each
+// run's metrics.decode span; the goodput column demonstrates the
+// byte-identical guarantee (every row must match).
+func runPipeline(duration float64, seed int64) error {
+	fmt.Println("== Pipeline scaling: decode time vs workers (Nexus 5, 32-CSK @ 4 kHz) ==")
+	base := metrics.LinkParams{
+		Order: csk.CSK32, SymbolRate: 4000, Profile: camera.Nexus5(),
+		WhiteFraction: 0.2, Duration: duration, Seed: seed,
+	}
+	fmt.Printf("  %-10s %14s %14s %12s\n", "Workers", "Decode (s)", "Goodput (bps)", "SER")
+	for _, workers := range []int{0, 1, 2, 4} {
+		p := base
+		p.Workers = workers
+		res, err := metrics.Run(p)
+		if err != nil {
+			return err
+		}
+		decode := res.Telemetry.Histograms["metrics.decode"].Sum
+		label := "serial"
+		if workers > 0 {
+			label = fmt.Sprintf("%d", workers)
+		}
+		fmt.Printf("  %-10s %14.3f %14.0f %12.4f\n", label, decode, res.GoodputBps, res.SER)
+	}
 	return nil
 }
 

@@ -1,26 +1,32 @@
 // Command colorbars-rx reads a waveform dump produced by
 // cmd/colorbars-tx, images it through the rolling-shutter camera
-// simulator, and runs the full receive pipeline, printing any
+// simulator, and runs the concurrent receive pipeline, printing any
 // recovered messages.
 //
 // Usage:
 //
 //	colorbars-rx [-device nexus5|iphone5s|ideal] [-order n] [-rate hz]
 //	             [-white frac] [-duration s] [-seed n]
+//	             [-workers n] [-streams n]
 //	             [-telemetry-addr host:port] [-trace file.jsonl] [file]
 //
 // The link parameters (order, rate, white fraction) must match the
 // transmitter's; in a deployment they are part of the published sign
-// format.
+// format. Decoding runs on the concurrent pipeline (-workers sizes
+// the analysis pool, 0 = one per CPU); -streams N simulates N
+// cameras watching the same sign with independent sensor noise, each
+// decoding on its own stream of the shared pool.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"colorbars"
 	"colorbars/internal/camera"
@@ -36,9 +42,14 @@ func main() {
 	white := flag.Float64("white", 0, "white illumination fraction (0 = auto; must match the transmitter)")
 	duration := flag.Float64("duration", 0, "capture seconds (0 = whole waveform)")
 	seed := flag.Int64("seed", 1, "camera noise seed")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU)")
+	streams := flag.Int("streams", 1, "number of independent receiver streams (cameras) decoding the waveform")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
 	tracePath := flag.String("trace", "", "write a JSONL trace of every pipeline stage and counter to this file")
 	flag.Parse()
+	if *streams < 1 {
+		fatal(fmt.Errorf("-streams %d: need at least one stream", *streams))
+	}
 
 	prof, ok := camera.Profiles()[*device]
 	if !ok {
@@ -77,10 +88,6 @@ func main() {
 		SymbolRate:    *rate,
 		WhiteFraction: *white,
 	}
-	rx, err := colorbars.NewReceiver(cfg)
-	if err != nil {
-		fatal(err)
-	}
 	var trace *telemetry.JSONLSink
 	if *tracePath != "" {
 		tf, err := os.Create(*tracePath)
@@ -89,27 +96,83 @@ func main() {
 		}
 		defer tf.Close()
 		trace = telemetry.NewJSONLSink(tf)
-		rx.Telemetry().SetSink(trace)
 	}
 
 	capture := wave.Duration()
 	if *duration > 0 && *duration < capture {
 		capture = *duration
 	}
-	cam := colorbars.NewCamera(prof, *seed)
-	frames := cam.CaptureVideo(wave, 0, int(capture*prof.FrameRate))
+
+	// One pipeline, one stream per simulated camera: each stream gets
+	// independent sensor noise (seed+i) but decodes the same sign.
+	p := colorbars.NewPipeline(colorbars.PipelineConfig{Workers: *workers})
+	type lane struct {
+		id     string
+		s      *colorbars.PipelineStream
+		frames []*colorbars.Frame
+	}
+	lanes := make([]*lane, *streams)
+	var mu sync.Mutex // serializes printing across streams
 	found := 0
-	for _, f := range frames {
-		for _, m := range rx.ProcessFrame(f) {
-			found++
-			fmt.Printf("message %d (%d blocks): %q\n", found, m.Blocks, m.Data)
+	var consumers sync.WaitGroup
+	for i := range lanes {
+		id := fmt.Sprintf("led%d", i)
+		s, err := p.AddStream(id, cfg)
+		if err != nil {
+			fatal(err)
 		}
+		if trace != nil {
+			s.Telemetry().SetSink(trace) // JSONL sink is concurrency-safe
+		}
+		cam := colorbars.NewCamera(prof, *seed+int64(i))
+		lanes[i] = &lane{
+			id:     id,
+			s:      s,
+			frames: cam.CaptureVideo(wave, 0, int(capture*prof.FrameRate)),
+		}
+		consumers.Add(1)
+		go func(l *lane) {
+			defer consumers.Done()
+			for m := range l.s.Messages() {
+				mu.Lock()
+				found++
+				if *streams > 1 {
+					fmt.Printf("[%s] message %d (%d blocks): %q\n", l.id, found, m.Blocks, m.Data)
+				} else {
+					fmt.Printf("message %d (%d blocks): %q\n", found, m.Blocks, m.Data)
+				}
+				mu.Unlock()
+			}
+		}(lanes[i])
 	}
-	for _, m := range rx.Flush() {
-		found++
-		fmt.Printf("message %d (%d blocks): %q\n", found, m.Blocks, m.Data)
+	// Feed every stream in capture order; Submit blocks on
+	// backpressure, so a slow pool throttles the producer instead of
+	// ballooning memory.
+	ctx := context.Background()
+	var producers sync.WaitGroup
+	for _, l := range lanes {
+		producers.Add(1)
+		go func(l *lane) {
+			defer producers.Done()
+			for _, f := range l.frames {
+				if err := l.s.Submit(ctx, f); err != nil {
+					fatal(err)
+				}
+			}
+		}(l)
 	}
-	fmt.Fprintln(os.Stderr, rx.Stats().String())
+	producers.Wait()
+	if err := p.Close(ctx); err != nil {
+		fatal(err)
+	}
+	consumers.Wait()
+
+	for _, l := range lanes {
+		if *streams > 1 {
+			fmt.Fprintf(os.Stderr, "[%s] ", l.id)
+		}
+		fmt.Fprintln(os.Stderr, l.s.Stats().String())
+	}
 	if trace != nil {
 		if err := trace.Err(); err != nil {
 			fatal(fmt.Errorf("trace: %w", err))

@@ -310,14 +310,70 @@ type Message struct {
 	Blocks int
 }
 
+// assembler reassembles broadcast messages from decoded link blocks.
+// It is the application-protocol half of a receiver, shared by the
+// serial Receiver and the concurrent Pipeline streams (each stream
+// owns one; it is not goroutine-safe).
+type assembler struct {
+	blocks map[int][]byte // seq -> chunk
+	total  int
+	msgLen int
+}
+
+func newAssembler() *assembler {
+	return &assembler{blocks: map[int][]byte{}}
+}
+
+// progress reports how many of the current message's blocks have been
+// received.
+func (a *assembler) progress() (have, total int) {
+	return len(a.blocks), a.total
+}
+
+// take integrates one decoded link block into the reassembly state,
+// returning a message when it completes.
+func (a *assembler) take(blk modem.Block) *Message {
+	if !blk.Recovered || len(blk.Data) <= blockHeaderLen {
+		return nil
+	}
+	seq := int(blk.Data[0])
+	total := int(blk.Data[1])
+	msgLen := int(binary.BigEndian.Uint16(blk.Data[2:4]))
+	wantCRC := binary.BigEndian.Uint16(blk.Data[4:6])
+	chunk := len(blk.Data) - blockHeaderLen
+	if total == 0 || seq >= total || msgLen == 0 || msgLen > total*chunk {
+		return nil // corrupt header that slipped past RS (or foreign traffic)
+	}
+	if crc16(blk.Data[blockHeaderLen:]) != wantCRC {
+		return nil // Reed-Solomon miscorrection caught by the CRC
+	}
+	if total != a.total || msgLen != a.msgLen {
+		// New message (or first block): reset reassembly.
+		a.blocks = map[int][]byte{}
+		a.total = total
+		a.msgLen = msgLen
+	}
+	if _, dup := a.blocks[seq]; !dup {
+		a.blocks[seq] = append([]byte(nil), blk.Data[blockHeaderLen:]...)
+	}
+	if len(a.blocks) < a.total {
+		return nil
+	}
+	out := make([]byte, 0, a.total*chunk)
+	for seq := 0; seq < a.total; seq++ {
+		out = append(out, a.blocks[seq]...)
+	}
+	msg := &Message{Data: out[:a.msgLen], Blocks: a.total}
+	a.blocks = map[int][]byte{}
+	a.total, a.msgLen = 0, 0
+	return msg
+}
+
 // Receiver decodes camera frames into messages.
 type Receiver struct {
 	cfg Config
 	rx  *modem.Receiver
-
-	blocks map[int][]byte // seq -> chunk
-	total  int
-	msgLen int
+	asm *assembler
 }
 
 // NewReceiver builds a receiver for the link configuration.
@@ -338,7 +394,7 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Receiver{cfg: cfg, rx: rx, blocks: map[int][]byte{}}, nil
+	return &Receiver{cfg: cfg, rx: rx, asm: newAssembler()}, nil
 }
 
 // Config returns the link configuration (with defaults resolved).
@@ -359,7 +415,7 @@ func (r *Receiver) Calibrated() bool { return r.rx.Calibrated() }
 // Progress returns how many of the current message's blocks have been
 // received (0, 0 before the first block arrives).
 func (r *Receiver) Progress() (have, total int) {
-	return len(r.blocks), r.total
+	return r.asm.progress()
 }
 
 // ProcessFrame feeds one captured frame through the pipeline and
@@ -368,7 +424,7 @@ func (r *Receiver) Progress() (have, total int) {
 func (r *Receiver) ProcessFrame(f *Frame) []Message {
 	var msgs []Message
 	for _, blk := range r.rx.ProcessFrame(f) {
-		if m := r.takeBlock(blk); m != nil {
+		if m := r.asm.take(blk); m != nil {
 			msgs = append(msgs, *m)
 		}
 	}
@@ -379,48 +435,9 @@ func (r *Receiver) ProcessFrame(f *Frame) []Message {
 func (r *Receiver) Flush() []Message {
 	var msgs []Message
 	for _, blk := range r.rx.Flush() {
-		if m := r.takeBlock(blk); m != nil {
+		if m := r.asm.take(blk); m != nil {
 			msgs = append(msgs, *m)
 		}
 	}
 	return msgs
-}
-
-// takeBlock integrates one decoded link block into the reassembly
-// state, returning a message when it completes.
-func (r *Receiver) takeBlock(blk modem.Block) *Message {
-	if !blk.Recovered || len(blk.Data) <= blockHeaderLen {
-		return nil
-	}
-	seq := int(blk.Data[0])
-	total := int(blk.Data[1])
-	msgLen := int(binary.BigEndian.Uint16(blk.Data[2:4]))
-	wantCRC := binary.BigEndian.Uint16(blk.Data[4:6])
-	chunk := len(blk.Data) - blockHeaderLen
-	if total == 0 || seq >= total || msgLen == 0 || msgLen > total*chunk {
-		return nil // corrupt header that slipped past RS (or foreign traffic)
-	}
-	if crc16(blk.Data[blockHeaderLen:]) != wantCRC {
-		return nil // Reed-Solomon miscorrection caught by the CRC
-	}
-	if total != r.total || msgLen != r.msgLen {
-		// New message (or first block): reset reassembly.
-		r.blocks = map[int][]byte{}
-		r.total = total
-		r.msgLen = msgLen
-	}
-	if _, dup := r.blocks[seq]; !dup {
-		r.blocks[seq] = append([]byte(nil), blk.Data[blockHeaderLen:]...)
-	}
-	if len(r.blocks) < r.total {
-		return nil
-	}
-	out := make([]byte, 0, r.total*chunk)
-	for seq := 0; seq < r.total; seq++ {
-		out = append(out, r.blocks[seq]...)
-	}
-	msg := &Message{Data: out[:r.msgLen], Blocks: r.total}
-	r.blocks = map[int][]byte{}
-	r.total, r.msgLen = 0, 0
-	return msg
 }

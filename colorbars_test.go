@@ -168,13 +168,13 @@ func TestMessageProtocolRejectsCorruptHeaders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Inject nonsense through takeBlock directly.
-	if m := rx.takeBlock(blockOf(nil, false)); m != nil {
+	// Inject nonsense through the assembler directly.
+	if m := rx.asm.take(blockOf(nil, false)); m != nil {
 		t.Error("unrecovered block accepted")
 	}
 	bad := make([]byte, 20)
 	bad[3] = 0 // total = 0
-	if m := rx.takeBlock(blockOf(bad, true)); m != nil {
+	if m := rx.asm.take(blockOf(bad, true)); m != nil {
 		t.Error("zero-total header accepted")
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"colorbars/internal/colorspace"
 	"colorbars/internal/telemetry"
@@ -396,14 +397,24 @@ func (c *Camera) Capture(w Source, start float64) *Frame {
 		gamma = 1
 	}
 	// First pass: per-row sensed color (exposure integral through the
-	// color matrix), then optical blur across rows.
-	rowSensed := make([]colorspace.RGB, p.Rows)
+	// color matrix), then optical blur across rows. The scratch rows
+	// come from a pool: captures run per-frame on hot decode paths and
+	// the buffers never escape this function (every element is written
+	// before use, so dirty reuse is safe).
+	scratch := getRowScratch(p.Rows)
+	defer putRowScratch(scratch)
+	rowSensed := *scratch
 	for r := 0; r < p.Rows; r++ {
 		t0 := start + float64(r)*p.RowTime
 		radiance := w.Mean(t0, t0+c.exposure)
 		rowSensed[r] = applyMatrix(p.ColorMatrix, radiance).Scale(gain)
 	}
-	rowSensed = blurRows(rowSensed, p.OpticalBlurRows)
+	if p.OpticalBlurRows > 0 {
+		blurred := getRowScratch(p.Rows)
+		defer putRowScratch(blurred)
+		blurRowsInto(*blurred, rowSensed, p.OpticalBlurRows)
+		rowSensed = *blurred
+	}
 	for r := 0; r < p.Rows; r++ {
 		sensed := rowSensed[r]
 		for col := 0; col < p.Cols; col++ {
@@ -511,6 +522,23 @@ func (c *Camera) addNoise(v colorspace.RGB) colorspace.RGB {
 	return colorspace.RGB{R: noise(v.R), G: noise(v.G), B: noise(v.B)}
 }
 
+// rowScratch pools per-capture row buffers; distinct cameras may
+// capture concurrently (one per pipeline stream), so the pool is
+// shared and goroutine-safe.
+var rowScratch = sync.Pool{New: func() any { return new([]colorspace.RGB) }}
+
+func getRowScratch(n int) *[]colorspace.RGB {
+	p := rowScratch.Get().(*[]colorspace.RGB)
+	if cap(*p) < n {
+		*p = make([]colorspace.RGB, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+func putRowScratch(p *[]colorspace.RGB) { rowScratch.Put(p) }
+
 // blurRows convolves the per-row colors with a Gaussian of the given
 // standard deviation (in rows), modeling the lens point-spread
 // function. Zero sigma returns the input unchanged.
@@ -518,6 +546,14 @@ func blurRows(rows []colorspace.RGB, sigma float64) []colorspace.RGB {
 	if sigma <= 0 || len(rows) == 0 {
 		return rows
 	}
+	out := make([]colorspace.RGB, len(rows))
+	blurRowsInto(out, rows, sigma)
+	return out
+}
+
+// blurRowsInto is blurRows writing into a caller-owned buffer (dst
+// and rows must not alias; every dst element is overwritten).
+func blurRowsInto(dst, rows []colorspace.RGB, sigma float64) {
 	radius := int(3*sigma + 0.5)
 	if radius < 1 {
 		radius = 1
@@ -532,7 +568,6 @@ func blurRows(rows []colorspace.RGB, sigma float64) []colorspace.RGB {
 	for i := range kernel {
 		kernel[i] /= sum
 	}
-	out := make([]colorspace.RGB, len(rows))
 	for r := range rows {
 		var acc colorspace.RGB
 		for i, kv := range kernel {
@@ -545,9 +580,8 @@ func blurRows(rows []colorspace.RGB, sigma float64) []colorspace.RGB {
 			}
 			acc = acc.Add(rows[src].Scale(kv))
 		}
-		out[r] = acc
+		dst[r] = acc
 	}
-	return out
 }
 
 func applyMatrix(m [3][3]float64, v colorspace.RGB) colorspace.RGB {

@@ -1,0 +1,92 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAdditiveGroupAxioms checks the characteristic-2 additive group
+// laws: commutativity, associativity, zero identity, and every
+// element being its own inverse. The multiplicative side is covered
+// by TestFieldAxioms; together they pin down the full field structure.
+func TestAdditiveGroupAxioms(t *testing.T) {
+	comm := func(a, b byte) bool { return Add(a, b) == Add(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	assoc := func(a, b, c byte) bool {
+		return Add(Add(a, b), c) == Add(a, Add(b, c))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+	for i := 0; i < 256; i++ {
+		a := byte(i)
+		if Add(a, 0) != a {
+			t.Fatalf("Add(%d, 0) != %d", a, a)
+		}
+		if Add(a, a) != 0 {
+			t.Fatalf("Add(%d, %d) != 0: characteristic is 2", a, a)
+		}
+	}
+}
+
+// TestPolyEvalHomomorphism checks that evaluation at a point commutes
+// with polynomial arithmetic: (p+q)(x) = p(x)+q(x), (p·q)(x) =
+// p(x)·q(x), and (k·p)(x) = k·p(x) for random polynomials, scalars,
+// and points. The RS syndrome and Forney computations depend on
+// exactly these identities holding coefficient order and all.
+func TestPolyEvalHomomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randPoly := func() []byte {
+		p := make([]byte, 1+rng.Intn(8))
+		for i := range p {
+			p[i] = byte(rng.Intn(256))
+		}
+		return p
+	}
+	for i := 0; i < 2000; i++ {
+		p, q := randPoly(), randPoly()
+		x := byte(rng.Intn(256))
+		k := byte(rng.Intn(256))
+		if got, want := PolyEval(PolyAdd(p, q), x), Add(PolyEval(p, x), PolyEval(q, x)); got != want {
+			t.Fatalf("(p+q)(%d) = %d, want %d (p=%v q=%v)", x, got, want, p, q)
+		}
+		if got, want := PolyEval(PolyMul(p, q), x), Mul(PolyEval(p, x), PolyEval(q, x)); got != want {
+			t.Fatalf("(p*q)(%d) = %d, want %d (p=%v q=%v)", x, got, want, p, q)
+		}
+		if got, want := PolyEval(PolyScale(p, k), x), Mul(k, PolyEval(p, x)); got != want {
+			t.Fatalf("(k*p)(%d) = %d, want %d (k=%d p=%v)", x, got, want, k, p)
+		}
+	}
+}
+
+// TestPolyDivModIdentity checks the division identity p = q·quot + rem
+// with deg(rem) < deg(q) for random dividends and divisors, by
+// evaluating both sides at random points.
+func TestPolyDivModIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		p := make([]byte, 1+rng.Intn(12))
+		for j := range p {
+			p[j] = byte(rng.Intn(256))
+		}
+		q := make([]byte, 1+rng.Intn(6))
+		for j := range q {
+			q[j] = byte(rng.Intn(256))
+		}
+		q[0] = byte(1 + rng.Intn(255)) // nonzero leading coefficient
+		quot, rem := PolyDivMod(p, q)
+		if len(rem) >= len(q) && len(q) > 1 {
+			t.Fatalf("remainder degree %d not below divisor degree %d", len(rem)-1, len(q)-1)
+		}
+		for _, x := range []byte{0, 1, byte(rng.Intn(256))} {
+			lhs := PolyEval(p, x)
+			rhs := Add(Mul(PolyEval(q, x), PolyEval(quot, x)), PolyEval(rem, x))
+			if lhs != rhs {
+				t.Fatalf("p(%d) = %d but (q*quot+rem)(%d) = %d (p=%v q=%v)", x, lhs, x, rhs, p, q)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ package metrics
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -26,6 +27,7 @@ import (
 	"colorbars/internal/csk"
 	"colorbars/internal/modem"
 	"colorbars/internal/packet"
+	"colorbars/internal/pipeline"
 	"colorbars/internal/rs"
 	"colorbars/internal/telemetry"
 )
@@ -98,6 +100,12 @@ type LinkParams struct {
 	// single tri-LED). Larger values model tri-LED arrays (the
 	// paper's §10 future work for longer range).
 	Power float64
+	// Workers decodes through the concurrent pipeline
+	// (internal/pipeline) with that many analysis workers instead of
+	// the serial receiver. The pipeline's Block output is byte-identical
+	// to the serial path, so every measured quantity is unchanged —
+	// only wall-clock decode time scales. Zero keeps the serial path.
+	Workers int
 	// Telemetry receives the whole run's spans and counters
 	// (transmitter, camera, receiver, and the metrics.* phases). Nil
 	// creates a per-run child of telemetry.Process(), so every run
@@ -248,15 +256,49 @@ func Run(p LinkParams) (LinkResult, error) {
 
 	sp = run.StartChild("metrics.decode")
 	var blocks []modem.Block
-	for _, f := range frames {
-		blocks = append(blocks, rx.ProcessFrame(f)...)
+	if p.Workers > 0 {
+		blocks, err = pipelineDecode(p.Workers, tel, rx, frames)
+		if err != nil {
+			return LinkResult{}, err
+		}
+	} else {
+		for _, f := range frames {
+			blocks = append(blocks, rx.ProcessFrame(f)...)
+		}
+		blocks = append(blocks, rx.Flush()...)
 	}
-	blocks = append(blocks, rx.Flush()...)
 	sp.End()
 
 	res := score(p, code.K(), truth, blocks, rx.Stats(), block)
 	res.Telemetry = tel.Snapshot()
 	return res, nil
+}
+
+// pipelineDecode runs the capture through the concurrent pipeline and
+// collects the (order-identical) decoded blocks.
+func pipelineDecode(workers int, tel *telemetry.Registry, rx *modem.Receiver, frames []*camera.Frame) ([]modem.Block, error) {
+	pl := pipeline.New(pipeline.Config{Workers: workers, Telemetry: tel})
+	s, err := pl.AddStream("metrics", rx)
+	if err != nil {
+		return nil, err
+	}
+	collected := make(chan []modem.Block, 1)
+	go func() {
+		var blocks []modem.Block
+		for b := range s.Blocks() {
+			blocks = append(blocks, b)
+		}
+		collected <- blocks
+	}()
+	for _, f := range frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			return nil, err
+		}
+	}
+	if err := pl.Close(context.Background()); err != nil {
+		return nil, err
+	}
+	return <-collected, nil
 }
 
 // score computes the result metrics from decoded blocks.

@@ -150,6 +150,33 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunWorkersEquivalent decodes the same link serially and through
+// the concurrent pipeline: because the pipeline's Block output is
+// byte-identical, every measured quantity — SER, throughput, goodput,
+// loss, and the receiver's own counters — must match exactly.
+func TestRunWorkersEquivalent(t *testing.T) {
+	p := LinkParams{
+		Order: csk.CSK8, SymbolRate: 2000, Profile: camera.Nexus5(),
+		WhiteFraction: 0.2, Duration: 1, Seed: 5,
+	}
+	serial, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 3
+	piped, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline adds its own counters (pipeline.frames_in etc.) and
+	// swaps rx.frame spans for rx.analyze, so only the measurement
+	// results and receiver stats are compared.
+	serial.Telemetry, piped.Telemetry = telemetry.Snapshot{}, telemetry.Snapshot{}
+	if !reflect.DeepEqual(serial, piped) {
+		t.Errorf("pipeline decode changed measurements:\nserial %+v\npiped  %+v", serial, piped)
+	}
+}
+
 // TestRunTraceCountersMatchStats runs a link with a JSONL trace sink
 // attached and checks the books balance: summing every count event's
 // delta per counter must reproduce both the final snapshot and the

@@ -294,6 +294,10 @@ func (r *Receiver) References() []colorspace.AB {
 // rx.classify → rx.deframe → rx.decode, all children of rx.frame), so
 // an attached registry records where each frame's processing time —
 // and each lost packet — went.
+//
+// ProcessFrame is equivalent, block for block, to Analyze followed by
+// ProcessAnalysis; internal/pipeline uses that split to run the
+// front-end stages concurrently.
 func (r *Receiver) ProcessFrame(f *camera.Frame) []Block {
 	frame := r.tel.StartSpan("rx.frame")
 	defer frame.End()
@@ -301,17 +305,73 @@ func (r *Receiver) ProcessFrame(f *camera.Frame) []Block {
 	rowsPerSym := 1 / (r.cfg.SymbolRate * f.RowTime)
 
 	sp := frame.StartChild("rx.strip")
-	strip := extractStrip(f)
+	strip := getStrip(f.Rows)
+	extractStripInto(*strip, f)
 	sp.End()
 
 	sp = frame.StartChild("rx.segment")
-	bands := segmentBands(strip, rowsPerSym, f.Exposure/f.RowTime)
+	bands := segmentBands(*strip, rowsPerSym, f.Exposure/f.RowTime)
 	sp.End()
 
 	sp = frame.StartChild("rx.classify")
-	syms := classifyBands(strip, bands, rowsPerSym, r.cls)
+	plan := planBands(*strip, bands, rowsPerSym)
+	putStrip(strip)
+	syms := r.cls.emitSymbols(plan)
 	sp.End()
 
+	return r.finishSymbols(syms, frame)
+}
+
+// Analyze runs the CPU-heavy, receiver-state-independent front end on
+// one frame: strip extraction, band segmentation, symbol-grid fitting
+// and the OFF-threshold fit. It reads only the immutable link
+// configuration, so it is safe to call concurrently from multiple
+// goroutines on the same Receiver — this is the stage
+// internal/pipeline fans out to a worker pool. Stage timings land in
+// the rx.strip and rx.segment histograms under an rx.analyze parent
+// span.
+func (r *Receiver) Analyze(f *camera.Frame) *Analysis {
+	parent := r.tel.StartSpan("rx.analyze")
+	defer parent.End()
+	rowsPerSym := 1 / (r.cfg.SymbolRate * f.RowTime)
+
+	sp := parent.StartChild("rx.strip")
+	strip := getStrip(f.Rows)
+	extractStripInto(*strip, f)
+	sp.End()
+
+	sp = parent.StartChild("rx.segment")
+	bands := segmentBands(*strip, rowsPerSym, f.Exposure/f.RowTime)
+	sp.End()
+
+	plan := planBands(*strip, bands, rowsPerSym)
+	putStrip(strip)
+	return plan
+}
+
+// ProcessAnalysis completes the processing of an analyzed frame:
+// classification against the current (calibration-updated) references,
+// deframing and RS decoding. Analyses must be fed in capture order
+// from a single goroutine — these stages mutate receiver state
+// (references, deframer buffer) and are inherently sequential. For any
+// frame sequence, Analyze + ProcessAnalysis yields exactly the blocks
+// ProcessFrame yields.
+func (r *Receiver) ProcessAnalysis(a *Analysis) []Block {
+	frame := r.tel.StartSpan("rx.frame")
+	defer frame.End()
+	r.c.frames.Inc()
+
+	sp := frame.StartChild("rx.classify")
+	syms := r.cls.emitSymbols(a)
+	sp.End()
+
+	return r.finishSymbols(syms, frame)
+}
+
+// finishSymbols runs the sequential back half of frame processing —
+// symbol accounting, deframing, packet handling — shared by
+// ProcessFrame and ProcessAnalysis.
+func (r *Receiver) finishSymbols(syms []packet.RxSymbol, frame telemetry.Span) []Block {
 	r.c.symbolsIn.Add(int64(len(syms)))
 	var nData, nWhite, nOff int64
 	for _, s := range syms {
@@ -335,7 +395,7 @@ func (r *Receiver) ProcessFrame(f *camera.Frame) []Block {
 	r.started = true
 	feed = append(feed, syms...)
 
-	sp = frame.StartChild("rx.deframe")
+	sp := frame.StartChild("rx.deframe")
 	pkts := r.deframer.Push(feed)
 	sp.End()
 	r.syncDiscards()

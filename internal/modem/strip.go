@@ -3,6 +3,7 @@ package modem
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"colorbars/internal/camera"
 	"colorbars/internal/colorspace"
@@ -19,16 +20,55 @@ type stripRow struct {
 	lab colorspace.Lab
 }
 
+// stripPool recycles strip buffers across frames. The strip is pure
+// scratch — everything downstream copies what it needs into bands and
+// plans — so pooling it keeps concurrent Analyze calls from allocating
+// one Rows-sized slice per frame without sharing any state.
+var stripPool = sync.Pool{New: func() any { return new([]stripRow) }}
+
+func getStrip(n int) *[]stripRow {
+	p := stripPool.Get().(*[]stripRow)
+	if cap(*p) < n {
+		*p = make([]stripRow, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+func putStrip(p *[]stripRow) { stripPool.Put(p) }
+
+// floatPool recycles the per-frame float scratch used by segmentation
+// (windowed differences) and the OFF-threshold fit (sorted lightness).
+var floatPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getFloats(n int) *[]float64 {
+	p := floatPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+func putFloats(p *[]float64) { floatPool.Put(p) }
+
 // extractStrip converts a frame to its 1-D CIELab strip: each row's
 // pixels are averaged (the paper's dimension reduction) and the mean
 // is converted to Lab.
 func extractStrip(f *camera.Frame) []stripRow {
 	rows := make([]stripRow, f.Rows)
+	extractStripInto(rows, f)
+	return rows
+}
+
+// extractStripInto fills dst (len f.Rows) with the frame's strip.
+func extractStripInto(dst []stripRow, f *camera.Frame) {
 	for r := 0; r < f.Rows; r++ {
 		mean := f.RowMean(r)
-		rows[r] = stripRow{lab: colorspace.LinearRGBToLab(mean)}
+		dst[r] = stripRow{lab: colorspace.LinearRGBToLab(mean)}
 	}
-	return rows
 }
 
 // band is a run of rows judged to show a single transmitted symbol
@@ -61,10 +101,13 @@ func segmentBands(strip []stripRow, rowsPerSym, smearRows float64) []band {
 	// transition's full amplitude shows up even when the per-row
 	// change is small. h ≥ 1.
 	h := int(smearRows/2 + 1)
-	diff := make([]float64, len(strip))
+	diffBuf := getFloats(len(strip))
+	defer putFloats(diffBuf)
+	diff := *diffBuf
 	for i := range strip {
 		lo, hi := i-h, i+h
 		if lo < 0 || hi >= len(strip) {
+			diff[i] = 0
 			continue
 		}
 		diff[i] = colorspace.DeltaE(strip[lo].lab, strip[hi].lab)
@@ -174,19 +217,19 @@ func newClassifier() *classifier {
 	}
 }
 
-// adaptOffLevel retunes the OFF lightness threshold from the frame's
-// own statistics. Two effects make a fixed threshold misfire:
-// vignetting dims edge rows by a device-dependent factor, and ambient
-// light lifts the whole frame — under room lighting an "off" LED still
-// leaves the band at the ambient level, not at black. OFF symbols are
-// therefore detected *relative to the frame's darkest bands*: the
-// threshold sits a fraction of the dark-to-lit spread above the 5th
-// percentile of row lightness.
-func (c *classifier) adaptOffLevel(strip []stripRow) {
-	if len(strip) == 0 {
-		return
-	}
-	ls := make([]float64, len(strip))
+// offLevelFor computes the frame-adapted OFF lightness threshold from
+// the strip's own statistics. Two effects make a fixed threshold
+// misfire: vignetting dims edge rows by a device-dependent factor, and
+// ambient light lifts the whole frame — under room lighting an "off"
+// LED still leaves the band at the ambient level, not at black. OFF
+// symbols are therefore detected *relative to the frame's darkest
+// bands*: the threshold sits a fraction of the dark-to-lit spread
+// above the 5th percentile of row lightness. The strip must be
+// non-empty.
+func offLevelFor(strip []stripRow) float64 {
+	lsBuf := getFloats(len(strip))
+	defer putFloats(lsBuf)
+	ls := *lsBuf
 	for i, r := range strip {
 		ls[i] = r.lab.L
 	}
@@ -194,7 +237,7 @@ func (c *classifier) adaptOffLevel(strip []stripRow) {
 	p5 := ls[len(ls)/20]
 	p75 := ls[len(ls)*3/4]
 	spread := p75 - p5
-	c.offLevel = math.Max(8, p5+math.Max(5, 0.25*spread))
+	return math.Max(8, p5+math.Max(5, 0.25*spread))
 }
 
 // setDataRefs installs the constellation colors used for
@@ -244,11 +287,41 @@ func frameSymbols(f *camera.Frame, rowsPerSym float64, cls *classifier) []packet
 	return classifyBands(strip, bands, rowsPerSym, cls)
 }
 
-// classifyBands adapts the OFF threshold to the frame, snaps band
-// boundaries to the fitted symbol grid, and classifies each band into
-// a run of received symbols.
-func classifyBands(strip []stripRow, bands []band, rowsPerSym float64, cls *classifier) []packet.RxSymbol {
-	cls.adaptOffLevel(strip)
+// Analysis is the receiver-state-independent part of one frame's
+// processing: the planned symbol bands (mean color plus grid-snapped
+// symbol count) and the frame-adapted OFF threshold. Everything in it
+// is a pure function of the frame and the link configuration — no
+// calibration state, no deframer state — which is what lets
+// Receiver.Analyze run concurrently across frames while
+// Receiver.ProcessAnalysis replays the results in strict capture
+// order with bit-identical output to the serial path.
+type Analysis struct {
+	offLevel    float64
+	hasOffLevel bool
+	bands       []plannedBand
+}
+
+// plannedBand is one segmented band ready for classification: its
+// color and how many transmitted symbols it spans on the fitted grid.
+type plannedBand struct {
+	lab   colorspace.Lab
+	count int
+}
+
+// planBands snaps band boundaries to the fitted symbol grid and
+// records, per band, the color and symbol count, plus the
+// frame-adapted OFF threshold. It is a pure function (safe for
+// concurrent use); classification against the live calibration
+// references happens later in classifier.emitSymbols.
+func planBands(strip []stripRow, bands []band, rowsPerSym float64) *Analysis {
+	a := &Analysis{}
+	if len(strip) > 0 {
+		a.offLevel = offLevelFor(strip)
+		a.hasOffLevel = true
+	}
+	if len(bands) == 0 {
+		return a
+	}
 	// The transmitter's symbol clock projects onto the frame as a
 	// strictly periodic grid of period rowsPerSym. Fitting the grid
 	// phase to ALL detected band boundaries (circular mean of the cut
@@ -263,7 +336,7 @@ func classifyBands(strip []stripRow, bands []band, rowsPerSym float64, cls *clas
 	snap := func(x float64) int {
 		return int(math.Round((x - phase) / rowsPerSym))
 	}
-	var out []packet.RxSymbol
+	a.bands = make([]plannedBand, 0, len(bands))
 	for i, b := range bands {
 		count := snap(float64(b.end)) - snap(float64(b.start))
 		if count < 1 {
@@ -276,12 +349,34 @@ func classifyBands(strip []stripRow, bands []band, rowsPerSym float64, cls *clas
 			}
 			count = 1
 		}
-		sym := cls.classify(b.lab)
-		for j := 0; j < count; j++ {
+		a.bands = append(a.bands, plannedBand{lab: b.lab, count: count})
+	}
+	return a
+}
+
+// emitSymbols classifies a planned frame against the classifier's
+// current references. This is the only front-end step that depends on
+// mutable receiver state (calibrated data references), so it runs on
+// the sequential stage, in capture order.
+func (c *classifier) emitSymbols(a *Analysis) []packet.RxSymbol {
+	if a.hasOffLevel {
+		c.offLevel = a.offLevel
+	}
+	var out []packet.RxSymbol
+	for _, b := range a.bands {
+		sym := c.classify(b.lab)
+		for j := 0; j < b.count; j++ {
 			out = append(out, sym)
 		}
 	}
 	return out
+}
+
+// classifyBands adapts the OFF threshold to the frame, snaps band
+// boundaries to the fitted symbol grid, and classifies each band into
+// a run of received symbols.
+func classifyBands(strip []stripRow, bands []band, rowsPerSym float64, cls *classifier) []packet.RxSymbol {
+	return cls.emitSymbols(planBands(strip, bands, rowsPerSym))
 }
 
 // fitGridPhase estimates the symbol grid's phase offset from the cut

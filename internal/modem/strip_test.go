@@ -116,20 +116,24 @@ func TestClassifierWhiteVsDataByNearest(t *testing.T) {
 }
 
 func TestAdaptOffLevelScalesWithBrightness(t *testing.T) {
-	cls := newClassifier()
 	bright := syntheticStrip([]colorspace.RGB{{R: 1, G: 1, B: 1}}, 100)
-	cls.adaptOffLevel(bright)
-	high := cls.offLevel
+	high := offLevelFor(bright)
 	dim := syntheticStrip([]colorspace.RGB{{R: 0.02, G: 0.02, B: 0.02}}, 100)
-	cls.adaptOffLevel(dim)
-	low := cls.offLevel
+	low := offLevelFor(dim)
 	if high <= low {
 		t.Errorf("off level did not scale: bright %v, dim %v", high, low)
 	}
 	if low < 8 {
 		t.Errorf("off level floor violated: %v", low)
 	}
-	cls.adaptOffLevel(nil) // must not panic
+	// Empty strips are the caller's (planBands') problem: it skips the
+	// off-level fit entirely and the classifier keeps its previous value.
+	cls := newClassifier()
+	before := cls.offLevel
+	cls.emitSymbols(planBands(nil, nil, 10))
+	if cls.offLevel != before {
+		t.Errorf("empty strip changed off level: %v -> %v", before, cls.offLevel)
+	}
 }
 
 func TestFrameSymbolsSplitsMergedRuns(t *testing.T) {

@@ -1,0 +1,94 @@
+package packet
+
+import (
+	"testing"
+
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+)
+
+// fuzzSymbols maps fuzz bytes onto a received symbol stream. The
+// mapping is biased so short random inputs still produce the
+// structural elements the deframer keys on — off/white delimiter runs,
+// gap markers, and colored data symbols.
+func fuzzSymbols(data []byte) []RxSymbol {
+	syms := make([]RxSymbol, 0, len(data))
+	for _, b := range data {
+		var s RxSymbol
+		switch b % 8 {
+		case 0, 1:
+			s.Kind = KindOff
+		case 2, 3:
+			s.Kind = KindWhite
+		case 4:
+			s.Kind = KindGap
+		default:
+			s.Kind = KindData
+			s.AB = colorspace.AB{
+				A: float64(b>>4)*16 - 120,
+				B: float64(b&15)*16 - 120,
+			}
+		}
+		syms = append(syms, s)
+	}
+	return syms
+}
+
+// FuzzDeframe drives the incremental packet parser with arbitrary
+// symbol streams, split across Push calls at an input-chosen point,
+// then flushed. The deframer must never panic, and every parsed
+// packet must satisfy its documented invariants regardless of input.
+func FuzzDeframe(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, 2, 5, 7, 9, 0, 0, 2, 2})
+	f.Add([]byte{4, 4, 4, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDeframer(Config{Order: csk.CSK8, WhiteFraction: 0.2})
+		syms := fuzzSymbols(data)
+		split := 0
+		if len(data) > 0 {
+			split = int(data[0]) % (len(syms) + 1)
+		}
+		var pkts []RxPacket
+		pkts = append(pkts, d.Push(syms[:split])...)
+		pkts = append(pkts, d.Push(syms[split:])...)
+		pkts = append(pkts, d.Flush()...)
+
+		sizeSyms := SizeSymbols(csk.CSK8)
+		for i, p := range pkts {
+			switch p.Kind {
+			case PacketData:
+				if len(p.Slots) < sizeSyms {
+					t.Errorf("packet %d: %d slots, below the %d-symbol size field", i, len(p.Slots), sizeSyms)
+				}
+				if len(p.Gaps) > MaxGapsPerPacket {
+					t.Errorf("packet %d: %d gaps exceed MaxGapsPerPacket", i, len(p.Gaps))
+				}
+				last := -1
+				for _, g := range p.Gaps {
+					if g < 0 || g > len(p.Slots) {
+						t.Errorf("packet %d: gap index %d outside slots [0,%d]", i, g, len(p.Slots))
+					}
+					if g < last {
+						t.Errorf("packet %d: gap indexes not ascending: %v", i, p.Gaps)
+					}
+					last = g
+				}
+				for j, s := range p.Slots {
+					if s.Kind != KindWhite && s.Kind != KindData {
+						t.Errorf("packet %d slot %d: kind %v in payload", i, j, s.Kind)
+					}
+				}
+			case PacketCalibration:
+				if want := 1 << csk.CSK8.BitsPerSymbol(); len(p.Colors) != want {
+					t.Errorf("packet %d: calibration with %d colors, want %d", i, len(p.Colors), want)
+				}
+			default:
+				t.Errorf("packet %d: unknown kind %v", i, p.Kind)
+			}
+		}
+		if d.Discarded < 0 {
+			t.Errorf("negative discard count %d", d.Discarded)
+		}
+	})
+}

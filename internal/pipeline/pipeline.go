@@ -1,0 +1,483 @@
+// Package pipeline runs the receiver's per-frame front end on a
+// shared worker pool while keeping the sequential tail — CIELab
+// classification against calibration references, deframing, RS
+// decoding — in strict capture order, so decoded Block output is
+// byte-identical to calling Receiver.ProcessFrame on the same frames.
+//
+// The split follows the data dependencies of the decode path. Strip
+// extraction, band segmentation, grid-phase fitting and the
+// OFF-threshold fit read only the frame and the immutable link
+// configuration (modem.Receiver.Analyze); classification depends on
+// color references that calibration packets in *earlier* frames
+// update, and deframing/decoding consume symbols in order
+// (modem.Receiver.ProcessAnalysis). So the pipeline fans Analyze out
+// to N workers and funnels the results through a per-stream reorder
+// buffer into a single decoder goroutine.
+//
+// One Pipeline serves any number of independent LED streams: each
+// stream owns one Receiver and one ordered decode lane, all lanes
+// share the worker pool.
+//
+//	Submit ─▶ [in queue] ─feeder─▶ [jobs] ─▶ workers ×N ─▶ [done]
+//	                                                         │
+//	                  decoder: reorder by seq ─▶ ProcessAnalysis ─▶ [out]
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/modem"
+	"colorbars/internal/telemetry"
+)
+
+// OverloadPolicy selects what Submit does when a stream's input queue
+// is full.
+type OverloadPolicy int
+
+const (
+	// Backpressure blocks Submit until queue space frees up (or its
+	// context is done). Decoded output is identical to the serial path.
+	Backpressure OverloadPolicy = iota
+	// DropOldest discards the oldest queued frame to admit the new one,
+	// bounding latency for live capture at the cost of frame loss. The
+	// pipeline.frames_dropped counter records every discard. Dropped
+	// frames look like inter-frame gaps to the deframer (the same
+	// erasure mechanism rolling-shutter gaps use), so decoding degrades
+	// instead of derailing.
+	DropOldest OverloadPolicy = iota
+)
+
+// Config parameterizes New. The zero value is usable: GOMAXPROCS
+// workers, depth-8 queues, backpressure, no telemetry.
+type Config struct {
+	// Workers is the size of the shared Analyze pool. Zero or negative
+	// means GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds each stream's input queue (frames admitted but
+	// not yet analyzed). Zero or negative means 8.
+	QueueDepth int
+	// OutputDepth bounds each stream's decoded-block channel. Zero or
+	// negative means 16. The consumer must drain Blocks(); a full
+	// output channel stalls that stream's decode lane (and, through
+	// the queues, Submit).
+	OutputDepth int
+	// Overload selects the full-queue policy for Submit.
+	Overload OverloadPolicy
+	// Telemetry receives pipeline metrics: pipeline.frames_in,
+	// pipeline.frames_dropped, pipeline.blocks_out counters; a
+	// pipeline.workers_busy gauge; pipeline.queue_depth.<stream>
+	// gauges; and a pipeline.frame_latency histogram of
+	// submit-to-decode seconds. Nil disables all of it.
+	Telemetry *telemetry.Registry
+
+	// analyzeHook, when set, replaces Receiver.Analyze in the workers.
+	// Tests use it to stall the pool and provoke overload or shutdown
+	// races; nil means the real thing.
+	analyzeHook func(r *modem.Receiver, f *camera.Frame) *modem.Analysis
+}
+
+// ErrClosed is returned by Submit after CloseInput or Close.
+var ErrClosed = errors.New("pipeline: stream closed")
+
+// job is one frame traveling through the worker pool.
+type job struct {
+	s       *Stream
+	f       *camera.Frame
+	seq     uint64
+	tSubmit int64 // registry-clock ns when admitted, for frame_latency
+}
+
+// result is an analyzed frame waiting for its turn in the decode lane.
+type result struct {
+	a       *modem.Analysis
+	seq     uint64
+	tSubmit int64
+}
+
+// Pipeline is a shared worker pool plus per-stream ordered decode
+// lanes. Create with New, add streams with AddStream, then Submit
+// frames and drain Blocks(). Close (or Abort) before discarding.
+type Pipeline struct {
+	cfg    Config
+	tel    *telemetry.Registry
+	jobs   chan job
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	workerWG  sync.WaitGroup // worker goroutines
+	streamWG  sync.WaitGroup // feeder + decoder goroutines
+	jobsOnce  sync.Once      // guards close(jobs) across Close/Abort
+	busy      *telemetry.Gauge
+	framesIn  *telemetry.Counter
+	dropped   *telemetry.Counter
+	blocksOut *telemetry.Counter
+	latency   *telemetry.Histogram
+
+	mu      sync.Mutex
+	streams map[string]*Stream
+	closed  bool
+}
+
+// Stream is one LED stream's lane through the pipeline: a bounded
+// input queue, a share of the worker pool, and an ordered decode lane
+// feeding Blocks().
+type Stream struct {
+	p    *Pipeline
+	id   string
+	rx   *modem.Receiver
+	in   chan job         // Submit → feeder
+	done chan result      // workers → decoder (unordered)
+	out  chan modem.Block // decoder → consumer
+
+	depth *telemetry.Gauge
+
+	// submit-side state, guarded by mu: seq would race between
+	// concurrent Submits, closed gates Submit vs CloseInput.
+	mu        sync.Mutex
+	closed    bool
+	submitted uint64 // frames admitted to in
+
+	// feeder-side state: frames handed to the pool so far, and the
+	// total the decoder must wait for. fedAll closes once finalSeq is
+	// valid (after CloseInput drained the queue).
+	fed      uint64
+	finalSeq uint64
+	fedAll   chan struct{}
+}
+
+// New builds a pipeline and starts its worker pool.
+func New(cfg Config) *Pipeline {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.OutputDepth <= 0 {
+		cfg.OutputDepth = 16
+	}
+	if cfg.analyzeHook == nil {
+		cfg.analyzeHook = func(r *modem.Receiver, f *camera.Frame) *modem.Analysis {
+			return r.Analyze(f)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pipeline{
+		cfg:       cfg,
+		tel:       cfg.Telemetry,
+		jobs:      make(chan job),
+		ctx:       ctx,
+		cancel:    cancel,
+		streams:   map[string]*Stream{},
+		busy:      cfg.Telemetry.Gauge("pipeline.workers_busy"),
+		framesIn:  cfg.Telemetry.Counter("pipeline.frames_in"),
+		dropped:   cfg.Telemetry.Counter("pipeline.frames_dropped"),
+		blocksOut: cfg.Telemetry.Counter("pipeline.blocks_out"),
+		latency:   cfg.Telemetry.Histogram("pipeline.frame_latency", nil),
+	}
+	p.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pipeline) Workers() int { return p.cfg.Workers }
+
+// AddStream registers a stream decoding through rx and returns its
+// lane. The id names the stream in telemetry
+// (pipeline.queue_depth.<id>) and must be unique. The receiver must
+// not be used outside the pipeline afterwards.
+func (p *Pipeline) AddStream(id string, rx *modem.Receiver) (*Stream, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := p.streams[id]; dup {
+		return nil, fmt.Errorf("pipeline: duplicate stream %q", id)
+	}
+	s := &Stream{
+		p:      p,
+		id:     id,
+		rx:     rx,
+		in:     make(chan job, p.cfg.QueueDepth),
+		done:   make(chan result, p.cfg.QueueDepth+p.cfg.Workers),
+		out:    make(chan modem.Block, p.cfg.OutputDepth),
+		depth:  p.tel.Gauge("pipeline.queue_depth." + id),
+		fedAll: make(chan struct{}),
+	}
+	p.streams[id] = s
+	p.streamWG.Add(2)
+	go s.feed()
+	go s.decode()
+	return s, nil
+}
+
+// worker pulls analysis jobs from every stream and runs the
+// goroutine-safe front end.
+func (p *Pipeline) worker() {
+	defer p.workerWG.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case j, ok := <-p.jobs:
+			if !ok {
+				return
+			}
+			p.busy.Add(1)
+			a := p.cfg.analyzeHook(j.s.rx, j.f)
+			p.busy.Add(-1)
+			select {
+			case j.s.done <- result{a: a, seq: j.seq, tSubmit: j.tSubmit}:
+			case <-p.ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// Submit hands one captured frame to the stream. Frames must be
+// submitted in capture order (concurrent Submits on one stream would
+// make "order" meaningless, but Submit itself is safe to call from
+// multiple goroutines). Under Backpressure a full queue blocks until
+// space frees, ctx is done, or the stream closes; under DropOldest it
+// discards the oldest queued frame and never blocks on queue space.
+func (s *Stream) Submit(ctx context.Context, f *camera.Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	j := job{s: s, f: f, tSubmit: s.p.tel.Now()}
+	for {
+		select {
+		case s.in <- j:
+			s.submitted++
+			s.p.framesIn.Inc()
+			s.depth.Set(float64(len(s.in)))
+			return nil
+		default:
+		}
+		if s.p.cfg.Overload == DropOldest {
+			select {
+			case old := <-s.in:
+				_ = old
+				s.p.dropped.Inc()
+				continue // retry; another Submit cannot race us (mu held)
+			default:
+				continue // feeder drained the queue between selects
+			}
+		}
+		// Backpressure: wait for space without spinning.
+		select {
+		case s.in <- j:
+			s.submitted++
+			s.p.framesIn.Inc()
+			s.depth.Set(float64(len(s.in)))
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.p.ctx.Done():
+			return ErrClosed
+		}
+	}
+}
+
+// feed moves frames from the stream queue into the shared pool,
+// stamping each with its decode sequence number. Sequence numbers are
+// assigned here — after any DropOldest discards — so the decoder's
+// expected sequence is always contiguous.
+func (s *Stream) feed() {
+	defer s.p.streamWG.Done()
+	for {
+		select {
+		case <-s.p.ctx.Done():
+			return
+		case j, ok := <-s.in:
+			if !ok {
+				// CloseInput ran and the queue is drained: everything
+				// admitted has been fed. Publish the total and let the
+				// decoder finish.
+				s.finalSeq = s.fed
+				close(s.fedAll)
+				return
+			}
+			s.depth.Set(float64(len(s.in)))
+			j.seq = s.fed
+			s.fed++
+			select {
+			case s.p.jobs <- j:
+			case <-s.p.ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// decode reorders analyzed frames into capture order and runs the
+// sequential tail. It owns the stream's Receiver and the out channel.
+func (s *Stream) decode() {
+	defer s.p.streamWG.Done()
+	defer close(s.out)
+	pending := map[uint64]result{}
+	var next uint64
+	var total uint64
+	haveTotal := false
+	for {
+		if haveTotal && next >= total {
+			// Every fed frame decoded: flush deframer remnants.
+			for _, b := range s.rx.Flush() {
+				if !s.emit(b) {
+					return
+				}
+			}
+			return
+		}
+		select {
+		case <-s.p.ctx.Done():
+			return
+		case <-s.fedAll:
+			total, haveTotal = s.finalSeq, true
+			s.fedAll = nil // a nil channel never fires again
+		case r := <-s.done:
+			pending[r.seq] = r
+			for {
+				r, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				for _, b := range s.rx.ProcessAnalysis(r.a) {
+					if !s.emit(b) {
+						return
+					}
+				}
+				s.p.latency.Observe(float64(s.p.tel.Now()-r.tSubmit) / 1e9)
+			}
+		}
+	}
+}
+
+// emit delivers one decoded block, reporting false on Abort.
+func (s *Stream) emit(b modem.Block) bool {
+	select {
+	case s.out <- b:
+		s.p.blocksOut.Inc()
+		return true
+	case <-s.p.ctx.Done():
+		return false
+	}
+}
+
+// Blocks returns the stream's decoded output in strict capture order.
+// The channel closes after CloseInput once every admitted frame has
+// been decoded and the deframer flushed — or immediately on Abort.
+// Consumers must drain it; an undrained stream eventually stalls.
+func (s *Stream) Blocks() <-chan modem.Block { return s.out }
+
+// Stats exposes the stream receiver's counters (safe once the stream
+// is drained).
+func (s *Stream) Stats() modem.RxStats { return s.rx.Stats() }
+
+// Telemetry returns the stream receiver's metric registry (for
+// attaching trace sinks or reading per-stage histograms).
+func (s *Stream) Telemetry() *telemetry.Registry { return s.rx.Telemetry() }
+
+// Submitted reports how many frames Submit has admitted (including
+// ones DropOldest later discarded).
+func (s *Stream) Submitted() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submitted
+}
+
+// CloseInput marks the end of the stream's input. Subsequent Submits
+// return ErrClosed; frames already admitted still decode, then
+// Blocks() closes. Safe to call more than once.
+func (s *Stream) CloseInput() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.in)
+}
+
+// Drain closes the stream's input and waits for Blocks() to close,
+// discarding any undelivered blocks. It unsticks consumers that want
+// completion without caring about remaining output.
+func (s *Stream) Drain(ctx context.Context) error {
+	s.CloseInput()
+	for {
+		select {
+		case _, ok := <-s.out:
+			if !ok {
+				return nil
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Close shuts the pipeline down gracefully: every stream's input
+// closes, in-flight frames finish decoding, Blocks() channels close,
+// then the worker pool exits. Blocks() consumers must keep draining
+// during Close or it cannot complete; ctx bounds the wait, and a
+// context error aborts the pipeline hard (dropping in-flight frames)
+// before returning.
+func (p *Pipeline) Close(ctx context.Context) error {
+	p.mu.Lock()
+	p.closed = true
+	streams := make([]*Stream, 0, len(p.streams))
+	for _, s := range p.streams {
+		streams = append(streams, s)
+	}
+	p.mu.Unlock()
+	for _, s := range streams {
+		s.CloseInput()
+	}
+	done := make(chan struct{})
+	go func() {
+		p.streamWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		p.Abort()
+		<-done
+		return ctx.Err()
+	}
+	p.cancel()
+	p.jobsOnce.Do(func() { close(p.jobs) })
+	p.workerWG.Wait()
+	return nil
+}
+
+// Abort tears the pipeline down immediately: feeders and decode lanes
+// exit at the next channel operation, in-flight frames are dropped,
+// Blocks() channels close without flushing. Workers already inside an
+// Analyze call are not interrupted — each goroutine exits as soon as
+// its current frame finishes, without Abort waiting on it. Safe to
+// call more than once, and after Close.
+func (p *Pipeline) Abort() {
+	p.mu.Lock()
+	p.closed = true
+	for _, s := range p.streams {
+		s.CloseInput()
+	}
+	p.mu.Unlock()
+	p.cancel()
+	p.streamWG.Wait()
+}

@@ -1,0 +1,466 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/cie"
+	"colorbars/internal/coding"
+	"colorbars/internal/csk"
+	"colorbars/internal/modem"
+	"colorbars/internal/telemetry"
+)
+
+// captureSession builds one stream's worth of test material: captured
+// frames plus a factory for identically-configured receivers, so the
+// same frame sequence can be decoded serially and through the
+// pipeline.
+type captureSession struct {
+	frames []*camera.Frame
+	newRx  func(tb testing.TB) *modem.Receiver
+}
+
+func newSession(tb testing.TB, order csk.Order, rate float64, seed int64, seconds float64) *captureSession {
+	tb.Helper()
+	prof := camera.Nexus5()
+	params := coding.Params{
+		SymbolRate:   rate,
+		FrameRate:    prof.FrameRate,
+		LossRatio:    prof.LossRatio(),
+		Order:        order,
+		DataFraction: 0.8,
+	}
+	code, err := params.LinkCodeErasure()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tx, err := modem.NewTransmitter(modem.TxConfig{
+		Order: order, SymbolRate: rate, WhiteFraction: 0.2, Power: 1,
+		Triangle: cie.SRGBTriangle, CalibrationEvery: 3, Code: code,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	msg := make([]byte, code.K())
+	for i := range msg {
+		msg[i] = byte(int(seed) + i*5)
+	}
+	w, err := tx.BuildWaveformRepeating(msg, seconds)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	frames := camera.New(prof, seed).CaptureVideo(w, 0, int(seconds*prof.FrameRate))
+	if len(frames) == 0 {
+		tb.Fatal("no frames captured")
+	}
+	return &captureSession{
+		frames: frames,
+		newRx: func(tb testing.TB) *modem.Receiver {
+			tb.Helper()
+			rx, err := modem.NewReceiver(modem.RxConfig{
+				Order: order, SymbolRate: rate, WhiteFraction: 0.2, Code: code,
+			})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return rx
+		},
+	}
+}
+
+// serialDecode is the reference path: ProcessFrame per frame plus the
+// final Flush, all on one goroutine.
+func serialDecode(rx *modem.Receiver, frames []*camera.Frame) []modem.Block {
+	var blocks []modem.Block
+	for _, f := range frames {
+		blocks = append(blocks, rx.ProcessFrame(f)...)
+	}
+	return append(blocks, rx.Flush()...)
+}
+
+// collect drains a stream's Blocks() on a fresh goroutine and
+// delivers the full slice once the channel closes.
+func collect(s *Stream) <-chan []modem.Block {
+	ch := make(chan []modem.Block, 1)
+	go func() {
+		var blocks []modem.Block
+		for b := range s.Blocks() {
+			blocks = append(blocks, b)
+		}
+		ch <- blocks
+	}()
+	return ch
+}
+
+// watchdog fails the test if fn does not finish within the deadline —
+// the pipeline's liveness guarantees are part of its contract and a
+// hang must fail fast, not wait out the 10-minute package timeout.
+func watchdog(t *testing.T, d time.Duration, what string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		fn()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("watchdog: %s did not finish within %v", what, d)
+	}
+}
+
+// TestPipelineMatchesSerial is the tentpole invariant: for the same
+// frame sequence, the concurrent pipeline must produce byte-identical
+// Block output to the serial receiver, at every worker count.
+func TestPipelineMatchesSerial(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 2)
+	want := serialDecode(sess.newRx(t), sess.frames)
+	if len(want) == 0 {
+		t.Fatal("serial path decoded no blocks; test would be vacuous")
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			p := New(Config{Workers: workers, QueueDepth: 4})
+			defer p.Abort()
+			s, err := p.AddStream("led0", sess.newRx(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collect(s)
+			for _, f := range sess.frames {
+				if err := s.Submit(context.Background(), f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := p.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+			blocks := <-got
+			if !reflect.DeepEqual(blocks, want) {
+				t.Errorf("pipeline output differs from serial: got %d blocks, want %d", len(blocks), len(want))
+				for i := 0; i < len(blocks) && i < len(want); i++ {
+					if !reflect.DeepEqual(blocks[i], want[i]) {
+						t.Errorf("first divergence at block %d:\n got %+v\nwant %+v", i, blocks[i], want[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultiStreamIsolation runs several streams with different
+// capture noise and payloads through one shared pool, under -race in
+// CI: every stream's output must match its own serial decode, with no
+// cross-stream interference.
+func TestMultiStreamIsolation(t *testing.T) {
+	const streams = 3
+	sessions := make([]*captureSession, streams)
+	wants := make([][]modem.Block, streams)
+	for i := range sessions {
+		sessions[i] = newSession(t, csk.CSK8, 2000, int64(i+1), 1)
+		wants[i] = serialDecode(sessions[i].newRx(t), sessions[i].frames)
+		if len(wants[i]) == 0 {
+			t.Fatalf("stream %d: serial path decoded no blocks", i)
+		}
+	}
+
+	p := New(Config{Workers: 4, QueueDepth: 4})
+	defer p.Abort()
+	outs := make([]<-chan []modem.Block, streams)
+	lanes := make([]*Stream, streams)
+	for i := range sessions {
+		s, err := p.AddStream(fmt.Sprintf("led%d", i), sessions[i].newRx(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lanes[i] = s
+		outs[i] = collect(s)
+	}
+	// Interleave submissions across streams from one producer per
+	// stream, concurrently.
+	errs := make(chan error, streams)
+	for i := range sessions {
+		go func(i int) {
+			for _, f := range sessions[i].frames {
+				if err := lanes[i].Submit(context.Background(), f); err != nil {
+					errs <- fmt.Errorf("stream %d: %w", i, err)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < streams; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if got := <-outs[i]; !reflect.DeepEqual(got, wants[i]) {
+			t.Errorf("stream %d output differs from serial (%d vs %d blocks)", i, len(got), len(wants[i]))
+		}
+	}
+}
+
+// TestCloseMidStreamDeliversPrefix closes the pipeline while frames
+// are still queued behind a slow worker: Close must not deadlock
+// (1s-order watchdog) and every block handed to the consumer before
+// or during shutdown must be a prefix of the serial output — nothing
+// already acknowledged may be lost or reordered.
+func TestCloseMidStreamDeliversPrefix(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 1)
+
+	gate := make(chan struct{})
+	var gated atomic.Bool
+	cfg := Config{Workers: 2, QueueDepth: 4}
+	cfg.analyzeHook = func(r *modem.Receiver, f *camera.Frame) *modem.Analysis {
+		if gated.CompareAndSwap(false, true) {
+			// The first frame stalls until the gate opens; later frames
+			// pass freely and pile up behind it in the reorder buffer.
+			<-gate
+		}
+		return r.Analyze(f)
+	}
+	p := New(cfg)
+	defer p.Abort()
+	s, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(s)
+	n := cap(s.in) + 1
+	if n > len(sess.frames) {
+		n = len(sess.frames)
+	}
+	for _, f := range sess.frames[:n] {
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate) // release mid-shutdown
+	watchdog(t, 5*time.Second, "graceful Close with queued frames", func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 4*time.Second)
+		defer cancel()
+		if err := p.Close(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+	blocks := <-got
+	// Graceful shutdown decodes every admitted frame, so the output
+	// must match a serial run over exactly those frames.
+	want := serialDecode(sess.newRx(t), sess.frames[:n])
+	if !reflect.DeepEqual(blocks, want) {
+		t.Errorf("shutdown output differs from serial over the %d admitted frames (%d vs %d blocks)",
+			n, len(blocks), len(want))
+	}
+}
+
+// TestAbortMidStreamNoDeadlock tears the pipeline down while a worker
+// is wedged: Abort must return within the watchdog and close the
+// output channel even though the stalled frame never finishes.
+func TestAbortMidStreamNoDeadlock(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 1)
+
+	gate := make(chan struct{})
+	cfg := Config{Workers: 1, QueueDepth: 2}
+	cfg.analyzeHook = func(r *modem.Receiver, f *camera.Frame) *modem.Analysis {
+		select {
+		case <-gate: // held shut for the whole test
+		case <-time.After(10 * time.Second):
+		}
+		return r.Analyze(f)
+	}
+	p := New(cfg)
+	s, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(s)
+	for i := 0; i < 3 && i < len(sess.frames); i++ {
+		if err := s.Submit(context.Background(), sess.frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	watchdog(t, time.Second, "Abort with a wedged worker", func() { p.Abort() })
+	watchdog(t, time.Second, "Blocks() close after Abort", func() { <-got })
+	if err := s.Submit(context.Background(), sess.frames[0]); err != ErrClosed {
+		t.Errorf("Submit after Abort = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseTimeoutAborts: a consumer that never drains Blocks() would
+// stall graceful shutdown forever; Close must honor its context,
+// abort hard, and return the context error instead of hanging.
+func TestCloseTimeoutAborts(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 1)
+	p := New(Config{Workers: 2, QueueDepth: 2, OutputDepth: 1})
+	s, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No consumer on s.Blocks(): the decode lane jams once the output
+	// buffer fills.
+	for _, f := range sess.frames {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		err := s.Submit(ctx, f)
+		cancel()
+		if err != nil {
+			break // backpressure reached the producer, as expected
+		}
+	}
+	watchdog(t, 5*time.Second, "Close against an undrained consumer", func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		if err := p.Close(ctx); err != context.DeadlineExceeded {
+			t.Errorf("Close = %v, want context.DeadlineExceeded", err)
+		}
+	})
+}
+
+// TestDropOldestSheds verifies the overload policy: with the pool
+// wedged and the queue full, Submit keeps admitting frames by
+// discarding the oldest, never blocks, and accounts every drop.
+func TestDropOldestSheds(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 1)
+	if len(sess.frames) < 8 {
+		t.Fatalf("need ≥8 frames, have %d", len(sess.frames))
+	}
+	reg := telemetry.NewRegistry()
+	gate := make(chan struct{})
+	cfg := Config{Workers: 1, QueueDepth: 2, Overload: DropOldest, Telemetry: reg}
+	cfg.analyzeHook = func(r *modem.Receiver, f *camera.Frame) *modem.Analysis {
+		<-gate
+		return r.Analyze(f)
+	}
+	p := New(cfg)
+	defer p.Abort()
+	s, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(s)
+	watchdog(t, 5*time.Second, "DropOldest submissions against a wedged pool", func() {
+		for _, f := range sess.frames {
+			if err := s.Submit(context.Background(), f); err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+		}
+	})
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+
+	snap := reg.Snapshot()
+	dropped := snap.Counters["pipeline.frames_dropped"]
+	if dropped == 0 {
+		t.Error("no frames dropped despite wedged pool and full queue")
+	}
+	if in := snap.Counters["pipeline.frames_in"]; in != int64(len(sess.frames)) {
+		t.Errorf("frames_in = %d, want %d", in, len(sess.frames))
+	}
+	if s.Submitted() != uint64(len(sess.frames)) {
+		t.Errorf("Submitted() = %d, want %d", s.Submitted(), len(sess.frames))
+	}
+}
+
+// TestStreamLifecycleErrors covers the small contracts: duplicate
+// stream ids, Submit/AddStream after close, idempotent CloseInput,
+// and Drain.
+func TestStreamLifecycleErrors(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 1)
+	p := New(Config{Workers: 1})
+	s, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddStream("led0", sess.newRx(t)); err == nil {
+		t.Error("duplicate AddStream succeeded")
+	}
+	if err := s.Submit(context.Background(), sess.frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.CloseInput()
+	s.CloseInput() // must not panic
+	if err := s.Submit(context.Background(), sess.frames[0]); err != ErrClosed {
+		t.Errorf("Submit after CloseInput = %v, want ErrClosed", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddStream("led1", sess.newRx(t)); err != ErrClosed {
+		t.Errorf("AddStream after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestPipelineTelemetry checks the pipeline's own metrics: frame
+// counts, block counts, latency histogram population, and that
+// per-stream queue-depth gauges exist.
+func TestPipelineTelemetry(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 1)
+	reg := telemetry.NewRegistry()
+	p := New(Config{Workers: 2, Telemetry: reg})
+	defer p.Abort()
+	s, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(s)
+	for _, f := range sess.frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	blocks := <-got
+
+	snap := reg.Snapshot()
+	if in := snap.Counters["pipeline.frames_in"]; in != int64(len(sess.frames)) {
+		t.Errorf("frames_in = %d, want %d", in, len(sess.frames))
+	}
+	if out := snap.Counters["pipeline.blocks_out"]; out != int64(len(blocks)) {
+		t.Errorf("blocks_out = %d, want %d", out, len(blocks))
+	}
+	lat, ok := snap.Histograms["pipeline.frame_latency"]
+	if !ok || lat.Count != int64(len(sess.frames)) {
+		t.Errorf("frame_latency observed %d frames, want %d", lat.Count, len(sess.frames))
+	}
+	if _, ok := snap.Gauges["pipeline.queue_depth.led0"]; !ok {
+		t.Error("missing pipeline.queue_depth.led0 gauge")
+	}
+	if busy := snap.Gauges["pipeline.workers_busy"]; busy != 0 {
+		t.Errorf("workers_busy = %v after shutdown, want 0", busy)
+	}
+	// The receiver's own rx.analyze span must have fired once per frame.
+	rxSnap := s.rx.Snapshot()
+	if h, ok := rxSnap.Histograms["rx.analyze"]; !ok || h.Count != int64(len(sess.frames)) {
+		t.Errorf("rx.analyze observed %d times, want %d", h.Count, len(sess.frames))
+	}
+}

@@ -1,0 +1,135 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestPropertyErrorsPlusErasuresRoundTrip is the full decoding-radius
+// property: for random (n, k), corrupt a codeword with e unknown
+// errors and r known erasures such that 2e + r ≤ n−k, and the decoder
+// must recover the original data exactly. This is the bound ColorBars
+// leans on — inter-frame gaps become erasures, so each one costs one
+// parity byte instead of two.
+func TestPropertyErrorsPlusErasuresRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		parity := 2 + rng.Intn(30) // n−k in [2, 31]
+		k := 1 + rng.Intn(255-parity)
+		n := k + parity
+		c := MustNew(n, k)
+
+		data := make([]byte, k)
+		rng.Read(data)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+
+		// Pick e and r on or under the budget, occasionally exactly on
+		// it — the boundary is where locator-degree bookkeeping breaks.
+		e := rng.Intn(parity/2 + 1)
+		r := rng.Intn(parity - 2*e + 1)
+		if trial%4 == 0 {
+			r = parity - 2*e
+		}
+
+		perm := rng.Perm(n)
+		corrupted := append([]byte(nil), cw...)
+		for _, p := range perm[:e+r] {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		erasures := append([]int(nil), perm[e:e+r]...)
+
+		got, err := c.Decode(corrupted, erasures)
+		if err != nil {
+			t.Fatalf("n=%d k=%d e=%d r=%d: Decode failed: %v", n, k, e, r, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d k=%d e=%d r=%d: decoded data differs", n, k, e, r)
+		}
+		if !bytes.Equal(corrupted, cw) {
+			t.Fatalf("n=%d k=%d e=%d r=%d: corrected codeword differs from original", n, k, e, r)
+		}
+	}
+}
+
+// TestPropertyErasedCleanPositions checks that erasures pointing at
+// positions that were never corrupted are harmless: the decoder may
+// "correct" them with a zero magnitude but must still return the
+// original data, up to r = n−k clean erasures.
+func TestPropertyErasedCleanPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 300; trial++ {
+		parity := 2 + rng.Intn(20)
+		k := 1 + rng.Intn(255-parity)
+		n := k + parity
+		c := MustNew(n, k)
+
+		data := make([]byte, k)
+		rng.Read(data)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		r := rng.Intn(parity + 1)
+		erasures := rng.Perm(n)[:r]
+
+		got, err := c.Decode(append([]byte(nil), cw...), erasures)
+		if err != nil {
+			t.Fatalf("n=%d k=%d r=%d clean erasures: %v", n, k, r, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d k=%d r=%d clean erasures: data differs", n, k, r)
+		}
+	}
+}
+
+// TestPropertyOverBudgetNeverMiscorrectsSilently checks the decoder's
+// failure mode just past the radius: with 2e + r = n−k + 1 the
+// decoder may either report an error or happen to decode — but when
+// it claims success the result must be a consistent codeword
+// (re-encoding the returned data reproduces the corrected codeword),
+// never a half-corrected buffer.
+func TestPropertyOverBudgetNeverMiscorrectsSilently(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 300; trial++ {
+		parity := 3 + rng.Intn(20)
+		k := 1 + rng.Intn(255-parity)
+		n := k + parity
+		c := MustNew(n, k)
+
+		data := make([]byte, k)
+		rng.Read(data)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+
+		// 2e + r = parity + 1: one past the guarantee.
+		e := rng.Intn(parity/2 + 1)
+		r := parity + 1 - 2*e
+		if e+r > n {
+			continue
+		}
+		perm := rng.Perm(n)
+		corrupted := append([]byte(nil), cw...)
+		for _, p := range perm[:e+r] {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		erasures := append([]int(nil), perm[e:e+r]...)
+
+		got, err := c.Decode(corrupted, erasures)
+		if err != nil {
+			continue // detection is the expected outcome
+		}
+		recoded, err := c.Encode(append([]byte(nil), got...))
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(recoded, corrupted) {
+			t.Fatalf("n=%d k=%d e=%d r=%d: claimed success but corrected buffer is not a codeword", n, k, e, r)
+		}
+	}
+}

@@ -85,6 +85,12 @@ func (r *Registry) SetClock(now func() int64) {
 	}
 }
 
+// Now returns the current time in nanoseconds on the registry clock
+// (the same clock spans use), so callers can measure latencies that
+// span goroutines — where a single Span value cannot travel. Nil
+// registries report 0.
+func (r *Registry) Now() int64 { return r.nowNs() }
+
 // SetSink attaches (or, with nil, detaches) a trace sink. With a sink
 // attached every counter increment and span completion is emitted as
 // an Event; without one the only cost is an atomic pointer load.
@@ -205,6 +211,23 @@ func (g *Gauge) Set(v float64) {
 	}
 	g.bits.Store(math.Float64bits(v))
 	g.parent.Set(v)
+}
+
+// Add atomically adjusts the gauge by d (propagated to the parent
+// registry), for up/down occupancy tracking — e.g. busy-worker counts
+// — where concurrent Sets would lose updates.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	g.parent.Add(d)
 }
 
 // Value returns the last value set (0 before the first Set).

@@ -1,0 +1,163 @@
+package colorbars
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestPipelineEndToEndMatchesSerial runs the facade pipeline over the
+// same capture a serial Receiver decodes and requires identical
+// reassembled messages — the public-API face of the pipeline's
+// byte-identical guarantee.
+func TestPipelineEndToEndMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	msg := []byte("Gate B12: boarding starts 18:40. Scan the sign for rebooking options.")
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tx.Broadcast(msg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := NewCamera(Nexus5(), 1).CaptureVideo(w, 0, int(4*Nexus5().FrameRate))
+
+	serialRx, err := NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Message
+	for _, f := range frames {
+		want = append(want, serialRx.ProcessFrame(f)...)
+	}
+	want = append(want, serialRx.Flush()...)
+	if len(want) == 0 {
+		t.Fatal("serial receiver reassembled no messages")
+	}
+
+	p := NewPipeline(PipelineConfig{Workers: 4})
+	defer p.Abort()
+	s, err := p.AddStream("led0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCh := make(chan []Message, 1)
+	go func() {
+		var msgs []Message
+		for m := range s.Messages() {
+			msgs = append(msgs, m)
+		}
+		gotCh <- msgs
+	}()
+	for _, f := range frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := <-gotCh
+
+	if len(got) != len(want) {
+		t.Fatalf("pipeline reassembled %d messages, serial %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Data, want[i].Data) || got[i].Blocks != want[i].Blocks {
+			t.Errorf("message %d differs: %q vs %q", i, got[i].Data, want[i].Data)
+		}
+	}
+	if !bytes.Equal(got[0].Data, msg) {
+		t.Errorf("decoded %q, want %q", got[0].Data, msg)
+	}
+}
+
+// TestPipelineStreamErrors covers duplicate ids and bad link configs
+// through the facade.
+func TestPipelineStreamErrors(t *testing.T) {
+	p := NewPipeline(PipelineConfig{Workers: 1})
+	defer p.Abort()
+	if _, err := p.AddStream("a", DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddStream("a", DefaultConfig()); err == nil {
+		t.Error("duplicate stream id accepted")
+	}
+	bad := DefaultConfig()
+	bad.Order = Order(99)
+	if _, err := p.AddStream("b", bad); err == nil {
+		t.Error("invalid CSK order accepted")
+	}
+}
+
+// TestPipelineMultiStreamFacade decodes two different broadcasts on
+// one pipeline, as a multi-LED deployment would.
+func TestPipelineMultiStreamFacade(t *testing.T) {
+	cfg := DefaultConfig()
+	p := NewPipeline(PipelineConfig{Workers: 2})
+	defer p.Abort()
+
+	type lane struct {
+		msg    []byte
+		s      *PipelineStream
+		frames []*Frame
+		got    chan []Message
+	}
+	lanes := make([]*lane, 2)
+	for i := range lanes {
+		msg := []byte(fmt.Sprintf("shelf %d: fresh produce, restocked hourly", i))
+		tx, err := NewTransmitter(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := tx.Broadcast(msg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.AddStream(fmt.Sprintf("led%d", i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := &lane{
+			msg:    msg,
+			s:      s,
+			frames: NewCamera(Nexus5(), int64(i+1)).CaptureVideo(w, 0, int(4*Nexus5().FrameRate)),
+			got:    make(chan []Message, 1),
+		}
+		go func() {
+			var msgs []Message
+			for m := range l.s.Messages() {
+				msgs = append(msgs, m)
+			}
+			l.got <- msgs
+		}()
+		lanes[i] = l
+	}
+	for _, l := range lanes {
+		for _, f := range l.frames {
+			if err := l.s.Submit(context.Background(), f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range lanes {
+		msgs := <-l.got
+		if len(msgs) == 0 {
+			t.Errorf("stream %d decoded no messages", i)
+			continue
+		}
+		if !bytes.Equal(msgs[0].Data, l.msg) {
+			t.Errorf("stream %d decoded %q, want %q", i, msgs[0].Data, l.msg)
+		}
+	}
+}

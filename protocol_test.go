@@ -68,7 +68,7 @@ func TestReassemblyOutOfOrderAndDuplicates(t *testing.T) {
 	}
 	var got *Message
 	for _, idx := range order {
-		if m := rx.takeBlock(modem.Block{Data: blocks[idx], Recovered: true}); m != nil {
+		if m := rx.asm.take(modem.Block{Data: blocks[idx], Recovered: true}); m != nil {
 			got = m
 		}
 	}
@@ -88,7 +88,7 @@ func TestReassemblyRejectsBadCRC(t *testing.T) {
 	blocks := encodeBlocks(t, tx, msg)
 	bad := append([]byte(nil), blocks[0]...)
 	bad[blockHeaderLen] ^= 0xFF // corrupt chunk without fixing CRC
-	if m := rx.takeBlock(modem.Block{Data: bad, Recovered: true}); m != nil {
+	if m := rx.asm.take(modem.Block{Data: bad, Recovered: true}); m != nil {
 		t.Error("corrupt block accepted")
 	}
 	if have, _ := rx.Progress(); have != 0 {
@@ -107,10 +107,10 @@ func TestReassemblyNewMessageResets(t *testing.T) {
 
 	// Partially deliver A, then fully deliver B: B must complete
 	// cleanly despite the stale A state.
-	rx.takeBlock(modem.Block{Data: blocksA[0], Recovered: true})
+	rx.asm.take(modem.Block{Data: blocksA[0], Recovered: true})
 	var got *Message
 	for _, b := range blocksB {
-		if m := rx.takeBlock(modem.Block{Data: b, Recovered: true}); m != nil {
+		if m := rx.asm.take(modem.Block{Data: b, Recovered: true}); m != nil {
 			got = m
 		}
 	}
