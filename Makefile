@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-pipeline fuzz-smoke bench
+.PHONY: ci vet build test race race-pipeline fault-soak fuzz-smoke bench
 
 # ci is the full gate: static checks, build, the test suite, a short
 # fuzz smoke over every fuzz target, the race-enabled pass over the
 # concurrent pipeline (the packages where races can actually live),
-# and a single-iteration pass over the ProcessFrame benchmarks (so the
-# telemetry-overhead path compiles and runs). Budget: ~3 minutes on a
-# laptop. The full-suite race run stays available as `make race` but
-# is too slow for the default gate.
-ci: vet build test fuzz-smoke race-pipeline bench
+# the deterministic chaos soak, and a single-iteration pass over the
+# ProcessFrame benchmarks (so the telemetry-overhead path compiles and
+# runs). Budget: ~4 minutes on a laptop. The full-suite race run stays
+# available as `make race` but is too slow for the default gate.
+ci: vet build test fuzz-smoke race-pipeline fault-soak bench
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,15 @@ race:
 # `make race` for the exhaustive version.
 race-pipeline:
 	$(GO) test -race -count=1 ./internal/pipeline/ ./internal/modem/
+
+# fault-soak runs the deterministic chaos soak under the race
+# detector: a sustained blackout through the resync/recalibration
+# machinery, and the pipeline-vs-serial decode-digest equivalence with
+# goroutine-leak and heap checks. The full per-class recovery matrix
+# runs (without -race) as part of the ordinary test suite; this target
+# is the concurrency-focused subset, sized to stay around a minute.
+fault-soak:
+	$(GO) test -race -count=1 -run 'TestSoakResyncPath|TestSoakPipelineMatchesSerial|TestSoakNoFalseAlarms' ./internal/fault/...
 
 # fuzz-smoke gives each fuzz target a few seconds of coverage-guided
 # input generation on top of the checked-in seed corpus. Panics found

@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations|distance|pipeline]
+//	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations|distance|pipeline|fault]
 //	                [-duration seconds] [-seed n] [-workers n]
 //	                [-telemetry-addr host:port]
 //
 // The pipeline experiment (not part of "all") compares serial decode
 // time against the concurrent pipeline at several worker counts on
 // the paper's densest workload; -workers sets the pool size used by
-// the measured experiments' decode stage (0 = serial decode).
+// the measured experiments' decode stage (0 = serial decode). The
+// fault experiment (also not part of "all") soaks the link under one
+// impairment of every fault class (internal/fault) and reports the
+// receiver's recovery behaviour.
 package main
 
 import (
@@ -25,12 +28,14 @@ import (
 	"colorbars/internal/camera"
 	"colorbars/internal/csk"
 	"colorbars/internal/experiments"
+	"colorbars/internal/fault"
+	"colorbars/internal/fault/soak"
 	"colorbars/internal/metrics"
 	"colorbars/internal/telemetry"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3b, fig3c, fig6, fig8b, grid, baseline, ablations, distance, pipeline")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3b, fig3c, fig6, fig8b, grid, baseline, ablations, distance, pipeline, fault")
 	duration := flag.Float64("duration", 3, "simulated seconds per measured cell")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	workers := flag.Int("workers", 0, "decode with the concurrent pipeline using this many workers (0 = serial decode)")
@@ -65,6 +70,7 @@ func main() {
 		"ablations": runAblations,
 		"distance":  runDistance,
 		"pipeline":  runPipeline,
+		"fault":     runFault,
 	}
 	// The pipeline scaling sweep is a performance measurement, not a
 	// paper figure, so "all" (the reproduction run) excludes it.
@@ -79,6 +85,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	// Every stochastic component below derives its own stream from this
+	// one root seed (fault.DeriveSeed), so any cell can be re-run in
+	// isolation with identical results.
+	fmt.Printf("root seed: %d\n\n", *seed)
 	for _, name := range names {
 		if err := runners[name](*duration, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
@@ -301,6 +311,50 @@ func runPipeline(duration float64, seed int64) error {
 			label = fmt.Sprintf("%d", workers)
 		}
 		fmt.Printf("  %-10s %14.3f %14.0f %12.4f\n", label, decode, res.GoodputBps, res.SER)
+	}
+	return nil
+}
+
+// runFault soaks the link under one randomized impairment of every
+// fault class and reports the self-healing receiver's behaviour:
+// block survival, recovery counters, and re-acquisition latency. The
+// clean row is the same link with no impairments, for reference.
+func runFault(duration float64, seed int64) error {
+	fmt.Println("== Fault soak: recovery per impairment class (Nexus 5, 8-CSK @ 2 kHz) ==")
+	if duration < 6 {
+		duration = 6 // shorter captures cut schedules off mid-impairment
+	}
+	fmt.Printf("  %-18s %10s %8s %10s %10s %14s\n",
+		"Class", "Blocks ok", "Resyncs", "Stale cal", "Degraded", "Recovery (fr)")
+	row := func(name string, p soak.Params) error {
+		r, err := soak.Run(p)
+		if err != nil {
+			return err
+		}
+		rec := "-"
+		if r.WorstRecoveryFrames >= 0 {
+			rec = fmt.Sprintf("%d", r.WorstRecoveryFrames)
+		}
+		fmt.Printf("  %-18s %5d/%-4d %8d %10d %10d %14s\n",
+			name, r.BlocksOK, r.BlocksOK+r.BlocksFailed,
+			r.Resyncs, r.StaleCalibrations, r.DegradedBlocks, rec)
+		return nil
+	}
+	clean := fault.Schedule{Events: []fault.Event{
+		{Class: fault.Occlusion, Start: 1, Duration: 0.1, Magnitude: 0},
+	}}
+	if err := row("(clean)", soak.Params{Seed: seed, Duration: duration, Schedule: clean}); err != nil {
+		return err
+	}
+	for _, c := range fault.Classes() {
+		p := soak.Params{
+			Seed:     fault.DeriveSeed(seed, "bench.fault."+c.String()),
+			Duration: duration,
+			Classes:  []fault.Class{c},
+		}
+		if err := row(c.String(), p); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -7,7 +7,7 @@
 //
 //	colorbars-rx [-device nexus5|iphone5s|ideal] [-order n] [-rate hz]
 //	             [-white frac] [-duration s] [-seed n]
-//	             [-workers n] [-streams n]
+//	             [-workers n] [-streams n] [-chaos all|class,class,...]
 //	             [-telemetry-addr host:port] [-trace file.jsonl] [file]
 //
 // The link parameters (order, rate, white fraction) must match the
@@ -15,7 +15,11 @@
 // format. Decoding runs on the concurrent pipeline (-workers sizes
 // the analysis pool, 0 = one per CPU); -streams N simulates N
 // cameras watching the same sign with independent sensor noise, each
-// decoding on its own stream of the shared pool.
+// decoding on its own stream of the shared pool. -chaos runs the
+// capture through the fault-injection layer (internal/fault) with a
+// seed-derived impairment schedule; the per-stream stats then show
+// the receiver's recovery counters (resyncs, stale calibrations,
+// degraded blocks).
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"colorbars"
 	"colorbars/internal/camera"
 	"colorbars/internal/colorspace"
+	"colorbars/internal/fault"
 	"colorbars/internal/led"
 	"colorbars/internal/telemetry"
 )
@@ -44,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "camera noise seed")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU)")
 	streams := flag.Int("streams", 1, "number of independent receiver streams (cameras) decoding the waveform")
+	chaos := flag.String("chaos", "", "inject a seed-derived impairment schedule: \"all\" or a comma-separated fault class list (empty = off)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
 	tracePath := flag.String("trace", "", "write a JSONL trace of every pipeline stage and counter to this file")
 	flag.Parse()
@@ -102,6 +108,10 @@ func main() {
 	if *duration > 0 && *duration < capture {
 		capture = *duration
 	}
+	chaosClasses, err := parseChaos(*chaos)
+	if err != nil {
+		fatal(err)
+	}
 
 	// One pipeline, one stream per simulated camera: each stream gets
 	// independent sensor noise (seed+i) but decodes the same sign.
@@ -125,10 +135,22 @@ func main() {
 			s.Telemetry().SetSink(trace) // JSONL sink is concurrency-safe
 		}
 		cam := colorbars.NewCamera(prof, *seed+int64(i))
+		var src camera.Source = wave
+		var inj *fault.Injector
+		if len(chaosClasses) > 0 {
+			schedule := fault.RandomSchedule(fault.DeriveSeed(*seed, "rx.chaos."+id), capture, chaosClasses...)
+			inj = fault.New(fault.Config{Seed: fault.DeriveSeed(*seed, id), Schedule: schedule})
+			src = inj.WrapSource(wave)
+			fmt.Fprintf(os.Stderr, "[%s] chaos schedule: %v\n", id, schedule)
+		}
+		frames := cam.CaptureVideo(src, 0, int(capture*prof.FrameRate))
+		if inj != nil {
+			frames = inj.FilterFrames(frames)
+		}
 		lanes[i] = &lane{
 			id:     id,
 			s:      s,
-			frames: cam.CaptureVideo(wave, 0, int(capture*prof.FrameRate)),
+			frames: frames,
 		}
 		consumers.Add(1)
 		go func(l *lane) {
@@ -183,6 +205,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "no message recovered")
 		os.Exit(1)
 	}
+}
+
+// parseChaos resolves the -chaos flag into fault classes: empty means
+// off, "all" selects every class, otherwise a comma-separated list of
+// class names (see fault.ParseClass).
+func parseChaos(s string) ([]fault.Class, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "all" {
+		return fault.Classes(), nil
+	}
+	var classes []fault.Class
+	for _, name := range strings.Split(s, ",") {
+		c, err := fault.ParseClass(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		classes = append(classes, c)
+	}
+	return classes, nil
 }
 
 // readWaveform parses the colorbars-tx CSV dump.

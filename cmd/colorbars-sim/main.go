@@ -17,6 +17,7 @@ import (
 	"colorbars"
 	"colorbars/internal/camera"
 	"colorbars/internal/colorspace"
+	"colorbars/internal/fault"
 	"colorbars/internal/led"
 	"colorbars/internal/render"
 	"colorbars/internal/telemetry"
@@ -68,8 +69,8 @@ func main() {
 	}
 
 	resolved := tx.Config()
-	fmt.Printf("link: %v @ %.0f Hz, white fraction %.2f, device %s\n",
-		resolved.Order, resolved.SymbolRate, resolved.WhiteFraction, prof.Name)
+	fmt.Printf("link: %v @ %.0f Hz, white fraction %.2f, device %s, seed %d\n",
+		resolved.Order, resolved.SymbolRate, resolved.WhiteFraction, prof.Name, *seed)
 
 	if *dumpWave != "" {
 		if err := dumpWaveformPNG(wave, *dumpWave); err != nil {
@@ -78,7 +79,9 @@ func main() {
 		fmt.Printf("waveform stripe written to %s\n", *dumpWave)
 	}
 
-	cam := colorbars.NewCamera(prof, *seed)
+	// Every stochastic component derives its own stream from the one
+	// root seed, so unrelated components never share RNG state.
+	cam := colorbars.NewCamera(prof, fault.DeriveSeed(*seed, "sim.camera"))
 	frames := int(*duration * prof.FrameRate)
 	var received *colorbars.Message
 	var firstAt float64

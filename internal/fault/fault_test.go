@@ -1,0 +1,218 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/telemetry"
+)
+
+// constSource is a flat radiance field.
+type constSource struct{ v colorspace.RGB }
+
+func (s constSource) Mean(t0, t1 float64) colorspace.RGB { return s.v }
+
+// probeSource records the last interval it was asked for, exposing the
+// clock warp applied by the injector.
+type probeSource struct{ t0, t1 float64 }
+
+func (s *probeSource) Mean(t0, t1 float64) colorspace.RGB {
+	s.t0, s.t1 = t0, t1
+	return colorspace.RGB{}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(42, "camera") != DeriveSeed(42, "camera") {
+		t.Fatal("DeriveSeed not stable for identical inputs")
+	}
+	if DeriveSeed(42, "camera") == DeriveSeed(42, "faults") {
+		t.Fatal("DeriveSeed collides across labels")
+	}
+	if DeriveSeed(42, "camera") == DeriveSeed(43, "camera") {
+		t.Fatal("DeriveSeed collides across roots")
+	}
+}
+
+func TestRandomScheduleDeterministicAndBounded(t *testing.T) {
+	const dur = 10.0
+	a := RandomSchedule(7, dur)
+	b := RandomSchedule(7, dur)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules:\n%s\n%s", a, b)
+	}
+	if len(a.Events) != len(Classes()) {
+		t.Fatalf("default schedule has %d events, want one per class (%d)", len(a.Events), len(Classes()))
+	}
+	for _, e := range a.Events {
+		if e.Start < 0.25*dur || e.SettleTime() > 0.7*dur {
+			t.Errorf("%v outside the [0.25, 0.7] window of the run", e)
+		}
+		if e.Magnitude <= 0 {
+			t.Errorf("%v has non-positive magnitude", e)
+		}
+	}
+	c := RandomSchedule(8, dur)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	only := RandomSchedule(7, dur, Occlusion)
+	if len(only.Events) != 1 || only.Events[0].Class != Occlusion {
+		t.Fatalf("class-restricted schedule = %v, want a single occlusion event", only)
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("meteor-strike"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+}
+
+func TestOcclusionBlocksWindowOnly(t *testing.T) {
+	in := New(Config{Schedule: Schedule{Events: []Event{
+		{Class: Occlusion, Start: 1, Duration: 1, Magnitude: 1},
+	}}})
+	src := in.WrapSource(constSource{colorspace.RGB{R: 0.5, G: 0.5, B: 0.5}})
+	if v := src.Mean(0.5, 0.5); v.R != 0.5 {
+		t.Errorf("before window: R = %v, want 0.5", v.R)
+	}
+	if v := src.Mean(1.5, 1.5); v.R != 0 {
+		t.Errorf("inside window: R = %v, want 0 (total occlusion)", v.R)
+	}
+	if v := src.Mean(2.5, 2.5); v.R != 0.5 {
+		t.Errorf("after window: R = %v, want 0.5", v.R)
+	}
+}
+
+func TestAWBDriftRampsAndPersists(t *testing.T) {
+	in := New(Config{Schedule: Schedule{Events: []Event{
+		{Class: AWBDrift, Start: 1, Duration: 2, Magnitude: 0.2},
+	}}})
+	src := in.WrapSource(constSource{colorspace.RGB{R: 0.5, G: 0.5, B: 0.5}})
+	mid := src.Mean(2, 2) // halfway through the ramp
+	if want := 0.5 * 1.1; math.Abs(mid.R-want) > 1e-12 {
+		t.Errorf("mid-ramp R = %v, want %v", mid.R, want)
+	}
+	after := src.Mean(10, 10) // drift holds after the window
+	if wantR, wantB := 0.5*1.2, 0.5*0.8; math.Abs(after.R-wantR) > 1e-12 || math.Abs(after.B-wantB) > 1e-12 {
+		t.Errorf("post-ramp = %+v, want R=%v B=%v", after, wantR, wantB)
+	}
+	if after.G != 0.5 {
+		t.Errorf("post-ramp G = %v, want untouched 0.5", after.G)
+	}
+}
+
+func TestClockSkewAccumulatesAndPersists(t *testing.T) {
+	in := New(Config{Schedule: Schedule{Events: []Event{
+		{Class: ClockSkew, Start: 1, Duration: 2, Magnitude: 1e-3},
+	}}})
+	p := &probeSource{}
+	src := in.WrapSource(p)
+	src.Mean(0.5, 0.5)
+	if p.t0 != 0.5 {
+		t.Errorf("before window: warped t = %v, want 0.5", p.t0)
+	}
+	src.Mean(2, 2) // 1 s into the skew window
+	if want := 2 + 1e-3; math.Abs(p.t0-want) > 1e-12 {
+		t.Errorf("inside window: warped t = %v, want %v", p.t0, want)
+	}
+	src.Mean(10, 10) // offset accumulated over the full 2 s window persists
+	if want := 10 + 2e-3; math.Abs(p.t0-want) > 1e-12 {
+		t.Errorf("after window: warped t = %v, want %v", p.t0, want)
+	}
+}
+
+func TestNoiseBurstDeterministicZeroMean(t *testing.T) {
+	in := New(Config{Seed: 3, Schedule: Schedule{Events: []Event{
+		{Class: NoiseBurst, Start: 0, Duration: 1, Magnitude: 0.3},
+	}}})
+	src := in.WrapSource(constSource{colorspace.RGB{R: 0.5, G: 0.5, B: 0.5}})
+	a, b := src.Mean(0.4, 0.4), src.Mean(0.4, 0.4)
+	if a != b {
+		t.Fatalf("noise not deterministic: %v vs %v", a, b)
+	}
+	// Average deviation over many cells should be near zero and the
+	// texture should actually vary.
+	var sum float64
+	varied := false
+	for i := 0; i < 2000; i++ {
+		tm := float64(i) * 1e-3 / 2
+		v := src.Mean(tm, tm)
+		sum += v.R - 0.5
+		if v != a {
+			varied = true
+		}
+	}
+	if mean := sum / 2000; math.Abs(mean) > 0.02 {
+		t.Errorf("burst noise mean deviation %v, want ~0", mean)
+	}
+	if !varied {
+		t.Error("burst noise constant across cells")
+	}
+}
+
+func testFrames(n int, rows, cols int, period float64) []*camera.Frame {
+	frames := make([]*camera.Frame, n)
+	for i := range frames {
+		frames[i] = &camera.Frame{
+			Rows:  rows,
+			Cols:  cols,
+			Pix:   make([]colorspace.RGB, rows*cols),
+			Start: float64(i) * period,
+		}
+	}
+	return frames
+}
+
+func TestFilterFramesDropDuplicateTruncate(t *testing.T) {
+	frames := testFrames(30, 10, 2, 1.0/30)
+	tel := telemetry.NewRegistry()
+	in := New(Config{Seed: 11, Telemetry: tel, Schedule: Schedule{Events: []Event{
+		{Class: FrameDrop, Start: 0.2, Duration: 0.3, Magnitude: 1},      // frames 6..14 dropped
+		{Class: FrameTruncation, Start: 0.6, Duration: 0.2, Magnitude: 0.5}, // frames 18..23 halved
+		{Class: FrameDuplicate, Start: 0.9, Duration: 0.1, Magnitude: 1}, // frames 27..29 doubled
+	}}})
+	out := in.FilterFrames(frames)
+	if want := 30 - 9 + 3; len(out) != want {
+		t.Fatalf("filtered to %d frames, want %d", len(out), want)
+	}
+	for _, f := range out {
+		if f.Start >= 0.2 && f.Start < 0.5 {
+			t.Errorf("frame at %v survived a certain drop window", f.Start)
+		}
+		if f.Start >= 0.6 && f.Start < 0.8 {
+			if f.Rows != 5 {
+				t.Errorf("frame at %v has %d rows, want truncated 5", f.Start, f.Rows)
+			}
+			if len(f.Pix) != f.Rows*f.Cols {
+				t.Errorf("truncated frame pixel storage %d ≠ %d×%d", len(f.Pix), f.Rows, f.Cols)
+			}
+		}
+	}
+	again := in.FilterFrames(frames)
+	if len(again) != len(out) {
+		t.Fatalf("second filter pass differs: %d vs %d frames", len(again), len(out))
+	}
+	for i := range out {
+		if out[i].Start != again[i].Start || out[i].Rows != again[i].Rows {
+			t.Fatalf("filter not deterministic at %d", i)
+		}
+	}
+	snap := tel.Snapshot()
+	for _, name := range []string{"fault.frames_dropped", "fault.frames_truncated", "fault.frames_duplicated"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s missing from snapshot", name)
+		}
+	}
+	// Input untouched: original frames keep their full geometry.
+	if frames[20].Rows != 10 {
+		t.Error("FilterFrames mutated its input")
+	}
+}

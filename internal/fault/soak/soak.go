@@ -1,0 +1,294 @@
+// Package soak runs the full ColorBars link — transmitter, optical
+// channel, fault injector, rolling-shutter camera, receiver — under
+// randomized-but-seeded impairment schedules and reports what the
+// self-healing receiver did about them.
+//
+// The harness is the chaos counterpart of internal/metrics: where
+// metrics measures the paper's steady-state quantities (SER,
+// throughput, goodput), soak measures survival — does the link decode
+// again after an occlusion burst, an AWB step, a dropped-frame run —
+// and how long re-acquisition takes. Everything is a pure function of
+// Params.Seed: two runs with equal Params produce byte-identical
+// decode output (Result.Digest), which the soak tests assert.
+package soak
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/channel"
+	"colorbars/internal/cie"
+	"colorbars/internal/coding"
+	"colorbars/internal/csk"
+	"colorbars/internal/fault"
+	"colorbars/internal/modem"
+	"colorbars/internal/pipeline"
+	"colorbars/internal/telemetry"
+)
+
+// Params configures one soak run. Zero values select the defaults
+// noted on each field; only Seed and Duration are required.
+type Params struct {
+	// Seed drives every random choice in the run: payload, sensor
+	// noise, the impairment schedule, and the impairments themselves.
+	Seed int64
+	// Duration is the capture length in seconds.
+	Duration float64
+	// Order is the CSK constellation (zero selects CSK8).
+	Order csk.Order
+	// SymbolRate is the LED symbol frequency in Hz (zero selects 2000).
+	SymbolRate float64
+	// Profile is the receiving camera (zero value selects Nexus5).
+	Profile camera.Profile
+	// Classes restricts the impairment schedule to these fault
+	// classes; nil draws one event of every class.
+	Classes []fault.Class
+	// Schedule overrides the derived random schedule entirely (for
+	// replaying a specific impairment sequence). Empty means derive
+	// from Seed.
+	Schedule fault.Schedule
+	// SelfHeal tunes the receiver's recovery thresholds (zero value =
+	// defaults; Disable runs the ablation).
+	SelfHeal modem.SelfHealConfig
+	// Workers > 0 decodes through the concurrent pipeline with that
+	// many analysis workers and an armed stall watchdog; zero uses the
+	// serial receiver (which also enables recovery-latency tracking).
+	Workers int
+	// Telemetry receives the run's spans and counters; nil uses a
+	// private registry (returned in Result.Snapshot either way).
+	Telemetry *telemetry.Registry
+}
+
+// Result reports one soak run.
+type Result struct {
+	// Schedule is the impairment schedule the run executed.
+	Schedule fault.Schedule
+	// Frames is the number of frames decoded (after drop/duplicate
+	// filtering).
+	Frames int
+	// BlocksOK and BlocksFailed count RS block outcomes.
+	BlocksOK, BlocksFailed int
+	// Resyncs, StaleCalibrations and DegradedBlocks mirror the
+	// receiver's recovery counters.
+	Resyncs, StaleCalibrations, DegradedBlocks int
+	// WorstRecoveryFrames is the largest gap, in frames, between an
+	// impairment's settle time and the next successfully recovered
+	// block (serial runs only; -1 when no impairment settled before
+	// the capture ended, or when Workers > 0).
+	WorstRecoveryFrames int
+	// Unrecovered counts impairments after which no block ever
+	// recovered before the capture ended.
+	Unrecovered int
+	// Digest is an FNV-1a hash over every decoded block's recovery
+	// flag and payload bytes, in order — the run's decode fingerprint.
+	Digest uint64
+	// Snapshot is the run's full telemetry state, including the
+	// fault.* injection counters and rx.* recovery counters.
+	Snapshot telemetry.Snapshot
+}
+
+// String formats the result for log output.
+func (r Result) String() string {
+	return fmt.Sprintf("%d frames · %d/%d blocks ok · %d resyncs · %d stale cal · %d degraded · worst recovery %d frames · digest %016x",
+		r.Frames, r.BlocksOK, r.BlocksOK+r.BlocksFailed, r.Resyncs, r.StaleCalibrations, r.DegradedBlocks, r.WorstRecoveryFrames, r.Digest)
+}
+
+// Run executes one soak. It builds the same paper-sized link as
+// internal/metrics (erasure-aware RS sizing, ~5 calibration packets
+// per second), injects the impairment schedule, decodes, and scores
+// recovery.
+func Run(p Params) (Result, error) {
+	if p.Duration <= 0 {
+		return Result{}, fmt.Errorf("soak: duration %v must be positive", p.Duration)
+	}
+	if p.Order == 0 {
+		p.Order = csk.CSK8
+	}
+	if p.SymbolRate == 0 {
+		p.SymbolRate = 2000
+	}
+	if p.Profile.FrameRate == 0 {
+		p.Profile = camera.Nexus5()
+	}
+	tel := p.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	run := tel.StartSpan("soak.run")
+	defer run.End()
+
+	schedule := p.Schedule
+	if schedule.Empty() {
+		schedule = fault.RandomSchedule(fault.DeriveSeed(p.Seed, "soak.schedule"), p.Duration, p.Classes...)
+	}
+
+	params := coding.Params{
+		SymbolRate:   p.SymbolRate,
+		FrameRate:    p.Profile.FrameRate,
+		LossRatio:    p.Profile.LossRatio(),
+		Order:        p.Order,
+		DataFraction: 0.8,
+	}
+	code, err := params.LinkCodeErasure()
+	if err != nil {
+		return Result{}, err
+	}
+	calEvery := int(p.Profile.FrameRate/5 + 0.5)
+	if calEvery < 1 {
+		calEvery = 1
+	}
+	tx, err := modem.NewTransmitter(modem.TxConfig{
+		Order:            p.Order,
+		SymbolRate:       p.SymbolRate,
+		WhiteFraction:    0.2,
+		Power:            1,
+		Triangle:         cie.SRGBTriangle,
+		CalibrationEvery: calEvery,
+		Code:             code,
+		Seed:             p.Seed,
+		Telemetry:        tel,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	rx, err := modem.NewReceiver(modem.RxConfig{
+		Order:         p.Order,
+		SymbolRate:    p.SymbolRate,
+		WhiteFraction: 0.2,
+		Code:          code,
+		SelfHeal:      p.SelfHeal,
+		Telemetry:     tel,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	rng := rand.New(rand.NewSource(fault.DeriveSeed(p.Seed, "soak.payload")))
+	block := make([]byte, code.K())
+	rng.Read(block)
+	msg := bytes.Repeat(block, 4)
+	w, err := tx.BuildWaveformRepeating(msg, p.Duration+0.5)
+	if err != nil {
+		return Result{}, err
+	}
+	ch, err := channel.New(channel.DefaultConfig(), w)
+	if err != nil {
+		return Result{}, err
+	}
+	inj := fault.New(fault.Config{Seed: p.Seed, Schedule: schedule, Telemetry: tel})
+	cam := camera.New(p.Profile, p.Seed)
+	cam.Instrument(tel)
+	frames := cam.CaptureVideo(inj.WrapSource(ch), 0, int(p.Duration*p.Profile.FrameRate))
+	frames = inj.FilterFrames(frames)
+
+	res := Result{Schedule: schedule, Frames: len(frames), WorstRecoveryFrames: -1}
+	digest := fnv.New64a()
+	score := func(blocks []modem.Block, frameIdx int, recoveredAt *[]int) {
+		for _, b := range blocks {
+			if b.Recovered {
+				res.BlocksOK++
+				if recoveredAt != nil {
+					*recoveredAt = append(*recoveredAt, frameIdx)
+				}
+				digest.Write([]byte{1})
+			} else {
+				res.BlocksFailed++
+				digest.Write([]byte{0})
+			}
+			digest.Write(b.Data)
+		}
+	}
+
+	sp := run.StartChild("soak.decode")
+	if p.Workers > 0 {
+		blocks, err := pipelineDecode(p, tel, rx, frames)
+		if err != nil {
+			sp.End()
+			return Result{}, err
+		}
+		score(blocks, 0, nil)
+	} else {
+		var recoveredAt []int // frame index of every recovered block
+		for i, f := range frames {
+			score(rx.ProcessFrame(f), i, &recoveredAt)
+		}
+		score(rx.Flush(), len(frames)-1, &recoveredAt)
+		res.WorstRecoveryFrames, res.Unrecovered = recoveryLatency(schedule, p.Profile.FrameRate, len(frames), recoveredAt)
+	}
+	sp.End()
+
+	st := rx.Stats()
+	res.Resyncs = st.Resyncs
+	res.StaleCalibrations = st.StaleCalibrations
+	res.DegradedBlocks = st.DegradedBlocks
+	res.Digest = digest.Sum64()
+	res.Snapshot = tel.Snapshot()
+	return res, nil
+}
+
+// pipelineDecode runs the capture through the concurrent pipeline
+// with an armed stall watchdog, so the soak also exercises the
+// recycle path under -race.
+func pipelineDecode(p Params, tel *telemetry.Registry, rx *modem.Receiver, frames []*camera.Frame) ([]modem.Block, error) {
+	pl := pipeline.New(pipeline.Config{
+		Workers:      p.Workers,
+		StallTimeout: 30 * time.Second,
+		Telemetry:    tel,
+	})
+	s, err := pl.AddStream("soak", rx)
+	if err != nil {
+		return nil, err
+	}
+	collected := make(chan []modem.Block, 1)
+	go func() {
+		var blocks []modem.Block
+		for b := range s.Blocks() {
+			blocks = append(blocks, b)
+		}
+		collected <- blocks
+	}()
+	for _, f := range frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			return nil, err
+		}
+	}
+	if err := pl.Close(context.Background()); err != nil {
+		return nil, err
+	}
+	return <-collected, nil
+}
+
+// recoveryLatency computes, for every impairment that settled before
+// the capture ended, the distance in frames from its settle time to
+// the next recovered block. It returns the worst such distance (-1 if
+// no event settled in time) and the number of events never followed
+// by a recovery.
+func recoveryLatency(s fault.Schedule, fps float64, nFrames int, recoveredAt []int) (worst, unrecovered int) {
+	worst = -1
+	for _, settle := range s.SettleTimes() {
+		settleFrame := int(settle * fps)
+		if settleFrame >= nFrames {
+			continue // settled after the capture; nothing to measure
+		}
+		lat := -1
+		for _, f := range recoveredAt {
+			if f >= settleFrame {
+				lat = f - settleFrame
+				break
+			}
+		}
+		if lat < 0 {
+			unrecovered++
+			continue
+		}
+		if lat > worst {
+			worst = lat
+		}
+	}
+	return worst, unrecovered
+}

@@ -1,0 +1,165 @@
+package soak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"colorbars/internal/fault"
+)
+
+// recoveryBudgetFrames is the documented re-acquisition ceiling: after
+// an impairment settles, the link must recover a block within this
+// many frames (2 s at the Nexus 5's 30 fps — the collapse detector's
+// 45-frame horizon plus one calibration interval). DESIGN.md §10
+// quotes this number.
+const recoveryBudgetFrames = 60
+
+func TestSoakDeterministic(t *testing.T) {
+	p := Params{Seed: 7, Duration: 4}
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Errorf("same seed, different decode digest: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if a.Resyncs != b.Resyncs || a.StaleCalibrations != b.StaleCalibrations ||
+		a.DegradedBlocks != b.DegradedBlocks || a.Frames != b.Frames ||
+		a.BlocksOK != b.BlocksOK || a.BlocksFailed != b.BlocksFailed {
+		t.Errorf("same seed, different counters:\n  %v\n  %v", a, b)
+	}
+	c, err := Run(Params{Seed: 8, Duration: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Schedule.String() == a.Schedule.String() {
+		t.Errorf("different seeds derived the same schedule: %v", c.Schedule)
+	}
+}
+
+// TestSoakPerClassRecovery runs one randomized event of every fault
+// class and holds each to the recovery budget: the link must decode
+// blocks, every settled impairment must be followed by a recovered
+// block, and the worst recovery latency stays under the ceiling.
+func TestSoakPerClassRecovery(t *testing.T) {
+	for _, c := range fault.Classes() {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			r, err := Run(Params{Seed: 42, Duration: 6, Classes: []fault.Class{c}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%v | %v", r, r.Schedule)
+			if r.BlocksOK == 0 {
+				t.Fatalf("no blocks recovered under %v: %v", c, r)
+			}
+			if r.Unrecovered != 0 {
+				t.Fatalf("%d impairments never followed by a recovered block: %v", r.Unrecovered, r)
+			}
+			if r.WorstRecoveryFrames > recoveryBudgetFrames {
+				t.Errorf("recovery took %d frames, budget %d", r.WorstRecoveryFrames, recoveryBudgetFrames)
+			}
+		})
+	}
+}
+
+// TestSoakNoFalseAlarms pins the conservative side of the self-heal
+// thresholds: a clean link (a single zero-magnitude event) must run
+// the whole capture without a single resync, stale episode, or
+// degraded block.
+func TestSoakNoFalseAlarms(t *testing.T) {
+	noop := fault.Schedule{Events: []fault.Event{
+		{Class: fault.Occlusion, Start: 1, Duration: 0.1, Magnitude: 0},
+	}}
+	r, err := Run(Params{Seed: 42, Duration: 6, Schedule: noop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Resyncs != 0 || r.StaleCalibrations != 0 || r.DegradedBlocks != 0 {
+		t.Errorf("self-heal fired on a clean link: %v", r)
+	}
+	if r.BlocksOK == 0 {
+		t.Errorf("clean link decoded nothing: %v", r)
+	}
+}
+
+// TestSoakResyncPath drives a sustained blackout (2 s of full
+// occlusion — 60 frames, past the 45-frame collapse horizon) and
+// checks the whole recovery chain: resync fires, the calibration goes
+// stale, the link re-acquires within budget, and the recovery counters
+// surface in the telemetry snapshot.
+func TestSoakResyncPath(t *testing.T) {
+	blackout := fault.Schedule{Events: []fault.Event{
+		{Class: fault.Occlusion, Start: 2, Duration: 2, Magnitude: 1},
+	}}
+	r, err := Run(Params{Seed: 42, Duration: 8, Schedule: blackout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%v", r)
+	if r.Resyncs < 1 {
+		t.Errorf("no resync after a 60-frame blackout: %v", r)
+	}
+	if r.StaleCalibrations < 1 {
+		t.Errorf("calibration never marked stale across the blackout: %v", r)
+	}
+	if r.Unrecovered != 0 || r.WorstRecoveryFrames > recoveryBudgetFrames {
+		t.Errorf("did not re-acquire within %d frames: %v", recoveryBudgetFrames, r)
+	}
+	if r.Snapshot.Counters["rx.resyncs"] < 1 {
+		t.Error("rx.resyncs missing from the soak telemetry snapshot")
+	}
+	if r.Snapshot.Counters["rx.stale_calibrations"] < 1 {
+		t.Error("rx.stale_calibrations missing from the soak telemetry snapshot")
+	}
+}
+
+// TestSoakPipelineMatchesSerial runs the same soak through the
+// concurrent pipeline and requires the decode fingerprint to be
+// byte-identical to the serial path, with no goroutine leak and
+// bounded heap growth.
+func TestSoakPipelineMatchesSerial(t *testing.T) {
+	p := Params{Seed: 11, Duration: 4}
+	serial, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	p.Workers = 4
+	conc, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Digest != serial.Digest {
+		t.Errorf("pipeline digest %016x != serial digest %016x", conc.Digest, serial.Digest)
+	}
+	if conc.BlocksOK != serial.BlocksOK || conc.BlocksFailed != serial.BlocksFailed {
+		t.Errorf("pipeline blocks %d/%d != serial %d/%d",
+			conc.BlocksOK, conc.BlocksFailed, serial.BlocksOK, serial.BlocksFailed)
+	}
+
+	// Every pipeline goroutine must be gone shortly after Run returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d live, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc && after.HeapAlloc-before.HeapAlloc > 128<<20 {
+		t.Errorf("heap grew %d MiB across a soak run", (after.HeapAlloc-before.HeapAlloc)>>20)
+	}
+}

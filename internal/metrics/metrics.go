@@ -25,6 +25,7 @@ import (
 	"colorbars/internal/cie"
 	"colorbars/internal/coding"
 	"colorbars/internal/csk"
+	"colorbars/internal/fault"
 	"colorbars/internal/modem"
 	"colorbars/internal/packet"
 	"colorbars/internal/pipeline"
@@ -100,6 +101,16 @@ type LinkParams struct {
 	// single tri-LED). Larger values model tri-LED arrays (the
 	// paper's §10 future work for longer range).
 	Power float64
+	// Fault, when non-empty, runs the link under the deterministic
+	// fault-injection layer (internal/fault): the schedule's optical
+	// impairments corrupt Mean samples and the frame stream between
+	// capture and decode. All fault randomness derives from Seed, so
+	// the run stays reproducible.
+	Fault fault.Schedule
+	// SelfHeal tunes the receiver's resync/recalibration thresholds
+	// (zero value = defaults, Disable turns the machinery off — the
+	// ablation for the fault-recovery experiments).
+	SelfHeal modem.SelfHealConfig
 	// Workers decodes through the concurrent pipeline
 	// (internal/pipeline) with that many analysis workers instead of
 	// the serial receiver. The pipeline's Block output is byte-identical
@@ -211,6 +222,7 @@ func Run(p LinkParams) (LinkResult, error) {
 		UseFactoryReferences: p.UseFactoryRefs,
 		NoErasureDecoding:    p.NoErasureDecoding,
 		ReceiverOptimized:    p.ReceiverOptimized,
+		SelfHeal:             p.SelfHeal,
 		Telemetry:            tel,
 	})
 	if err != nil {
@@ -246,13 +258,23 @@ func Run(p LinkParams) (LinkResult, error) {
 		return LinkResult{}, err
 	}
 
+	var src camera.Source = ch
+	var inj *fault.Injector
+	if !p.Fault.Empty() {
+		inj = fault.New(fault.Config{Seed: p.Seed, Schedule: p.Fault, Telemetry: tel})
+		src = inj.WrapSource(ch)
+	}
+
 	cam := camera.New(p.Profile, p.Seed)
 	cam.Instrument(tel)
 	nFrames := int(p.Duration * p.Profile.FrameRate)
 
 	sp = run.StartChild("metrics.capture")
-	frames := cam.CaptureVideo(ch, 0, nFrames)
+	frames := cam.CaptureVideo(src, 0, nFrames)
 	sp.End()
+	if inj != nil {
+		frames = inj.FilterFrames(frames)
+	}
 
 	sp = run.StartChild("metrics.decode")
 	var blocks []modem.Block

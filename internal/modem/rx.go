@@ -46,6 +46,65 @@ type RxConfig struct {
 	// the receiver a private registry, so Stats and Snapshot always
 	// work and concurrent receivers never share counters.
 	Telemetry *telemetry.Registry
+	// SelfHeal tunes the receiver's resync and recalibration state
+	// machine (see DESIGN.md §10). The zero value enables it with
+	// conservative defaults that never fire on a healthy link.
+	SelfHeal SelfHealConfig
+}
+
+// SelfHealConfig tunes the receiver's recovery state machine. All
+// thresholds default when zero; the defaults are deliberately
+// conservative so a healthy link — even a noisy one — never trips
+// them, keeping the happy-path decode bit-identical with and without
+// self-healing.
+type SelfHealConfig struct {
+	// Disable turns the state machine off entirely (the ablation
+	// baseline; real receivers leave this false).
+	Disable bool
+	// CollapseFrames is how many consecutive frames may discard
+	// deframe fragments without completing a single packet before the
+	// receiver declares segmentation collapse and resyncs. Default 45.
+	// The default must exceed the link's worst *healthy* no-packet
+	// stretch: when the packet period is near a multiple of the frame
+	// period, the inter-frame gap can land on packet headers for many
+	// consecutive frames until the transmitter's de-phasing pads
+	// restore alignment (measured up to ~27 frames on the Nexus 5
+	// reference link at 2 kHz). Tighten it only on links whose packet
+	// phase is known to drift faster.
+	CollapseFrames int
+	// DistanceTheta is the mean CIELab distance from classified data
+	// symbols to their nearest reference beyond which a frame counts
+	// toward the classification-blowup streak. Default 22 (normal
+	// frames sit well under half that, even on the noisy Nexus 5).
+	DistanceTheta float64
+	// DistanceFrames is how many consecutive blown-up frames force a
+	// resync with the references marked stale. Default 6.
+	DistanceFrames int
+	// StaleAfterFrames is how many frames may pass without an applied
+	// calibration packet before the references are considered stale
+	// and decoding continues in degraded mode (last-known-good
+	// references) until the next valid calibration. Default 150 —
+	// ~25× the default calibration interval. Only receivers that have
+	// calibrated at least once age; factory-reference receivers never
+	// expect calibration traffic.
+	StaleAfterFrames int
+}
+
+// withDefaults resolves zero thresholds to the documented defaults.
+func (c SelfHealConfig) withDefaults() SelfHealConfig {
+	if c.CollapseFrames == 0 {
+		c.CollapseFrames = 45
+	}
+	if c.DistanceTheta == 0 {
+		c.DistanceTheta = 22
+	}
+	if c.DistanceFrames == 0 {
+		c.DistanceFrames = 6
+	}
+	if c.StaleAfterFrames == 0 {
+		c.StaleAfterFrames = 150
+	}
+	return c
 }
 
 // Validate checks the configuration.
@@ -109,15 +168,30 @@ type RxStats struct {
 	// RejectedCalibrations counts calibration-flagged packets whose
 	// body failed the plausibility check.
 	RejectedCalibrations int
+	// Resyncs counts times the self-heal state machine discarded
+	// deframer state to re-acquire on the next delimiter.
+	Resyncs int
+	// StaleCalibrations counts episodes where the references aged out
+	// (or were invalidated by a resync) and decoding entered degraded
+	// mode until the next valid calibration packet.
+	StaleCalibrations int
+	// DegradedBlocks counts data blocks decoded against stale
+	// (last-known-good) references.
+	DegradedBlocks int
 }
 
 // String renders the stats as a one-line human-readable summary.
 func (s RxStats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"frames %d · symbols %d (data %d, white %d, off %d) · packets %d data / %d cal (%d rejected) / %d discarded · blocks %d ok / %d failed",
 		s.Frames, s.SymbolsIn, s.DataSymbolsIn, s.WhiteSymbolsIn, s.OffSymbolsIn,
 		s.DataPackets, s.CalibrationPackets, s.RejectedCalibrations, s.DiscardedPackets,
 		s.BlocksOK, s.BlocksFailed)
+	if s.Resyncs > 0 || s.StaleCalibrations > 0 || s.DegradedBlocks > 0 {
+		out += fmt.Sprintf(" · recovery %d resyncs / %d stale cal / %d degraded blocks",
+			s.Resyncs, s.StaleCalibrations, s.DegradedBlocks)
+	}
+	return out
 }
 
 // rxCounters pre-resolves the receiver's counters so hot-path
@@ -139,6 +213,9 @@ type rxCounters struct {
 	rsAttempts          *telemetry.Counter // rx.rs_attempts
 	rsDecodeOK          *telemetry.Counter // rx.rs_decode_ok
 	rsDecodeFail        *telemetry.Counter // rx.rs_decode_fail
+	resyncs             *telemetry.Counter // rx.resyncs
+	staleCalibrations   *telemetry.Counter // rx.stale_calibrations
+	degradedBlocks      *telemetry.Counter // rx.degraded_blocks
 }
 
 func newRxCounters(t *telemetry.Registry) rxCounters {
@@ -158,6 +235,9 @@ func newRxCounters(t *telemetry.Registry) rxCounters {
 		rsAttempts:          t.Counter("rx.rs_attempts"),
 		rsDecodeOK:          t.Counter("rx.rs_decode_ok"),
 		rsDecodeFail:        t.Counter("rx.rs_decode_fail"),
+		resyncs:             t.Counter("rx.resyncs"),
+		staleCalibrations:   t.Counter("rx.stale_calibrations"),
+		degradedBlocks:      t.Counter("rx.degraded_blocks"),
 	}
 }
 
@@ -177,6 +257,21 @@ type Receiver struct {
 	// seenDiscards tracks how much of deframer.Discarded has been
 	// mirrored into the rx.deframe_discards counter.
 	seenDiscards int
+
+	// Self-heal state machine (see DESIGN.md §10). All fields are
+	// mutated only on the sequential tail path (finishSymbols /
+	// handlePacket), so ProcessFrame and Analyze+ProcessAnalysis stay
+	// byte-identical and the pipeline needs no extra locking.
+	heal struct {
+		cfg            SelfHealConfig // thresholds, defaults resolved
+		collapseStreak int            // consecutive discard-only frames
+		distStreak     int            // consecutive blown-up frames
+		framesSinceCal int            // frames since a calibration applied
+		calEver        bool           // a calibration was ever applied
+		stale          bool           // references are suspect; degraded mode
+	}
+	distGauge *telemetry.Gauge // rx.classify_distance
+	syncGauge *telemetry.Gauge // rx.sync_state (0 locked, 1 degraded)
 }
 
 // NewReceiver builds a receiver.
@@ -194,14 +289,17 @@ func NewReceiver(cfg RxConfig) (*Receiver, error) {
 		tel = telemetry.NewRegistry()
 	}
 	r := &Receiver{
-		cfg:      cfg,
-		pktCfg:   pktCfg,
-		cons:     cons,
-		deframer: packet.NewDeframer(pktCfg),
-		cls:      newClassifier(),
-		tel:      tel,
-		c:        newRxCounters(tel),
+		cfg:       cfg,
+		pktCfg:    pktCfg,
+		cons:      cons,
+		deframer:  packet.NewDeframer(pktCfg),
+		cls:       newClassifier(),
+		tel:       tel,
+		c:         newRxCounters(tel),
+		distGauge: tel.Gauge("rx.classify_distance"),
+		syncGauge: tel.Gauge("rx.sync_state"),
 	}
+	r.heal.cfg = cfg.SelfHeal.withDefaults()
 	// The classifier always knows the factory constellation geometry —
 	// it only uses it to tell white apart from data, which is a
 	// public property of the standard's constellation design.
@@ -229,6 +327,9 @@ func (r *Receiver) Stats() RxStats {
 		BlocksOK:             int(r.c.rsDecodeOK.Value()),
 		BlocksFailed:         int(r.c.rsDecodeFail.Value()),
 		RejectedCalibrations: int(r.c.calibrationRejected.Value()),
+		Resyncs:              int(r.c.resyncs.Value()),
+		StaleCalibrations:    int(r.c.staleCalibrations.Value()),
+		DegradedBlocks:       int(r.c.degradedBlocks.Value()),
 	}
 }
 
@@ -244,14 +345,16 @@ func (r *Receiver) Snapshot() telemetry.Snapshot {
 }
 
 // syncDiscards mirrors the deframer's discard count into the
-// registry. The deframer stays telemetry-free (it is a pure parser);
-// the receiver folds its drop count into the rx.* namespace after
-// every push.
-func (r *Receiver) syncDiscards() {
-	if d := r.deframer.Discarded - r.seenDiscards; d > 0 {
+// registry and returns the new discards since the previous sync. The
+// deframer stays telemetry-free (it is a pure parser); the receiver
+// folds its drop count into the rx.* namespace after every push.
+func (r *Receiver) syncDiscards() int {
+	d := r.deframer.Discarded - r.seenDiscards
+	if d > 0 {
 		r.c.deframeDiscards.Add(int64(d))
 		r.seenDiscards = r.deframer.Discarded
 	}
+	return d
 }
 
 // Calibrated reports whether the receiver has demodulation references
@@ -398,7 +501,7 @@ func (r *Receiver) finishSymbols(syms []packet.RxSymbol, frame telemetry.Span) [
 	sp := frame.StartChild("rx.deframe")
 	pkts := r.deframer.Push(feed)
 	sp.End()
-	r.syncDiscards()
+	discards := r.syncDiscards()
 
 	sp = frame.StartChild("rx.decode")
 	var blocks []Block
@@ -408,7 +511,97 @@ func (r *Receiver) finishSymbols(syms []packet.RxSymbol, frame telemetry.Span) [
 		}
 	}
 	sp.End()
+	r.observeFrameHealth(syms, len(pkts), discards)
 	return blocks
+}
+
+// observeFrameHealth is the per-frame step of the self-heal state
+// machine. It watches two failure signatures the injectable
+// impairments produce — segmentation collapse (frames that keep
+// discarding deframe fragments without ever completing a packet) and
+// classification-distance blowup (data symbols drifting far from every
+// reference, the signature of AWB/ambient drift) — and triggers a
+// resync when either persists. It also ages the calibration: once the
+// references outlive StaleAfterFrames without refresh the receiver
+// drops to degraded mode (decode against last-known-good references,
+// counted per block) until the next valid calibration packet snaps
+// them back.
+func (r *Receiver) observeFrameHealth(syms []packet.RxSymbol, pkts, discards int) {
+	h := &r.heal
+	if h.cfg.Disable {
+		return
+	}
+	// Calibration age. Factory-reference receivers (and receivers that
+	// have not yet calibrated) have nothing to go stale.
+	if h.calEver {
+		h.framesSinceCal++
+		if !h.stale && h.framesSinceCal > h.cfg.StaleAfterFrames {
+			r.markStale()
+		}
+	}
+	// Classification distance, meaningful only against calibrated
+	// references; a handful of data symbols is too noisy a sample.
+	if h.calEver && r.haveRefs {
+		var sum float64
+		n := 0
+		for _, s := range syms {
+			if s.Kind != packet.KindData {
+				continue
+			}
+			sum += s.AB.Dist(r.refs[csk.NearestAB(s.AB, r.refs)])
+			n++
+		}
+		if n >= 8 {
+			mean := sum / float64(n)
+			r.distGauge.Set(mean)
+			if mean > h.cfg.DistanceTheta {
+				h.distStreak++
+			} else {
+				h.distStreak = 0
+			}
+		}
+	}
+	// Segmentation collapse: discarding without producing.
+	if discards > 0 && pkts == 0 {
+		h.collapseStreak++
+	} else if pkts > 0 {
+		h.collapseStreak = 0
+	}
+	switch {
+	case h.collapseStreak >= h.cfg.CollapseFrames:
+		r.resync()
+	case !h.stale && h.distStreak >= h.cfg.DistanceFrames:
+		// Blown-up classification with an intact packet structure means
+		// the channel moved under the references; resync once and wait
+		// (in degraded mode) for the next calibration rather than
+		// re-firing every DistanceFrames frames.
+		r.resync()
+	}
+}
+
+// resync discards the deframer state so parsing re-acquires on the
+// next owo delimiter, and marks the references suspect: whatever broke
+// the symbol stream may have moved the channel too, so the next valid
+// calibration replaces them outright instead of being smoothed in.
+func (r *Receiver) resync() {
+	h := &r.heal
+	r.deframer.Reset()
+	r.syncDiscards() // Reset counts any dropped fragment as a discard
+	r.started = false // no gap marker into the empty buffer
+	h.collapseStreak, h.distStreak = 0, 0
+	if h.calEver && !h.stale {
+		r.markStale()
+	}
+	r.c.resyncs.Inc()
+}
+
+// markStale begins a degraded-mode episode: decoding continues against
+// the last-known-good references while the receiver waits for the next
+// valid calibration packet.
+func (r *Receiver) markStale() {
+	r.heal.stale = true
+	r.c.staleCalibrations.Inc()
+	r.syncGauge.Set(1)
 }
 
 // Flush drains any partially buffered packet at end of capture.
@@ -447,7 +640,12 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 				colors[idx] = pkt.Colors[i]
 			}
 			pkt.Colors = colors
-			if !r.haveRefs {
+			if !r.haveRefs || r.heal.stale {
+				// First calibration, or re-acquisition after a stale
+				// episode: the old references are absent or suspect, so
+				// snap to the fresh observation outright — smoothing
+				// toward it would stretch the degraded period over many
+				// calibration intervals.
 				r.refs = append(r.refs[:0], pkt.Colors...)
 			} else {
 				// Exponential smoothing: each calibration packet is a
@@ -465,6 +663,13 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 			// the device's own view of the constellation.
 			r.cls.setDataRefs(r.refs)
 			r.c.calibrationApplied.Inc()
+			r.heal.calEver = true
+			r.heal.framesSinceCal = 0
+			r.heal.distStreak = 0
+			if r.heal.stale {
+				r.heal.stale = false
+				r.syncGauge.Set(0)
+			}
 		}
 		return nil
 	case packet.PacketData:
@@ -480,6 +685,11 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 			r.c.rsDecodeOK.Inc()
 		} else {
 			r.c.rsDecodeFail.Inc()
+		}
+		if r.heal.stale {
+			// Decoded against last-known-good references while waiting
+			// for recalibration: usable, but flagged.
+			r.c.degradedBlocks.Inc()
 		}
 		return b
 	}

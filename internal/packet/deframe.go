@@ -105,6 +105,18 @@ func (d *Deframer) Push(symbols []RxSymbol) []RxPacket {
 	return out
 }
 
+// Reset discards any partially buffered packet, returning the parser
+// to its initial state so the next Push re-acquires at a delimiter.
+// The receiver's resync state machine calls this after segmentation
+// collapse; a non-empty buffer counts as one more discarded fragment
+// (the cumulative Discarded count is otherwise preserved).
+func (d *Deframer) Reset() {
+	if len(d.buf) > 0 {
+		d.Discarded++
+	}
+	d.buf = d.buf[:0]
+}
+
 // Flush parses any packet still pending at end of stream (a final data
 // packet is normally terminated by the next packet's delimiter; Flush
 // terminates it with the stream end instead) and resets the buffer.

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"colorbars/internal/camera"
 	"colorbars/internal/modem"
@@ -68,6 +70,14 @@ type Config struct {
 	OutputDepth int
 	// Overload selects the full-queue policy for Submit.
 	Overload OverloadPolicy
+	// StallTimeout arms the stream watchdog: a stream with work
+	// pending whose decode lane makes no progress for this long is
+	// recycled — its input closes, its lane goroutines exit, and its
+	// Blocks() channel closes — so one wedged consumer (or a stuck
+	// upstream) cannot deadlock Close or pin pool resources forever.
+	// Each recycle increments pipeline.streams_recycled. Zero disables
+	// the watchdog.
+	StallTimeout time.Duration
 	// Telemetry receives pipeline metrics: pipeline.frames_in,
 	// pipeline.frames_dropped, pipeline.blocks_out counters; a
 	// pipeline.workers_busy gauge; pipeline.queue_depth.<stream>
@@ -109,14 +119,16 @@ type Pipeline struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	workerWG  sync.WaitGroup // worker goroutines
-	streamWG  sync.WaitGroup // feeder + decoder goroutines
-	jobsOnce  sync.Once      // guards close(jobs) across Close/Abort
-	busy      *telemetry.Gauge
-	framesIn  *telemetry.Counter
-	dropped   *telemetry.Counter
-	blocksOut *telemetry.Counter
-	latency   *telemetry.Histogram
+	workerWG   sync.WaitGroup // worker goroutines
+	streamWG   sync.WaitGroup // feeder + decoder goroutines
+	watchdogWG sync.WaitGroup // watchdog goroutine (if armed)
+	jobsOnce   sync.Once      // guards close(jobs) across Close/Abort
+	busy       *telemetry.Gauge
+	framesIn   *telemetry.Counter
+	dropped    *telemetry.Counter
+	blocksOut  *telemetry.Counter
+	recycled   *telemetry.Counter
+	latency    *telemetry.Histogram
 
 	mu      sync.Mutex
 	streams map[string]*Stream
@@ -134,6 +146,12 @@ type Stream struct {
 	done chan result      // workers → decoder (unordered)
 	out  chan modem.Block // decoder → consumer
 
+	// ctx is the stream's own lifetime, a child of the pipeline's: the
+	// watchdog cancels it to recycle one wedged stream without
+	// touching its siblings.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	depth *telemetry.Gauge
 
 	// submit-side state, guarded by mu: seq would race between
@@ -144,10 +162,26 @@ type Stream struct {
 
 	// feeder-side state: frames handed to the pool so far, and the
 	// total the decoder must wait for. fedAll closes once finalSeq is
-	// valid (after CloseInput drained the queue).
-	fed      uint64
+	// valid (after CloseInput drained the queue). fed is atomic only
+	// so the watchdog may read it.
+	fed      atomic.Uint64
 	finalSeq uint64
 	fedAll   chan struct{}
+
+	// Watchdog progress signals. decoded counts frames fully through
+	// ProcessAnalysis *and* their block emits (incremented after, so a
+	// lane blocked mid-emit still reads as having work pending);
+	// emitted counts delivered blocks; flushing marks the final
+	// deframer flush; finished marks the decode goroutine's exit.
+	decoded   atomic.Uint64
+	emitted   atomic.Uint64
+	flushing  atomic.Bool
+	finished  atomic.Bool
+	recycling atomic.Bool
+
+	// Watchdog-goroutine-private stall accounting.
+	lastProgress uint64
+	stalledFor   time.Duration
 }
 
 // New builds a pipeline and starts its worker pool.
@@ -178,13 +212,86 @@ func New(cfg Config) *Pipeline {
 		framesIn:  cfg.Telemetry.Counter("pipeline.frames_in"),
 		dropped:   cfg.Telemetry.Counter("pipeline.frames_dropped"),
 		blocksOut: cfg.Telemetry.Counter("pipeline.blocks_out"),
+		recycled:  cfg.Telemetry.Counter("pipeline.streams_recycled"),
 		latency:   cfg.Telemetry.Histogram("pipeline.frame_latency", nil),
 	}
 	p.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go p.worker()
 	}
+	if cfg.StallTimeout > 0 {
+		p.watchdogWG.Add(1)
+		go p.watchdog(cfg.StallTimeout)
+	}
 	return p
+}
+
+// watchdog periodically samples every stream's progress signals and
+// recycles lanes that sit on pending work without advancing for a
+// full StallTimeout. It exits when the pipeline context is cancelled
+// (Close's final step, or Abort).
+func (p *Pipeline) watchdog(timeout time.Duration) {
+	defer p.watchdogWG.Done()
+	interval := timeout / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-tick.C:
+			p.mu.Lock()
+			streams := make([]*Stream, 0, len(p.streams))
+			for _, s := range p.streams {
+				streams = append(streams, s)
+			}
+			p.mu.Unlock()
+			for _, s := range streams {
+				s.checkStall(interval, timeout)
+			}
+		}
+	}
+}
+
+// checkStall is one watchdog sample of this stream: progress is the
+// decoded+emitted sum, work is pending whenever fed or queued frames
+// outnumber decoded ones (or the final flush is underway). Only the
+// watchdog goroutine touches the stall accumulator.
+func (s *Stream) checkStall(elapsed, timeout time.Duration) {
+	if s.finished.Load() || s.recycling.Load() {
+		return
+	}
+	decoded := s.decoded.Load()
+	progress := decoded + s.emitted.Load()
+	hasWork := s.fed.Load()+uint64(len(s.in)) > decoded || s.flushing.Load()
+	if progress != s.lastProgress || !hasWork {
+		s.lastProgress = progress
+		s.stalledFor = 0
+		return
+	}
+	s.stalledFor += elapsed
+	if s.stalledFor >= timeout {
+		s.recycle()
+	}
+}
+
+// recycle tears down one wedged stream: input closes (Submit returns
+// ErrClosed), the lane goroutines exit at their next channel
+// operation, undelivered output is dropped, and Blocks() closes. The
+// rest of the pipeline is untouched.
+func (s *Stream) recycle() {
+	if !s.recycling.CompareAndSwap(false, true) {
+		return
+	}
+	s.p.recycled.Inc()
+	// Cancel before CloseInput: a Submit blocked in backpressure holds
+	// s.mu until the cancellation releases it, and CloseInput needs
+	// that mutex.
+	s.cancel()
+	s.CloseInput()
 }
 
 // Workers reports the pool size.
@@ -213,6 +320,7 @@ func (p *Pipeline) AddStream(id string, rx *modem.Receiver) (*Stream, error) {
 		depth:  p.tel.Gauge("pipeline.queue_depth." + id),
 		fedAll: make(chan struct{}),
 	}
+	s.ctx, s.cancel = context.WithCancel(p.ctx)
 	p.streams[id] = s
 	p.streamWG.Add(2)
 	go s.feed()
@@ -285,7 +393,7 @@ func (s *Stream) Submit(ctx context.Context, f *camera.Frame) error {
 			return nil
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-s.p.ctx.Done():
+		case <-s.ctx.Done():
 			return ErrClosed
 		}
 	}
@@ -299,23 +407,23 @@ func (s *Stream) feed() {
 	defer s.p.streamWG.Done()
 	for {
 		select {
-		case <-s.p.ctx.Done():
+		case <-s.ctx.Done():
 			return
 		case j, ok := <-s.in:
 			if !ok {
 				// CloseInput ran and the queue is drained: everything
 				// admitted has been fed. Publish the total and let the
 				// decoder finish.
-				s.finalSeq = s.fed
+				s.finalSeq = s.fed.Load()
 				close(s.fedAll)
 				return
 			}
 			s.depth.Set(float64(len(s.in)))
-			j.seq = s.fed
-			s.fed++
+			j.seq = s.fed.Load()
+			s.fed.Add(1)
 			select {
 			case s.p.jobs <- j:
-			case <-s.p.ctx.Done():
+			case <-s.ctx.Done():
 				return
 			}
 		}
@@ -326,6 +434,7 @@ func (s *Stream) feed() {
 // sequential tail. It owns the stream's Receiver and the out channel.
 func (s *Stream) decode() {
 	defer s.p.streamWG.Done()
+	defer s.finished.Store(true)
 	defer close(s.out)
 	pending := map[uint64]result{}
 	var next uint64
@@ -334,6 +443,7 @@ func (s *Stream) decode() {
 	for {
 		if haveTotal && next >= total {
 			// Every fed frame decoded: flush deframer remnants.
+			s.flushing.Store(true)
 			for _, b := range s.rx.Flush() {
 				if !s.emit(b) {
 					return
@@ -342,7 +452,7 @@ func (s *Stream) decode() {
 			return
 		}
 		select {
-		case <-s.p.ctx.Done():
+		case <-s.ctx.Done():
 			return
 		case <-s.fedAll:
 			total, haveTotal = s.finalSeq, true
@@ -361,19 +471,25 @@ func (s *Stream) decode() {
 						return
 					}
 				}
+				// Count the frame only once its blocks are delivered,
+				// so a lane blocked mid-emit still shows pending work
+				// to the watchdog.
+				s.decoded.Add(1)
 				s.p.latency.Observe(float64(s.p.tel.Now()-r.tSubmit) / 1e9)
 			}
 		}
 	}
 }
 
-// emit delivers one decoded block, reporting false on Abort.
+// emit delivers one decoded block, reporting false on Abort or
+// recycle.
 func (s *Stream) emit(b modem.Block) bool {
 	select {
 	case s.out <- b:
 		s.p.blocksOut.Inc()
+		s.emitted.Add(1)
 		return true
-	case <-s.p.ctx.Done():
+	case <-s.ctx.Done():
 		return false
 	}
 }
@@ -418,6 +534,12 @@ func (s *Stream) CloseInput() {
 // completion without caring about remaining output.
 func (s *Stream) Drain(ctx context.Context) error {
 	s.CloseInput()
+	// An already-cancelled context means the caller wants out now, not
+	// after a flush: the select below would otherwise pick arbitrarily
+	// between a ready block and the done context.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for {
 		select {
 		case _, ok := <-s.out:
@@ -437,6 +559,13 @@ func (s *Stream) Drain(ctx context.Context) error {
 // context error aborts the pipeline hard (dropping in-flight frames)
 // before returning.
 func (p *Pipeline) Close(ctx context.Context) error {
+	// An already-cancelled context skips the graceful flush entirely:
+	// abort hard and return promptly, exactly as if the deadline had
+	// expired mid-flush.
+	if err := ctx.Err(); err != nil {
+		p.Abort()
+		return err
+	}
 	p.mu.Lock()
 	p.closed = true
 	streams := make([]*Stream, 0, len(p.streams))
@@ -460,6 +589,7 @@ func (p *Pipeline) Close(ctx context.Context) error {
 		return ctx.Err()
 	}
 	p.cancel()
+	p.watchdogWG.Wait()
 	p.jobsOnce.Do(func() { close(p.jobs) })
 	p.workerWG.Wait()
 	return nil
@@ -480,4 +610,5 @@ func (p *Pipeline) Abort() {
 	p.mu.Unlock()
 	p.cancel()
 	p.streamWG.Wait()
+	p.watchdogWG.Wait()
 }

@@ -1,0 +1,198 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"colorbars/internal/csk"
+	"colorbars/internal/telemetry"
+)
+
+// TestDrainCancelledContextPrompt is the regression test for Drain
+// with an already-cancelled context: it must return ctx.Err()
+// promptly, not flush the remaining output first (the two select arms
+// are both ready, and Go picks randomly).
+func TestDrainCancelledContextPrompt(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 2)
+	// Queue deep enough for the whole session, so the lane wedges on
+	// its tiny undrained output buffer rather than dropping frames.
+	p := New(Config{Workers: 2, QueueDepth: len(sess.frames) + 1, OutputDepth: 2})
+	s, err := p.AddStream("a", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sess.frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the lane fill its undrained output buffer, so a flushing
+	// Drain would have blocks to consume.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.out) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no blocks produced to fill the output buffer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	watchdog(t, 2*time.Second, "Drain with cancelled context", func() {
+		if err := s.Drain(cancelled); !errors.Is(err, context.Canceled) {
+			t.Errorf("Drain = %v, want context.Canceled", err)
+		}
+	})
+	if len(s.out) == 0 {
+		t.Error("Drain consumed the pending output despite the cancelled context")
+	}
+	p.Abort()
+}
+
+// TestCloseCancelledContextPrompt: Pipeline.Close with an
+// already-cancelled context must abort hard and return ctx.Err()
+// without waiting for a graceful flush.
+func TestCloseCancelledContextPrompt(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 2, 2)
+	p := New(Config{Workers: 2, OutputDepth: 1, Overload: DropOldest})
+	s, err := p.AddStream("a", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sess.frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	watchdog(t, 2*time.Second, "Close with cancelled context", func() {
+		if err := p.Close(cancelled); !errors.Is(err, context.Canceled) {
+			t.Errorf("Close = %v, want context.Canceled", err)
+		}
+	})
+	if err := s.Submit(context.Background(), sess.frames[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after aborted Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestWatchdogRecyclesStalledStream wedges one stream (its consumer
+// never drains Blocks) and checks the watchdog recycles it — lane
+// goroutines exit, Blocks closes, the counter fires — while a healthy
+// sibling stream on the same pool still decodes byte-identically to
+// the serial reference.
+func TestWatchdogRecyclesStalledStream(t *testing.T) {
+	// 4 s of capture yields ~5 mid-stream blocks: plenty to wedge a
+	// depth-1 output buffer. The timeout sits far above one frame's
+	// Analyze latency (even under -race) so the drained sibling can
+	// never look stalled.
+	sess := newSession(t, csk.CSK8, 2000, 3, 4)
+	tel := telemetry.NewRegistry()
+	p := New(Config{
+		Workers:      2,
+		QueueDepth:   len(sess.frames) + 1,
+		OutputDepth:  1,
+		StallTimeout: 500 * time.Millisecond,
+		Telemetry:    tel,
+	})
+	stalled, err := p.AddStream("stalled", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := p.AddStream("healthy", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(healthy)
+
+	for _, f := range sess.frames {
+		if err := stalled.Submit(context.Background(), f); err != nil {
+			break // recycled mid-loop: expected
+		}
+		if err := healthy.Submit(context.Background(), f); err != nil {
+			t.Fatalf("healthy Submit: %v", err)
+		}
+	}
+	healthy.CloseInput()
+
+	// Wait for the watchdog to fire WITHOUT draining the stalled
+	// stream's output — draining would un-wedge the lane. Only then
+	// observe that Blocks closes on its own.
+	deadline := time.Now().Add(10 * time.Second)
+	for !stalled.recycling.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never recycled the stalled stream")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	watchdog(t, 5*time.Second, "Blocks close after recycle", func() {
+		<-collect(stalled)
+	})
+	if n := tel.Snapshot().Counters["pipeline.streams_recycled"]; n != 1 {
+		t.Errorf("pipeline.streams_recycled = %d, want 1", n)
+	}
+	// CloseInput runs just after the cancellation; allow it a moment.
+	deadline = time.Now().Add(2 * time.Second)
+	for !errors.Is(stalled.Submit(context.Background(), sess.frames[0]), ErrClosed) {
+		if time.Now().After(deadline) {
+			t.Error("Submit on recycled stream never returned ErrClosed")
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The sibling lane must be untouched by the recycle.
+	rx := sess.newRx(t)
+	want := serialDecode(rx, sess.frames)
+	watchdog(t, 30*time.Second, "healthy stream completion", func() {
+		if blocks := <-got; !reflect.DeepEqual(blocks, want) {
+			t.Errorf("healthy stream decoded %d blocks, serial %d, or contents differ", len(blocks), len(want))
+		}
+	})
+	watchdog(t, 5*time.Second, "Close after recycle", func() {
+		if err := p.Close(context.Background()); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+}
+
+// TestWatchdogLeavesIdleAndHealthyStreamsAlone: an armed watchdog must
+// not recycle a stream that is merely idle (no input) or one that is
+// decoding normally.
+func TestWatchdogLeavesIdleAndHealthyStreamsAlone(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 4, 1)
+	tel := telemetry.NewRegistry()
+	p := New(Config{Workers: 2, StallTimeout: 400 * time.Millisecond, Telemetry: tel})
+	s, err := p.AddStream("a", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle far longer than the stall timeout.
+	time.Sleep(1200 * time.Millisecond)
+
+	got := collect(s)
+	for _, f := range sess.frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatalf("Submit on idle-then-active stream: %v", err)
+		}
+	}
+	s.CloseInput()
+	rx := sess.newRx(t)
+	want := serialDecode(rx, sess.frames)
+	watchdog(t, 30*time.Second, "idle-then-active stream completion", func() {
+		if blocks := <-got; !reflect.DeepEqual(blocks, want) {
+			t.Errorf("decode diverged from serial (%d vs %d blocks)", len(blocks), len(want))
+		}
+	})
+	if n := tel.Snapshot().Counters["pipeline.streams_recycled"]; n != 0 {
+		t.Errorf("watchdog recycled a healthy stream (%d recycles)", n)
+	}
+	watchdog(t, 5*time.Second, "Close", func() {
+		if err := p.Close(context.Background()); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+}
