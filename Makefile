@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-pipeline fault-soak fuzz-smoke bench
+.PHONY: ci vet build test race race-pipeline fault-soak fuzz-smoke bench bench-json bench-gate
 
 # ci is the full gate: static checks, build, the test suite, a short
 # fuzz smoke over every fuzz target, the race-enabled pass over the
 # concurrent pipeline (the packages where races can actually live),
-# the deterministic chaos soak, and a single-iteration pass over the
+# the deterministic chaos soak, a single-iteration pass over the
 # ProcessFrame benchmarks (so the telemetry-overhead path compiles and
-# runs). Budget: ~4 minutes on a laptop. The full-suite race run stays
-# available as `make race` but is too slow for the default gate.
-ci: vet build test fuzz-smoke race-pipeline fault-soak bench
+# runs), and the benchmark trajectory gate against the committed
+# bench/BENCH_*.json baseline. Budget: ~5 minutes on a laptop. The
+# full-suite race run stays available as `make race` but is too slow
+# for the default gate.
+ci: vet build test fuzz-smoke race-pipeline fault-soak bench bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -31,14 +33,18 @@ race:
 race-pipeline:
 	$(GO) test -race -count=1 ./internal/pipeline/ ./internal/modem/
 
-# fault-soak runs the deterministic chaos soak under the race
-# detector: a sustained blackout through the resync/recalibration
-# machinery, and the pipeline-vs-serial decode-digest equivalence with
-# goroutine-leak and heap checks. The full per-class recovery matrix
-# runs (without -race) as part of the ordinary test suite; this target
-# is the concurrency-focused subset, sized to stay around a minute.
+# fault-soak runs the deterministic chaos soak: first the
+# concurrency-focused subset under the race detector (a sustained
+# blackout through the resync/recalibration machinery, and the
+# pipeline-vs-serial decode-digest equivalence with goroutine-leak and
+# heap checks), then the per-fault-class LinkHealth matrix without
+# -race (every class must dip the health score and recover within the
+# 60-frame budget; on failure it prints the per-class health table).
+# The full per-class recovery matrix also runs (without -race) as part
+# of the ordinary test suite.
 fault-soak:
 	$(GO) test -race -count=1 -run 'TestSoakResyncPath|TestSoakPipelineMatchesSerial|TestSoakNoFalseAlarms' ./internal/fault/...
+	$(GO) test -count=1 -run TestSoakHealthPerClass ./internal/fault/soak/
 
 # fuzz-smoke gives each fuzz target a few seconds of coverage-guided
 # input generation on top of the checked-in seed corpus. Panics found
@@ -50,3 +56,17 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -run=- -bench=BenchmarkProcessFrame -benchtime=1x ./...
+
+# bench-json measures the receiver decode trajectory (ns/frame, B/op,
+# allocs/op, ground-truth SER per operating point) and writes the
+# dated point bench/BENCH_<today>.json. Commit the file to extend the
+# trajectory; bench-gate diffs against the newest committed point.
+bench-json:
+	$(GO) run ./cmd/colorbars-bench -exp perf -duration 1 -bench-out bench
+
+# bench-gate fails (exit 1) when any trajectory metric regresses more
+# than 10% against the newest bench/BENCH_*.json. Sanity-check the
+# gate itself with:  go run ./cmd/colorbars-bench -exp perf \
+#   -duration 1 -bench-gate bench -handicap 2   (must fail).
+bench-gate:
+	$(GO) run ./cmd/colorbars-bench -exp perf -duration 1 -bench-gate bench

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations|distance|pipeline|fault]
+//	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations|distance|pipeline|fault|perf]
 //	                [-duration seconds] [-seed n] [-workers n]
-//	                [-telemetry-addr host:port]
+//	                [-telemetry-addr host:port] [-trace file.jsonl]
+//	                [-bench-out dir] [-bench-gate dir] [-handicap x]
 //
 // The pipeline experiment (not part of "all") compares serial decode
 // time against the concurrent pipeline at several worker counts on
@@ -15,7 +16,12 @@
 // the measured experiments' decode stage (0 = serial decode). The
 // fault experiment (also not part of "all") soaks the link under one
 // impairment of every fault class (internal/fault) and reports the
-// receiver's recovery behaviour.
+// receiver's recovery behaviour. The perf experiment (also not part
+// of "all") measures the receiver's decode cost and ground-truth SER
+// at the trajectory operating points; -bench-out writes the dated
+// BENCH_<date>.json point, -bench-gate compares against the newest
+// baseline in a directory and exits non-zero on regression, and
+// -handicap multiplies the measured costs to prove the gate trips.
 package main
 
 import (
@@ -35,16 +41,42 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3b, fig3c, fig6, fig8b, grid, baseline, ablations, distance, pipeline, fault")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3b, fig3c, fig6, fig8b, grid, baseline, ablations, distance, pipeline, fault, perf")
 	duration := flag.Float64("duration", 3, "simulated seconds per measured cell")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	workers := flag.Int("workers", 0, "decode with the concurrent pipeline using this many workers (0 = serial decode)")
 	csvDir := flag.String("csv", "", "also write CSV files for the plottable experiments into this directory")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
+	tracePath := flag.String("trace", "", "write a JSONL trace of every stage span and counter to this file")
+	benchOut := flag.String("bench-out", "", "with -exp perf: write the dated BENCH_<date>.json trajectory point into this directory")
+	benchGate := flag.String("bench-gate", "", "with -exp perf: gate against the newest BENCH_*.json in this directory, exiting non-zero on regression")
+	handicap := flag.Float64("handicap", 1, "with -exp perf: multiply measured costs by this factor (gate self-test)")
 	flag.Parse()
 	csvOutDir = *csvDir
 	decodeWorkers = *workers
+	benchOutDir = *benchOut
+	benchGateDir = *benchGate
+	benchHandicap = *handicap
 
+	if *tracePath != "" {
+		// A sink on the process registry sees every span and counter:
+		// each experiment's run registry is a child of the process one,
+		// and events propagate to every ancestor with a sink attached.
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		trace := telemetry.NewJSONLSink(tf)
+		telemetry.Process().SetSink(trace)
+		defer func() {
+			if err := trace.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			}
+			tf.Close()
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
+		}()
+	}
 	if *telemetryAddr != "" {
 		// Every metrics.Run rolls its counters up into the process
 		// registry, so the expvar endpoint shows live aggregate progress
@@ -71,6 +103,7 @@ func main() {
 		"distance":  runDistance,
 		"pipeline":  runPipeline,
 		"fault":     runFault,
+		"perf":      runPerf,
 	}
 	// The pipeline scaling sweep is a performance measurement, not a
 	// paper figure, so "all" (the reproduction run) excludes it.

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"colorbars"
+	"colorbars/internal/camera"
+	"colorbars/internal/linkstats"
+	"colorbars/internal/metrics"
+)
+
+// benchOutDir / benchGateDir / benchHandicap are the -bench-out,
+// -bench-gate and -handicap flags (set in main). The handicap
+// multiplies every measured cost metric before reporting — its only
+// purpose is proving the gate trips: `-exp perf -bench-gate bench
+// -handicap 2` must fail against a baseline the unhandicapped run
+// passes.
+var (
+	benchOutDir   string
+	benchGateDir  string
+	benchHandicap float64 = 1
+)
+
+// benchGateTolerance is the relative regression budget per metric:
+// a current value past baseline*(1+tolerance) fails the gate.
+const benchGateTolerance = 0.10
+
+// perfCells are the benchmark trajectory's operating points: the
+// paper's robust, dense and densest Nexus 5 links. Entry names are the
+// stable keys CompareBench diffs across dated reports, so renaming one
+// breaks the trajectory.
+var perfCells = []struct {
+	name  string
+	order colorbars.Order
+	rate  float64
+}{
+	{"decode/csk8@2kHz", colorbars.CSK8, 2000},
+	{"decode/csk16@3kHz", colorbars.CSK16, 3000},
+	{"decode/csk32@4kHz", colorbars.CSK32, 4000},
+}
+
+// runPerf measures receiver decode cost (ns/frame, B/op, allocs/op via
+// the Go benchmark machinery, min of 3 runs) and link quality
+// (ground-truth SER from an instrumented metrics run) for every
+// trajectory cell, then optionally writes the dated BENCH_<date>.json
+// point (-bench-out) and gates against the newest committed baseline
+// (-bench-gate).
+func runPerf(duration float64, seed int64) error {
+	report := &linkstats.BenchReport{
+		Schema:    linkstats.BenchSchemaVersion,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Entries:   map[string]linkstats.BenchEntry{},
+	}
+	fmt.Println("== Perf: receiver decode benchmark trajectory (Nexus 5) ==")
+	if benchHandicap != 1 {
+		fmt.Printf("  handicap %.2fx applied (gate self-test mode)\n", benchHandicap)
+	}
+	fmt.Printf("  %-20s %14s %12s %11s %11s %9s\n",
+		"Experiment", "ns/frame", "B/op", "allocs/op", "frames/s", "SER")
+	for _, cell := range perfCells {
+		e, err := benchCell(cell.order, cell.rate, duration, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cell.name, err)
+		}
+		report.Entries[cell.name] = e
+		fmt.Printf("  %-20s %14.0f %12d %11d %11.1f %9.4f\n",
+			cell.name, e.NsPerFrame, e.BytesPerOp, e.AllocsPerOp, e.FramesPerSec, e.SER)
+	}
+	if benchOutDir != "" {
+		path, err := linkstats.WriteBenchReport(benchOutDir, report)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  trajectory point written to %s\n", path)
+	}
+	if benchGateDir != "" {
+		basePath, base, err := linkstats.LatestBenchReport(benchGateDir)
+		if err != nil {
+			return err
+		}
+		regs, err := linkstats.CompareBench(base, report, benchGateTolerance)
+		if err != nil {
+			return err
+		}
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Printf("  REGRESSION %v\n", r)
+			}
+			return fmt.Errorf("bench gate: %d regression(s) vs %s", len(regs), basePath)
+		}
+		fmt.Printf("  bench gate: PASS vs %s\n", basePath)
+	}
+	return nil
+}
+
+// benchCell measures one operating point. The decode benchmark cycles
+// a pre-captured clean-link video through one receiver — steady-state
+// per-frame cost, no capture or allocation of the frame stream inside
+// the timed loop. The SER comes from a separate ground-truth metrics
+// run at the same point (the linkstats collector compares every
+// recovered block's raw symbols against the transmitted stream).
+func benchCell(order colorbars.Order, rate, duration float64, seed int64) (linkstats.BenchEntry, error) {
+	prof := camera.Nexus5()
+	cfg := colorbars.Config{Order: order, SymbolRate: rate, WhiteFraction: 0.2}
+	tx, err := colorbars.NewTransmitter(cfg)
+	if err != nil {
+		return linkstats.BenchEntry{}, err
+	}
+	wave, err := tx.Broadcast([]byte("colorbars benchmark trajectory payload"), duration)
+	if err != nil {
+		return linkstats.BenchEntry{}, err
+	}
+	cam := colorbars.NewCamera(prof, seed)
+	frames := cam.CaptureVideo(wave, 0, int(duration*prof.FrameRate))
+	if len(frames) == 0 {
+		return linkstats.BenchEntry{}, fmt.Errorf("no frames captured")
+	}
+	rx, err := colorbars.NewReceiver(cfg)
+	if err != nil {
+		return linkstats.BenchEntry{}, err
+	}
+
+	var best testing.BenchmarkResult
+	for run := 0; run < 3; run++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rx.ProcessFrame(frames[i%len(frames)])
+			}
+		})
+		if run == 0 || r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+
+	m, err := metrics.Run(metrics.LinkParams{
+		Order: order, SymbolRate: rate, Profile: prof,
+		WhiteFraction: 0.2, Duration: duration, Seed: seed,
+	})
+	if err != nil {
+		return linkstats.BenchEntry{}, err
+	}
+
+	ns := float64(best.NsPerOp()) * benchHandicap
+	e := linkstats.BenchEntry{
+		NsPerFrame:  ns,
+		BytesPerOp:  int64(float64(best.AllocedBytesPerOp()) * benchHandicap),
+		AllocsPerOp: int64(float64(best.AllocsPerOp()) * benchHandicap),
+		SER:         m.Health.SER,
+		HasSER:      m.Health.SymbolsCompared > 0,
+	}
+	if ns > 0 {
+		e.FramesPerSec = 1e9 / ns
+	}
+	return e, nil
+}

@@ -8,7 +8,8 @@
 //	colorbars-rx [-device nexus5|iphone5s|ideal] [-order n] [-rate hz]
 //	             [-white frac] [-duration s] [-seed n]
 //	             [-workers n] [-streams n] [-chaos all|class,class,...]
-//	             [-telemetry-addr host:port] [-trace file.jsonl] [file]
+//	             [-telemetry-addr host:port] [-trace file.jsonl]
+//	             [-report] [-report-json file.json] [file]
 //
 // The link parameters (order, rate, white fraction) must match the
 // transmitter's; in a deployment they are part of the published sign
@@ -19,12 +20,18 @@
 // capture through the fault-injection layer (internal/fault) with a
 // seed-derived impairment schedule; the per-stream stats then show
 // the receiver's recovery counters (resyncs, stale calibrations,
-// degraded blocks).
+// degraded blocks). -report prints each stream's end-of-run
+// link-quality report (health score, ground-truth-free margins, RS
+// correction load) to stderr; -report-json writes the same reports as
+// one JSON document. While running, every stream's live report is
+// published at the -telemetry-addr debug server's /debug/link
+// endpoint.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +59,8 @@ func main() {
 	chaos := flag.String("chaos", "", "inject a seed-derived impairment schedule: \"all\" or a comma-separated fault class list (empty = off)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
 	tracePath := flag.String("trace", "", "write a JSONL trace of every pipeline stage and counter to this file")
+	report := flag.Bool("report", false, "print each stream's end-of-run link-quality report to stderr")
+	reportJSON := flag.String("report-json", "", "write every stream's link-quality report as one JSON document to this file")
 	flag.Parse()
 	if *streams < 1 {
 		fatal(fmt.Errorf("-streams %d: need at least one stream", *streams))
@@ -134,6 +143,8 @@ func main() {
 		if trace != nil {
 			s.Telemetry().SetSink(trace) // JSONL sink is concurrency-safe
 		}
+		// Live link report at /debug/link (visible via -telemetry-addr).
+		s.PublishLink()
 		cam := colorbars.NewCamera(prof, *seed+int64(i))
 		var src camera.Source = wave
 		var inj *fault.Injector
@@ -194,6 +205,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%s] ", l.id)
 		}
 		fmt.Fprintln(os.Stderr, l.s.Stats().String())
+	}
+	if *report {
+		for _, l := range lanes {
+			fmt.Fprintln(os.Stderr, l.s.LinkReport().Text())
+		}
+	}
+	if *reportJSON != "" {
+		reports := make([]colorbars.LinkReport, len(lanes))
+		for i, l := range lanes {
+			reports[i] = l.s.LinkReport()
+		}
+		raw, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*reportJSON, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "link reports written to %s\n", *reportJSON)
 	}
 	if trace != nil {
 		if err := trace.Err(); err != nil {

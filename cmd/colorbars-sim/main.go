@@ -6,7 +6,7 @@
 //
 //	colorbars-sim [-device nexus5|iphone5s|ideal] [-order 4|8|16|32]
 //	              [-rate hz] [-white frac] [-duration s] [-seed n]
-//	              [-message text]
+//	              [-message text] [-trace file.jsonl]
 package main
 
 import (
@@ -34,12 +34,31 @@ func main() {
 	dumpFrame := flag.String("dump-frame", "", "write the first captured frame as a PNG to this path")
 	dumpWave := flag.String("dump-waveform", "", "write the first 400 transmitted symbols as a PNG stripe to this path")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
+	tracePath := flag.String("trace", "", "write a JSONL trace of every stage span and counter to this file")
 	flag.Parse()
 
 	prof, ok := camera.Profiles()[*device]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown device %q (want nexus5, iphone5s, ideal)\n", *device)
 		os.Exit(2)
+	}
+	if *tracePath != "" {
+		// The transmitter's and receiver's registries are children of
+		// the process registry, so one process-level sink traces the
+		// whole link end to end.
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		trace := telemetry.NewJSONLSink(tf)
+		telemetry.Process().SetSink(trace)
+		defer func() {
+			if err := trace.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			}
+			tf.Close()
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
+		}()
 	}
 	if *telemetryAddr != "" {
 		telemetry.PublishExpvar("colorbars", telemetry.Process())
@@ -112,6 +131,8 @@ func main() {
 	fmt.Printf("packets: %d data, %d calibration, %d discarded\n",
 		s.DataPackets, s.CalibrationPackets, s.DiscardedPackets)
 	fmt.Printf("blocks: %d ok, %d failed\n", s.BlocksOK, s.BlocksFailed)
+	h := rx.Health()
+	fmt.Printf("link health: %.3f (%s), mean margin %.1f\n", h.Score, h.Reason, h.MeanMargin)
 	if received == nil {
 		fmt.Println("message: NOT recovered within the capture window")
 		os.Exit(1)

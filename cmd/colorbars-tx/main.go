@@ -7,7 +7,7 @@
 // Usage:
 //
 //	colorbars-tx [-order n] [-rate hz] [-white frac] [-repeat s]
-//	             [-o file] [message...]
+//	             [-o file] [-trace file.jsonl] [message...]
 package main
 
 import (
@@ -28,8 +28,24 @@ func main() {
 	repeat := flag.Float64("repeat", 0, "repeat the broadcast to cover this many seconds (0 = single pass)")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
+	tracePath := flag.String("trace", "", "write a JSONL trace of every stage span and counter to this file")
 	flag.Parse()
 
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		trace := telemetry.NewJSONLSink(tf)
+		telemetry.Process().SetSink(trace)
+		defer func() {
+			if err := trace.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			}
+			tf.Close()
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
+		}()
+	}
 	if *telemetryAddr != "" {
 		telemetry.PublishExpvar("colorbars", telemetry.Process())
 		l, err := telemetry.ServeDebug(*telemetryAddr)

@@ -41,6 +41,7 @@ import (
 	"colorbars/internal/csk"
 	"colorbars/internal/flicker"
 	"colorbars/internal/led"
+	"colorbars/internal/linkstats"
 	"colorbars/internal/modem"
 	"colorbars/internal/rs"
 	"colorbars/internal/telemetry"
@@ -59,6 +60,12 @@ type (
 	Frame = camera.Frame
 	// Waveform is the tri-LED's emitted radiance over time.
 	Waveform = led.Waveform
+	// LinkHealth is a point-in-time link-quality snapshot (scalar
+	// score plus degradation reason — see internal/linkstats).
+	LinkHealth = linkstats.LinkHealth
+	// LinkReport is a full link-quality report: LinkHealth plus the
+	// classification-margin and parity-load histograms behind it.
+	LinkReport = linkstats.Report
 )
 
 // Supported CSK constellation orders.
@@ -373,6 +380,7 @@ func (a *assembler) take(blk modem.Block) *Message {
 type Receiver struct {
 	cfg Config
 	rx  *modem.Receiver
+	ls  *linkstats.Collector
 	asm *assembler
 }
 
@@ -383,18 +391,25 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel := telemetry.Process().NewChild()
+	ls := linkstats.NewCollector(linkstats.Config{
+		Points:        int(cfg.Order),
+		BitsPerSymbol: cfg.Order.BitsPerSymbol(),
+		Telemetry:     tel,
+	})
 	rx, err := modem.NewReceiver(modem.RxConfig{
 		Order:         cfg.Order,
 		SymbolRate:    cfg.SymbolRate,
 		WhiteFraction: cfg.WhiteFraction,
 		Code:          code,
 		Triangle:      cie.SRGBTriangle,
-		Telemetry:     telemetry.Process().NewChild(),
+		Telemetry:     tel,
+		LinkStats:     ls,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Receiver{cfg: cfg, rx: rx, asm: newAssembler()}, nil
+	return &Receiver{cfg: cfg, rx: rx, ls: ls, asm: newAssembler()}, nil
 }
 
 // Config returns the link configuration (with defaults resolved).
@@ -411,6 +426,22 @@ func (r *Receiver) Telemetry() *telemetry.Registry { return r.rx.Telemetry() }
 // Calibrated reports whether the receiver has obtained color
 // references from a calibration packet.
 func (r *Receiver) Calibrated() bool { return r.rx.Calibrated() }
+
+// Health returns the receiver's current link-quality snapshot: a
+// scalar score in [0, 1] plus the dominant degradation reason,
+// backed by classification margins, block outcomes, and calibration
+// age (DESIGN.md §11).
+func (r *Receiver) Health() LinkHealth { return r.ls.Health() }
+
+// LinkReport returns the receiver's full link-quality report,
+// including the classification-margin histograms; name labels the
+// report (e.g. a stream or camera identifier).
+func (r *Receiver) LinkReport(name string) LinkReport { return r.ls.Report(name) }
+
+// PublishLink exposes this receiver's live link report at the
+// /debug/link endpoint of any -telemetry-addr debug server under the
+// given name.
+func (r *Receiver) PublishLink(name string) { linkstats.Publish(name, r.ls) }
 
 // Progress returns how many of the current message's blocks have been
 // received (0, 0 before the first block arrives).

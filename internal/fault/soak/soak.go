@@ -26,6 +26,7 @@ import (
 	"colorbars/internal/coding"
 	"colorbars/internal/csk"
 	"colorbars/internal/fault"
+	"colorbars/internal/linkstats"
 	"colorbars/internal/modem"
 	"colorbars/internal/pipeline"
 	"colorbars/internal/telemetry"
@@ -90,6 +91,14 @@ type Result struct {
 	// Snapshot is the run's full telemetry state, including the
 	// fault.* injection counters and rx.* recovery counters.
 	Snapshot telemetry.Snapshot
+	// Health is the end-of-run link-quality snapshot.
+	Health linkstats.LinkHealth
+	// HealthSamples is the health score after each decoded frame
+	// (serial runs only; nil when Workers > 0) — the trajectory the
+	// per-class soak tests assert dips and recoveries against.
+	HealthSamples []float64
+	// MinHealth is the lowest sampled score (1 when no samples).
+	MinHealth float64
 }
 
 // String formats the result for log output.
@@ -156,6 +165,11 @@ func Run(p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	ls := linkstats.NewCollector(linkstats.Config{
+		Points:        int(p.Order),
+		BitsPerSymbol: p.Order.BitsPerSymbol(),
+		Telemetry:     tel,
+	})
 	rx, err := modem.NewReceiver(modem.RxConfig{
 		Order:         p.Order,
 		SymbolRate:    p.SymbolRate,
@@ -163,6 +177,7 @@ func Run(p Params) (Result, error) {
 		Code:          code,
 		SelfHeal:      p.SelfHeal,
 		Telemetry:     tel,
+		LinkStats:     ls,
 	})
 	if err != nil {
 		return Result{}, err
@@ -214,13 +229,22 @@ func Run(p Params) (Result, error) {
 		score(blocks, 0, nil)
 	} else {
 		var recoveredAt []int // frame index of every recovered block
+		res.HealthSamples = make([]float64, 0, len(frames))
 		for i, f := range frames {
 			score(rx.ProcessFrame(f), i, &recoveredAt)
+			res.HealthSamples = append(res.HealthSamples, ls.Health().Score)
 		}
 		score(rx.Flush(), len(frames)-1, &recoveredAt)
 		res.WorstRecoveryFrames, res.Unrecovered = recoveryLatency(schedule, p.Profile.FrameRate, len(frames), recoveredAt)
 	}
 	sp.End()
+	res.Health = ls.Health()
+	res.MinHealth = 1
+	for _, s := range res.HealthSamples {
+		if s < res.MinHealth {
+			res.MinHealth = s
+		}
+	}
 
 	st := rx.Stats()
 	res.Resyncs = st.Resyncs
@@ -261,6 +285,66 @@ func pipelineDecode(p Params, tel *telemetry.Registry, rx *modem.Receiver, frame
 		return nil, err
 	}
 	return <-collected, nil
+}
+
+// AnalyzeHealth scans a run's per-frame health samples around one
+// impairment: min is the lowest score from eventFrame on (with its
+// frame index), and recoverFrame is the first frame at or after
+// settleFrame where the score has climbed back to recoverAbove — the
+// health-signal analogue of recoveryLatency's next-recovered-block
+// distance. Like that metric it marks the comeback, not permanent
+// tranquility: faults whose damage persists after the window (a held
+// AWB tilt, an accumulated clock offset) recover and may wobble
+// again. recoverFrame is -1 when the score never reaches recoverAbove
+// after settle.
+func AnalyzeHealth(samples []float64, eventFrame, settleFrame int, recoverAbove float64) (min float64, minFrame, recoverFrame int) {
+	min, minFrame = 1, -1
+	if eventFrame < 0 {
+		eventFrame = 0
+	}
+	if settleFrame < 0 {
+		settleFrame = 0
+	}
+	for i := eventFrame; i < len(samples); i++ {
+		if samples[i] < min {
+			min, minFrame = samples[i], i
+		}
+	}
+	for i := settleFrame; i < len(samples); i++ {
+		if samples[i] >= recoverAbove {
+			return min, minFrame, i
+		}
+	}
+	return min, minFrame, -1
+}
+
+// ClassHealth is one fault class's health trajectory, as measured by
+// a dedicated soak run — the row type of HealthTable.
+type ClassHealth struct {
+	Class        string
+	MinScore     float64
+	MinFrame     int
+	RecoverFrame int // first frame back above threshold after settle; -1 = never
+	Final        float64
+	FinalReason  string
+}
+
+// HealthTable renders per-class health trajectories as an aligned
+// table; the per-class soak test prints it when an assertion fails so
+// the failure shows every class's dip and recovery at once.
+func HealthTable(rows []ClassHealth) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%-16s %9s %9s %13s %8s  %s\n",
+		"class", "min", "min@frame", "recover@frame", "final", "reason")
+	for _, r := range rows {
+		rec := fmt.Sprintf("%d", r.RecoverFrame)
+		if r.RecoverFrame < 0 {
+			rec = "never"
+		}
+		fmt.Fprintf(&b, "%-16s %9.3f %9d %13s %8.3f  %s\n",
+			r.Class, r.MinScore, r.MinFrame, rec, r.Final, r.FinalReason)
+	}
+	return b.String()
 }
 
 // recoveryLatency computes, for every impairment that settled before

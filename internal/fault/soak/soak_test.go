@@ -68,6 +68,76 @@ func TestSoakPerClassRecovery(t *testing.T) {
 	}
 }
 
+// TestSoakHealthPerClass drives one strong, hand-tuned event of every
+// fault class through a dedicated soak run and holds the LinkHealth
+// score to the same contract the block-level metrics obey: the score
+// must visibly dip while the fault bites (below dipBelow — the clean
+// link's wobble floor is 0.5, so every bound sits under it), and must
+// climb back to at least recoverAbove within the recovery budget after
+// the schedule settles. Magnitudes are the strongest each class
+// sustains while still re-acquiring: probing found weaker randomized
+// events dent the score no deeper than clean-link wobble, and stronger
+// ones (a 0.35 AWB tilt, a 1.5 s blackout ending mid-frame) never
+// re-acquire at all. On any failure the test prints the full per-class
+// health table so one run shows every class's trajectory.
+func TestSoakHealthPerClass(t *testing.T) {
+	const (
+		eventStart   = 2.0  // seconds; eventFrame 60 at 30 fps
+		recoverAbove = 0.6  // score the link must climb back to
+		captureSecs  = 10.0 // room for settle + budget + tail
+	)
+	cases := []struct {
+		class    fault.Class
+		mag      float64
+		dur      float64
+		dipBelow float64
+	}{
+		// Dropped frames are invisible to the receiver — the dent comes
+		// only from blocks failing across the gaps, so the dip is
+		// shallower than for faults that corrupt visible frames.
+		{fault.FrameDrop, 0.95, 2, 0.46},
+		{fault.FrameDuplicate, 0.5, 1.5, 0.40},
+		{fault.FrameTruncation, 0.75, 1.5, 0.46},
+		{fault.Occlusion, 1.0, 2, 0.40},
+		{fault.AmbientStep, 0.3, 1.5, 0.40},
+		{fault.AmbientRamp, 0.3, 1.5, 0.40},
+		{fault.AWBDrift, 0.3, 1.5, 0.40},
+		{fault.NoiseBurst, 0.4, 1.5, 0.40},
+		{fault.ClockSkew, 8e-3, 1.5, 0.40},
+	}
+	var rows []ClassHealth
+	failed := false
+	for _, c := range cases {
+		sched := fault.Schedule{Events: []fault.Event{{
+			Class: c.class, Start: eventStart, Duration: c.dur, Magnitude: c.mag,
+		}}}
+		r, err := Run(Params{Seed: 42, Duration: captureSecs, Schedule: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eventFrame := int(eventStart * 30)
+		settleFrame := int(r.Schedule.SettleTimes()[0] * 30)
+		min, minFrame, rec := AnalyzeHealth(r.HealthSamples, eventFrame, settleFrame, recoverAbove)
+		rows = append(rows, ClassHealth{
+			Class: c.class.String(), MinScore: min, MinFrame: minFrame,
+			RecoverFrame: rec, Final: r.Health.Score, FinalReason: r.Health.Reason,
+		})
+		if min >= c.dipBelow {
+			t.Errorf("%v: score never dipped below %.2f (min %.3f at frame %d)",
+				c.class, c.dipBelow, min, minFrame)
+			failed = true
+		}
+		if rec < 0 || rec > settleFrame+recoveryBudgetFrames {
+			t.Errorf("%v: score did not recover to %.2f within %d frames of settle (recover@%d, settle@%d)",
+				c.class, recoverAbove, recoveryBudgetFrames, rec, settleFrame)
+			failed = true
+		}
+	}
+	if failed {
+		t.Logf("per-class LinkHealth summary:\n%s", HealthTable(rows))
+	}
+}
+
 // TestSoakNoFalseAlarms pins the conservative side of the self-heal
 // thresholds: a clean link (a single zero-magnitude event) must run
 // the whole capture without a single resync, stale episode, or
@@ -85,6 +155,16 @@ func TestSoakNoFalseAlarms(t *testing.T) {
 	}
 	if r.BlocksOK == 0 {
 		t.Errorf("clean link decoded nothing: %v", r)
+	}
+	// The health score must read a clean link as healthy: never below
+	// the wobble floor (0.5, a lone gap-straddling block failure in the
+	// window) and calibrated by the end.
+	if r.MinHealth < 0.4 {
+		t.Errorf("clean link health dipped to %.3f", r.MinHealth)
+	}
+	if !r.Health.Calibrated || r.Health.Score < 0.5 {
+		t.Errorf("clean link ends unhealthy: score %.3f calibrated=%v reason=%s",
+			r.Health.Score, r.Health.Calibrated, r.Health.Reason)
 	}
 }
 
@@ -116,6 +196,14 @@ func TestSoakResyncPath(t *testing.T) {
 	}
 	if r.Snapshot.Counters["rx.stale_calibrations"] < 1 {
 		t.Error("rx.stale_calibrations missing from the soak telemetry snapshot")
+	}
+	// The same self-heal episodes must surface in the LinkHealth ledger.
+	if r.Health.Resyncs < 1 || r.Health.StaleEpisodes < 1 {
+		t.Errorf("self-heal episodes missing from LinkHealth: resyncs=%d stale=%d",
+			r.Health.Resyncs, r.Health.StaleEpisodes)
+	}
+	if r.MinHealth > 0.2 {
+		t.Errorf("60-frame blackout barely dented health: min %.3f", r.MinHealth)
 	}
 }
 

@@ -1,0 +1,177 @@
+package linkstats
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BenchSchemaVersion is bumped when BenchReport's serialized shape
+// changes incompatibly; CompareBench refuses to diff across versions.
+const BenchSchemaVersion = 1
+
+// BenchEntry is one experiment's performance-and-quality point on the
+// benchmark trajectory.
+type BenchEntry struct {
+	// NsPerFrame is nanoseconds of receiver processing per camera
+	// frame (the headline throughput number).
+	NsPerFrame float64 `json:"ns_per_frame"`
+	// BytesPerOp / AllocsPerOp come from the Go benchmark machinery.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// FramesPerSec is the derived processing rate (1e9 / NsPerFrame).
+	FramesPerSec float64 `json:"frames_per_sec"`
+	// SER is the experiment's ground-truth symbol-error rate, where
+	// measured (quality must not regress while speed improves).
+	SER float64 `json:"ser"`
+	// HasSER distinguishes a measured 0 from "not measured".
+	HasSER bool `json:"has_ser,omitempty"`
+}
+
+// BenchReport is one dated point on the repository's benchmark
+// trajectory, serialized as bench/BENCH_<date>.json. Dates are
+// ISO-8601 (YYYY-MM-DD) so filenames sort chronologically.
+type BenchReport struct {
+	Schema    int                   `json:"schema"`
+	Date      string                `json:"date"`
+	GoVersion string                `json:"go_version,omitempty"`
+	Entries   map[string]BenchEntry `json:"entries"`
+}
+
+// BenchFileName returns the trajectory filename for a date.
+func BenchFileName(date string) string {
+	return "BENCH_" + date + ".json"
+}
+
+// WriteBenchReport serializes r to dir/BENCH_<date>.json and returns
+// the written path.
+func WriteBenchReport(dir string, r *BenchReport) (string, error) {
+	if r.Schema == 0 {
+		r.Schema = BenchSchemaVersion
+	}
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	raw = append(raw, '\n')
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, BenchFileName(r.Date))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadBenchReport reads one trajectory file.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// LatestBenchReport finds the lexically greatest BENCH_*.json in dir
+// (the newest point, since dates are ISO-8601) and loads it. A dir
+// with no trajectory files returns os.ErrNotExist.
+func LatestBenchReport(dir string) (string, *BenchReport, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", nil, err
+	}
+	if len(matches) == 0 {
+		return "", nil, fmt.Errorf("no BENCH_*.json in %s: %w", dir, os.ErrNotExist)
+	}
+	sort.Strings(matches)
+	path := matches[len(matches)-1]
+	r, err := LoadBenchReport(path)
+	return path, r, err
+}
+
+// BenchRegression is one gate violation: a metric that moved past the
+// tolerance in the bad direction relative to the baseline.
+type BenchRegression struct {
+	Entry    string  `json:"entry"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Ratio is Current/Baseline (0 when the entry vanished).
+	Ratio float64 `json:"ratio"`
+}
+
+func (r BenchRegression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: entry missing from current report", r.Entry)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)",
+		r.Entry, r.Metric, r.Baseline, r.Current, r.Ratio)
+}
+
+// serAbsSlack is the absolute SER movement always tolerated on top of
+// the relative tolerance: sub-half-percent wobble is measurement
+// noise, not quality regression.
+const serAbsSlack = 0.005
+
+// CompareBench gates current against baseline: every baseline entry
+// must still exist, and its ns/frame, B/op, allocs/op and SER must
+// not exceed baseline*(1+tolerance) — SER additionally gets a small
+// absolute slack. New entries in current (absent from baseline) never
+// fail the gate; they join the trajectory at the next baseline
+// refresh. Returns the sorted list of violations (empty = gate
+// passes).
+func CompareBench(baseline, current *BenchReport, tolerance float64) ([]BenchRegression, error) {
+	if baseline.Schema != current.Schema {
+		return nil, fmt.Errorf("schema mismatch: baseline v%d vs current v%d",
+			baseline.Schema, current.Schema)
+	}
+	var out []BenchRegression
+	names := make([]string, 0, len(baseline.Entries))
+	for n := range baseline.Entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Entries[name]
+		cur, ok := current.Entries[name]
+		if !ok {
+			out = append(out, BenchRegression{Entry: name, Metric: "missing"})
+			continue
+		}
+		check := func(metric string, b, c float64) {
+			if b <= 0 {
+				return
+			}
+			if c > b*(1+tolerance) {
+				out = append(out, BenchRegression{
+					Entry: name, Metric: metric,
+					Baseline: b, Current: c, Ratio: c / b,
+				})
+			}
+		}
+		check("ns_per_frame", base.NsPerFrame, cur.NsPerFrame)
+		check("bytes_per_op", float64(base.BytesPerOp), float64(cur.BytesPerOp))
+		check("allocs_per_op", float64(base.AllocsPerOp), float64(cur.AllocsPerOp))
+		if base.HasSER && cur.HasSER {
+			limit := base.SER*(1+tolerance) + serAbsSlack
+			if cur.SER > limit {
+				ratio := 0.0
+				if base.SER > 0 {
+					ratio = cur.SER / base.SER
+				}
+				out = append(out, BenchRegression{
+					Entry: name, Metric: "ser",
+					Baseline: base.SER, Current: cur.SER, Ratio: ratio,
+				})
+			}
+		}
+	}
+	return out, nil
+}

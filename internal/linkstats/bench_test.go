@@ -1,0 +1,145 @@
+package linkstats
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport(date string) *BenchReport {
+	return &BenchReport{
+		Schema:    BenchSchemaVersion,
+		Date:      date,
+		GoVersion: "go-test",
+		Entries: map[string]BenchEntry{
+			"decode/csk8": {
+				NsPerFrame:   1_000_000,
+				BytesPerOp:   4096,
+				AllocsPerOp:  12,
+				FramesPerSec: 1000,
+				SER:          0.001,
+				HasSER:       true,
+			},
+			"decode/csk16": {
+				NsPerFrame:   1_500_000,
+				BytesPerOp:   8192,
+				AllocsPerOp:  20,
+				FramesPerSec: 666.7,
+				SER:          0.01,
+				HasSER:       true,
+			},
+		},
+	}
+}
+
+func TestBenchReportRoundTripAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LatestBenchReport(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("empty dir: err = %v, want ErrNotExist", err)
+	}
+	for _, d := range []string{"2026-08-01", "2026-07-15", "2026-08-09"} {
+		if _, err := WriteBenchReport(dir, sampleReport(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, r, err := LatestBenchReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_2026-08-09.json" {
+		t.Errorf("latest = %s, want the lexically greatest date", path)
+	}
+	if r.Date != "2026-08-09" || len(r.Entries) != 2 {
+		t.Errorf("round-tripped report: %+v", r)
+	}
+}
+
+func TestCompareBenchPassesOnSelf(t *testing.T) {
+	base := sampleReport("2026-08-01")
+	regs, err := CompareBench(base, sampleReport("2026-08-09"), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("identical reports flagged: %v", regs)
+	}
+}
+
+// TestCompareBenchFlagsTwoXSlowdown is the gate's own acceptance
+// test: a synthetic 2x slowdown must fail.
+func TestCompareBenchFlagsTwoXSlowdown(t *testing.T) {
+	base := sampleReport("2026-08-01")
+	cur := sampleReport("2026-08-09")
+	e := cur.Entries["decode/csk8"]
+	e.NsPerFrame *= 2
+	cur.Entries["decode/csk8"] = e
+	regs, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Entry != "decode/csk8" || regs[0].Metric != "ns_per_frame" {
+		t.Fatalf("2x slowdown: regressions = %v", regs)
+	}
+	if regs[0].Ratio < 1.99 || regs[0].Ratio > 2.01 {
+		t.Errorf("ratio = %v, want ~2", regs[0].Ratio)
+	}
+	if s := regs[0].String(); !strings.Contains(s, "ns_per_frame") {
+		t.Errorf("regression string %q", s)
+	}
+}
+
+func TestCompareBenchEdges(t *testing.T) {
+	base := sampleReport("2026-08-01")
+
+	// A vanished entry fails the gate.
+	cur := sampleReport("2026-08-09")
+	delete(cur.Entries, "decode/csk16")
+	regs, err := CompareBench(base, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Errorf("missing entry: %v", regs)
+	}
+
+	// A new entry in current does not fail.
+	cur = sampleReport("2026-08-09")
+	cur.Entries["decode/csk32"] = BenchEntry{NsPerFrame: 9e9}
+	if regs, _ := CompareBench(base, cur, 0.10); len(regs) != 0 {
+		t.Errorf("new entry flagged: %v", regs)
+	}
+
+	// SER wobble inside the absolute slack passes; a real jump fails.
+	cur = sampleReport("2026-08-09")
+	e := cur.Entries["decode/csk8"]
+	e.SER = 0.004 // baseline 0.001 + slack 0.005 covers this
+	cur.Entries["decode/csk8"] = e
+	if regs, _ := CompareBench(base, cur, 0.10); len(regs) != 0 {
+		t.Errorf("SER wobble flagged: %v", regs)
+	}
+	e.SER = 0.05
+	cur.Entries["decode/csk8"] = e
+	regs, _ = CompareBench(base, cur, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "ser" {
+		t.Errorf("SER jump: %v", regs)
+	}
+
+	// Allocation growth past tolerance fails.
+	cur = sampleReport("2026-08-09")
+	e = cur.Entries["decode/csk16"]
+	e.AllocsPerOp = 40
+	cur.Entries["decode/csk16"] = e
+	regs, _ = CompareBench(base, cur, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Errorf("alloc growth: %v", regs)
+	}
+
+	// Schema mismatch is an error, not a silent pass.
+	cur = sampleReport("2026-08-09")
+	cur.Schema = BenchSchemaVersion + 1
+	if _, err := CompareBench(base, cur, 0.10); err == nil {
+		t.Error("schema mismatch not rejected")
+	}
+}

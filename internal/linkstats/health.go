@@ -1,0 +1,220 @@
+package linkstats
+
+// Health-score shape. Each factor multiplies into the score; the
+// weakest factor names the degradation reason. Constants are tuned
+// against the fault-soak harness: a clean calibrated link holds the
+// score near 1, every fault class dents it, and recovery restores it
+// within the soak recovery budget.
+const (
+	// healthyMargin is the mean classification margin (CIEDE2000) at
+	// which the margin factor saturates. Clean calibrated links
+	// measure well above this; ambient/AWB faults pull the mean under
+	// it before block loss starts.
+	healthyMargin = 5.0
+	// serCeiling is the windowed symbol-error rate at which the SER
+	// factor reaches zero.
+	serCeiling = 0.3
+	// droughtGraceFrames is how many frames without a completed data
+	// packet are considered normal: healthy links occasionally go
+	// tens of frames dark when the rolling-shutter gap keeps landing
+	// on headers (measured up to ~27 frames on the Nexus 5 profile).
+	droughtGraceFrames = 24
+	// droughtZeroFrames is where the drought factor bottoms out; an
+	// occlusion blanking the LED reaches it quickly.
+	droughtZeroFrames = 72
+	// degradedCap caps the score while decoding against stale
+	// references (self-heal degraded mode).
+	degradedCap = 0.6
+	// acquiringScore is reported before the first calibration (or
+	// factory-reference confirmation) lands.
+	acquiringScore = 0.5
+	// okThreshold: factors above it are not worth naming as a
+	// degradation reason.
+	okThreshold = 0.97
+)
+
+// Reason strings reported by LinkHealth.Reason, ordered roughly by
+// decode-pipeline stage.
+const (
+	ReasonNoTraffic = "no-traffic"
+	ReasonAcquiring = "acquiring"
+	ReasonDrought   = "decode-drought"
+	ReasonBlockFail = "block-failures"
+	ReasonLowMargin = "low-margin"
+	ReasonHighSER   = "high-ser"
+	ReasonStaleCal  = "stale-calibration"
+	ReasonOK        = "ok"
+)
+
+// LinkHealth is one point-in-time link-quality snapshot. Score is a
+// scalar in [0, 1] (1 = healthy); Reason names the weakest factor.
+// Window* fields cover the sliding health window; the remaining
+// fields are cumulative since the collector was created.
+type LinkHealth struct {
+	Score  float64 `json:"score"`
+	Reason string  `json:"reason"`
+
+	Frames       int64 `json:"frames"`
+	WindowFrames int   `json:"window_frames"`
+
+	// Ground-truth error rates (simulation only; zero denominators
+	// mean no truth stream was installed).
+	SER             float64 `json:"ser"`
+	SymbolsCompared int64   `json:"symbols_compared"`
+	SymbolErrors    int64   `json:"symbol_errors"`
+	BER             float64 `json:"ber"`
+	BitsCompared    int64   `json:"bits_compared"`
+
+	// Windowed signals feeding the score.
+	WindowSER         float64 `json:"window_ser"`
+	WindowMargin      float64 `json:"window_margin"`
+	WindowBlockOKRate float64 `json:"window_block_ok_rate"`
+	WindowBlocks      int     `json:"window_blocks"`
+	FramesSincePacket int64   `json:"frames_since_packet"`
+
+	// Block ledger.
+	BlocksOK       int64 `json:"blocks_ok"`
+	BlocksFailed   int64 `json:"blocks_failed"`
+	DegradedBlocks int64 `json:"degraded_blocks"`
+
+	// Self-heal state.
+	Resyncs       int64 `json:"resyncs"`
+	StaleEpisodes int64 `json:"stale_episodes"`
+	Degraded      bool  `json:"degraded"`
+
+	// Calibration state.
+	Calibrated             bool    `json:"calibrated"`
+	CalibrationsApplied    int64   `json:"calibrations_applied"`
+	FramesSinceCalibration int64   `json:"frames_since_calibration"`
+	CalibrationDrift       float64 `json:"calibration_drift"`
+
+	// Margin and parity-load summaries over the collector lifetime.
+	MeanMargin float64 `json:"mean_margin"`
+	RSLoadMean float64 `json:"rs_load_mean"`
+}
+
+// Health returns the current link-quality snapshot. Safe on a nil
+// collector (returns the zero snapshot with ReasonNoTraffic).
+func (c *Collector) Health() LinkHealth {
+	if c == nil {
+		return LinkHealth{Reason: ReasonNoTraffic}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.healthLocked()
+}
+
+// healthLocked computes the snapshot with c.mu held.
+func (c *Collector) healthLocked() LinkHealth {
+	h := LinkHealth{
+		Frames:                 c.frames,
+		WindowFrames:           len(c.win),
+		SymbolsCompared:        c.symCmp,
+		SymbolErrors:           c.symErr,
+		BitsCompared:           c.bitCmp,
+		FramesSincePacket:      c.framesSincePkt,
+		BlocksOK:               c.blocksOK,
+		BlocksFailed:           c.blocksFailed,
+		DegradedBlocks:         c.degradedBlocks,
+		Resyncs:                c.resyncs,
+		StaleEpisodes:          c.staleEpisodes,
+		Degraded:               c.degraded,
+		Calibrated:             c.calEver,
+		CalibrationsApplied:    c.calApplied,
+		FramesSinceCalibration: c.framesSinceCal,
+		CalibrationDrift:       c.lastCalDrift,
+		MeanMargin:             c.marginAll.mean(),
+		RSLoadMean:             c.rsLoad.mean(),
+	}
+	if c.symCmp > 0 {
+		h.SER = float64(c.symErr) / float64(c.symCmp)
+	}
+	if c.bitCmp > 0 {
+		h.BER = float64(c.bitErr) / float64(c.bitCmp)
+	}
+
+	// Windowed aggregates over completed frames.
+	var w frameRec
+	for i := 0; i < c.winFilled; i++ {
+		f := c.win[i]
+		w.blocksOK += f.blocksOK
+		w.blocksFailed += f.blocksFailed
+		w.marginSum += f.marginSum
+		w.marginN += f.marginN
+		w.symErr += f.symErr
+		w.symCmp += f.symCmp
+	}
+	h.WindowBlocks = w.blocksOK + w.blocksFailed
+	if h.WindowBlocks > 0 {
+		h.WindowBlockOKRate = float64(w.blocksOK) / float64(h.WindowBlocks)
+	}
+	if w.marginN > 0 {
+		h.WindowMargin = w.marginSum / float64(w.marginN)
+	}
+	if w.symCmp > 0 {
+		h.WindowSER = float64(w.symErr) / float64(w.symCmp)
+	}
+
+	if c.frames == 0 {
+		h.Score = 0
+		h.Reason = ReasonNoTraffic
+		return h
+	}
+	if !c.calEver {
+		h.Score = acquiringScore
+		h.Reason = ReasonAcquiring
+		return h
+	}
+
+	type factor struct {
+		reason string
+		v      float64
+	}
+	factors := []factor{}
+
+	// Block success rate inside the window, Laplace-smoothed: links
+	// complete only a handful of blocks per window, and the odd
+	// packet straddling an inter-frame gap fails routinely — a window
+	// holding one such failure must read as wobble (0.5), not as a
+	// dead link (0). Sustained failure bursts still crater the factor.
+	if h.WindowBlocks > 0 {
+		smoothed := (float64(w.blocksOK) + 1) / (float64(h.WindowBlocks) + 1)
+		factors = append(factors, factor{ReasonBlockFail, clamp01(smoothed)})
+	}
+	// Decode drought: frames since the last completed data packet,
+	// decaying linearly past the healthy grace interval.
+	drought := 1.0
+	if c.framesSincePkt > droughtGraceFrames {
+		drought = clamp01(float64(droughtZeroFrames-c.framesSincePkt) /
+			float64(droughtZeroFrames-droughtGraceFrames))
+	}
+	factors = append(factors, factor{ReasonDrought, drought})
+	// Classification margin vs the healthy floor.
+	if w.marginN > 0 {
+		factors = append(factors, factor{ReasonLowMargin, clamp01(h.WindowMargin / healthyMargin)})
+	}
+	// Ground-truth windowed SER, when a truth stream is installed.
+	if w.symCmp > 0 {
+		factors = append(factors, factor{ReasonHighSER, clamp01(1 - h.WindowSER/serCeiling)})
+	}
+
+	score := 1.0
+	worst := factor{ReasonOK, 1.0}
+	for _, f := range factors {
+		score *= f.v
+		if f.v < worst.v {
+			worst = f
+		}
+	}
+	if c.degraded && score > degradedCap {
+		score = degradedCap
+		worst = factor{ReasonStaleCal, degradedCap}
+	}
+	h.Score = clamp01(score)
+	if worst.v < okThreshold {
+		h.Reason = worst.reason
+	} else {
+		h.Reason = ReasonOK
+	}
+	return h
+}

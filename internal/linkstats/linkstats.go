@@ -1,0 +1,378 @@
+// Package linkstats is the link-quality estimation layer on top of
+// internal/telemetry: where telemetry answers "what did each stage
+// do", linkstats answers "how healthy is this link right now".
+//
+// A Collector rides on one receiver's sequential decode tail and
+// accumulates four families of evidence:
+//
+//   - Ground-truth symbol/bit error rates. When the transmitted
+//     symbol stream is known (simulation threads it alongside the
+//     channel — see metrics.Run), every recovered block's matched
+//     pre-RS symbols are compared against it, making SER/BER
+//     first-class metrics instead of quantities inferred from packet
+//     failures.
+//   - Per-constellation-point classification-margin histograms: the
+//     CIEDE2000 distance from each received data symbol to its
+//     winning reference versus the runner-up. Margin collapse is the
+//     leading indicator of constellation-density limits (the signal
+//     adaptive rate control consumes).
+//   - Reed-Solomon correction load per block: the fraction of the
+//     code's parity budget each decode consumed. A link can show 0%
+//     block loss while running its code at the edge.
+//   - Calibration-drift gauges: how far each applied calibration
+//     packet moved the references, and how long ago that was.
+//
+// Health() folds a sliding window of this evidence into a LinkHealth
+// snapshot — a scalar score in [0, 1] plus the dominant degradation
+// reason — designed so faults dent it within a few frames and
+// recovery restores it (test-enforced by internal/fault/soak).
+//
+// All Collector methods are safe on a nil receiver, so instrumenting
+// a receiver costs callers no branches, and safe for concurrent use:
+// the decode tail writes, while HTTP handlers (/debug/link) and
+// pipeline health probes read.
+package linkstats
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"colorbars/internal/telemetry"
+)
+
+// DefaultWindowFrames is the sliding-window length of the health
+// estimate: one second at the reference 30 fps — long enough to
+// smooth the healthy link's packet-phase wobble, short enough that a
+// fault dents the score within a frame or two and recovery restores
+// it well inside the soak harness's 60-frame budget.
+const DefaultWindowFrames = 30
+
+// MarginBuckets returns the histogram bounds for classification
+// margins (CIEDE2000 units). Healthy calibrated links sit in the
+// 6–30 range; the sub-1 buckets resolve the collapse region where
+// nearest-reference matching starts flipping symbols.
+func MarginBuckets() []float64 {
+	return []float64{0.5, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48}
+}
+
+// Config parameterizes a Collector.
+type Config struct {
+	// Points is the constellation size; margins are histogrammed per
+	// point index. Zero disables per-point splitting (margins still
+	// aggregate).
+	Points int
+	// BitsPerSymbol converts symbol errors into bit errors for the
+	// BER estimate. Zero leaves BER unreported.
+	BitsPerSymbol int
+	// WindowFrames is the sliding health window length (0 selects
+	// DefaultWindowFrames).
+	WindowFrames int
+	// Telemetry optionally mirrors the collector's signals into a
+	// registry: link.health / link.margin_mean / link.cal_drift
+	// gauges, and link.margin / link.rs_load histograms. Nil skips
+	// mirroring.
+	Telemetry *telemetry.Registry
+}
+
+// Margin is one data symbol's classification margin: the CIEDE2000
+// distances from the observed color to the winning reference and to
+// the runner-up. RunnerUp − Win is the margin proper; Win alone
+// measures calibration fit.
+type Margin struct {
+	// Point is the winning constellation index.
+	Point int
+	// Win is the distance to the winning (nearest) reference.
+	Win float64
+	// RunnerUp is the distance to the second-nearest reference.
+	RunnerUp float64
+}
+
+// BlockObs is one decoded Reed-Solomon block's worth of evidence.
+type BlockObs struct {
+	// Recovered reports whether RS decoding succeeded.
+	Recovered bool
+	// Erasures is how many payload bytes were erased (known-position
+	// losses).
+	Erasures int
+	// CorrectedBytes is how many byte positions the RS decoder
+	// changed beyond the erasures (unknown-position errors).
+	CorrectedBytes int
+	// ParityBytes is the code's parity budget (n − k).
+	ParityBytes int
+	// RawSymbols are the matched pre-RS constellation indices, −1
+	// where lost — compared against the truth stream when set.
+	RawSymbols []int
+}
+
+// hist is a plain fixed-bucket histogram. The Collector's mutex
+// serializes access, so no atomics are needed.
+type hist struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1, last = overflow
+	sum    float64
+	n      int64
+}
+
+func newHist(bounds []float64) hist {
+	return hist{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *hist) observe(v float64) {
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+}
+
+func (h *hist) mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// frameRec is one frame's worth of windowed evidence.
+type frameRec struct {
+	dataSymbols  int
+	packets      int // data packets completed
+	blocksOK     int
+	blocksFailed int
+	marginSum    float64
+	marginN      int
+	symErr       int
+	symCmp       int
+}
+
+// Collector accumulates link-quality evidence for one receiver.
+type Collector struct {
+	mu  sync.Mutex
+	cfg Config
+
+	truth []int // transmitted symbol stream (ground truth), optional
+
+	// Cumulative totals.
+	frames         int64
+	symErr, symCmp int64
+	bitErr, bitCmp int64
+	blocksOK       int64
+	blocksFailed   int64
+	resyncs        int64
+	staleEpisodes  int64
+	degradedBlocks int64
+	calApplied     int64
+	lastCalDrift   float64
+	framesSinceCal int64
+	framesSincePkt int64
+	calEver        bool
+	degraded       bool
+	marginAll      hist
+	marginPerPoint []hist
+	rsLoad         hist
+
+	// Sliding window of completed frames plus the in-progress frame.
+	win       []frameRec
+	winNext   int
+	winFilled int
+	cur       frameRec
+
+	// Optional telemetry mirrors.
+	healthGauge *telemetry.Gauge
+	marginGauge *telemetry.Gauge
+	driftGauge  *telemetry.Gauge
+	marginHist  *telemetry.Histogram
+	rsLoadHist  *telemetry.Histogram
+}
+
+// NewCollector builds a collector.
+func NewCollector(cfg Config) *Collector {
+	if cfg.WindowFrames <= 0 {
+		cfg.WindowFrames = DefaultWindowFrames
+	}
+	c := &Collector{
+		cfg:       cfg,
+		marginAll: newHist(MarginBuckets()),
+		rsLoad:    newHist([]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1}),
+		win:       make([]frameRec, cfg.WindowFrames),
+	}
+	if cfg.Points > 0 {
+		c.marginPerPoint = make([]hist, cfg.Points)
+		for i := range c.marginPerPoint {
+			c.marginPerPoint[i] = newHist(MarginBuckets())
+		}
+	}
+	if t := cfg.Telemetry; t != nil {
+		c.healthGauge = t.Gauge("link.health")
+		c.marginGauge = t.Gauge("link.margin_mean")
+		c.driftGauge = t.Gauge("link.cal_drift")
+		c.marginHist = t.Histogram("link.margin", MarginBuckets())
+		c.rsLoadHist = t.Histogram("link.rs_load", []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1})
+	}
+	return c
+}
+
+// SetTruth installs the transmitted symbol stream (the matched
+// indices of one whitened codeword) as SER/BER ground truth. Blocks
+// whose RawSymbols length differs are not compared.
+func (c *Collector) SetTruth(symbols []int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.truth = append([]int(nil), symbols...)
+}
+
+// RecordBlock integrates one decoded block. Call it from the decode
+// tail, before the frame's EndFrame.
+func (c *Collector) RecordBlock(b BlockObs) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cur.packets++
+	c.framesSincePkt = 0
+	if b.Recovered {
+		c.blocksOK++
+		c.cur.blocksOK++
+		if b.ParityBytes > 0 {
+			load := (float64(b.Erasures) + 2*float64(b.CorrectedBytes)) / float64(b.ParityBytes)
+			if load > 1 {
+				load = 1
+			}
+			c.rsLoad.observe(load)
+			c.rsLoadHist.Observe(load)
+		}
+	} else {
+		c.blocksFailed++
+		c.cur.blocksFailed++
+	}
+	// Ground-truth SER: only recovered blocks have verified stream
+	// alignment, so every mismatch there is a true color-matching
+	// error rather than a framing slip (the same rule metrics.Run
+	// applies — see metrics.serCount).
+	if b.Recovered && len(c.truth) > 0 && len(b.RawSymbols) == len(c.truth) {
+		for i, s := range b.RawSymbols {
+			if s < 0 {
+				continue
+			}
+			c.symCmp++
+			c.cur.symCmp++
+			if s != c.truth[i] {
+				c.symErr++
+				c.cur.symErr++
+			}
+			if c.cfg.BitsPerSymbol > 0 {
+				c.bitCmp += int64(c.cfg.BitsPerSymbol)
+				if s != c.truth[i] {
+					c.bitErr += int64(bits.OnesCount(uint(s ^ c.truth[i])))
+				}
+			}
+		}
+	}
+}
+
+// RecordCalibration integrates one applied calibration packet: drift
+// is the mean CIELab a,b-plane distance the references moved. It also
+// clears any degraded-mode flag (the receiver only applies plausible
+// calibrations).
+func (c *Collector) RecordCalibration(drift float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calApplied++
+	c.lastCalDrift = drift
+	c.framesSinceCal = 0
+	c.calEver = true
+	c.degraded = false
+	c.driftGauge.Set(drift)
+}
+
+// NoteResync records a self-heal resync (deframer reset, references
+// marked suspect).
+func (c *Collector) NoteResync() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resyncs++
+}
+
+// NoteStale records the start of a degraded-mode episode: decoding
+// continues against last-known-good references.
+func (c *Collector) NoteStale() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.staleEpisodes++
+	c.degraded = true
+}
+
+// NoteDegradedBlock records one data block decoded against stale
+// references.
+func (c *Collector) NoteDegradedBlock() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.degradedBlocks++
+}
+
+// EndFrame closes out one processed frame: dataSymbols is the frame's
+// classified data-symbol count and margins the per-symbol
+// classification margins (the slice is not retained). The collector's
+// sliding window advances here, and the mirrored telemetry gauges
+// update.
+func (c *Collector) EndFrame(dataSymbols int, margins []Margin) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.frames++
+	c.framesSincePkt++
+	if c.calEver {
+		c.framesSinceCal++
+	}
+	c.cur.dataSymbols = dataSymbols
+	for _, m := range margins {
+		margin := m.RunnerUp - m.Win
+		if margin < 0 {
+			margin = 0
+		}
+		c.marginAll.observe(margin)
+		if m.Point >= 0 && m.Point < len(c.marginPerPoint) {
+			c.marginPerPoint[m.Point].observe(margin)
+		}
+		c.marginHist.Observe(margin)
+		c.cur.marginSum += margin
+		c.cur.marginN++
+	}
+	c.win[c.winNext] = c.cur
+	c.winNext = (c.winNext + 1) % len(c.win)
+	if c.winFilled < len(c.win) {
+		c.winFilled++
+	}
+	c.cur = frameRec{}
+	h := c.healthLocked()
+	c.mu.Unlock()
+	c.healthGauge.Set(h.Score)
+	c.marginGauge.Set(h.WindowMargin)
+}
+
+// clamp01 clamps to [0, 1].
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}

@@ -1,0 +1,292 @@
+package linkstats
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"colorbars/internal/telemetry"
+)
+
+// feedClean pushes n healthy frames: one fully-correct recovered
+// block per frame, wide margins.
+func feedClean(c *Collector, truth []int, n int) {
+	for i := 0; i < n; i++ {
+		c.RecordBlock(BlockObs{
+			Recovered:   true,
+			ParityBytes: 8,
+			RawSymbols:  truth,
+		})
+		margins := make([]Margin, 8)
+		for j := range margins {
+			margins[j] = Margin{Point: j % 4, Win: 2, RunnerUp: 14}
+		}
+		c.EndFrame(24, margins)
+	}
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.SetTruth([]int{1})
+	c.RecordBlock(BlockObs{})
+	c.RecordCalibration(1)
+	c.NoteResync()
+	c.NoteStale()
+	c.NoteDegradedBlock()
+	c.EndFrame(0, nil)
+	if h := c.Health(); h.Reason != ReasonNoTraffic || h.Score != 0 {
+		t.Errorf("nil collector health = %+v", h)
+	}
+	if r := c.Report("x"); r.Health.Reason != ReasonNoTraffic {
+		t.Errorf("nil collector report = %+v", r)
+	}
+}
+
+func TestHealthCleanLink(t *testing.T) {
+	c := NewCollector(Config{Points: 4, BitsPerSymbol: 2})
+	truth := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	c.SetTruth(truth)
+
+	if h := c.Health(); h.Reason != ReasonNoTraffic {
+		t.Errorf("before traffic: reason %q", h.Reason)
+	}
+	c.EndFrame(0, nil)
+	if h := c.Health(); h.Reason != ReasonAcquiring || h.Score != acquiringScore {
+		t.Errorf("before calibration: %+v", c.Health())
+	}
+
+	c.RecordCalibration(0.8)
+	feedClean(c, truth, 40)
+	h := c.Health()
+	if h.Score < 0.95 {
+		t.Errorf("clean link score = %.3f, want >= 0.95 (%+v)", h.Score, h)
+	}
+	if h.Reason != ReasonOK {
+		t.Errorf("clean link reason = %q", h.Reason)
+	}
+	if h.SER != 0 || h.SymbolsCompared == 0 {
+		t.Errorf("clean link SER = %v over %d symbols", h.SER, h.SymbolsCompared)
+	}
+	if h.BER != 0 || h.BitsCompared != h.SymbolsCompared*2 {
+		t.Errorf("clean link BER = %v over %d bits", h.BER, h.BitsCompared)
+	}
+	if h.WindowMargin < 11 || h.WindowMargin > 13 {
+		t.Errorf("window margin = %v, want ~12", h.WindowMargin)
+	}
+	if !h.Calibrated || h.CalibrationDrift != 0.8 {
+		t.Errorf("calibration state: %+v", h)
+	}
+}
+
+func TestHealthBlockFailures(t *testing.T) {
+	c := NewCollector(Config{})
+	c.RecordCalibration(0)
+	feedClean(c, nil, 35)
+	for i := 0; i < 15; i++ {
+		c.RecordBlock(BlockObs{Recovered: false})
+		c.RecordBlock(BlockObs{Recovered: true, ParityBytes: 8})
+		c.EndFrame(24, []Margin{{Point: 0, Win: 2, RunnerUp: 14}})
+	}
+	h := c.Health()
+	if h.Reason != ReasonBlockFail {
+		t.Errorf("reason = %q, want %q (%+v)", h.Reason, ReasonBlockFail, h)
+	}
+	if h.Score > 0.8 {
+		t.Errorf("score = %.3f with 1/3 of window blocks failing", h.Score)
+	}
+}
+
+func TestHealthDroughtAndRecovery(t *testing.T) {
+	c := NewCollector(Config{})
+	c.RecordCalibration(0)
+	feedClean(c, nil, 35)
+	base := c.Health().Score
+
+	// Blackout: frames with no symbols, no packets.
+	for i := 0; i < droughtGraceFrames; i++ {
+		c.EndFrame(0, nil)
+	}
+	if h := c.Health(); h.Score < 0.9*base {
+		t.Errorf("score dropped too early during grace interval: %.3f", h.Score)
+	}
+	for i := droughtGraceFrames; i < droughtZeroFrames; i++ {
+		c.EndFrame(0, nil)
+	}
+	h := c.Health()
+	if h.Reason != ReasonDrought {
+		t.Errorf("reason = %q, want %q", h.Reason, ReasonDrought)
+	}
+	if h.Score > 0.2 {
+		t.Errorf("score = %.3f after full blackout, want near 0", h.Score)
+	}
+
+	// Link returns: score recovers within a window.
+	feedClean(c, nil, DefaultWindowFrames+5)
+	if h := c.Health(); h.Score < 0.95 {
+		t.Errorf("score = %.3f after recovery, want >= 0.95 (%+v)", h.Score, h)
+	}
+}
+
+func TestHealthLowMargin(t *testing.T) {
+	c := NewCollector(Config{})
+	c.RecordCalibration(0)
+	for i := 0; i < 40; i++ {
+		c.RecordBlock(BlockObs{Recovered: true, ParityBytes: 8})
+		c.EndFrame(24, []Margin{{Point: 0, Win: 5, RunnerUp: 6.5}}) // margin 1.5
+	}
+	h := c.Health()
+	if h.Reason != ReasonLowMargin {
+		t.Errorf("reason = %q, want %q (%+v)", h.Reason, ReasonLowMargin, h)
+	}
+	if h.Score > 0.5 {
+		t.Errorf("score = %.3f with margin 1.5/%.1f", h.Score, healthyMargin)
+	}
+}
+
+func TestHealthGroundTruthSER(t *testing.T) {
+	c := NewCollector(Config{BitsPerSymbol: 2})
+	truth := []int{0, 1, 2, 3}
+	c.SetTruth(truth)
+	c.RecordCalibration(0)
+	for i := 0; i < 40; i++ {
+		// One of four symbols wrong in every recovered block.
+		c.RecordBlock(BlockObs{
+			Recovered:   true,
+			ParityBytes: 8,
+			RawSymbols:  []int{0, 1, 2, 0}, // 3 -> 0: 2 bit errors
+		})
+		c.EndFrame(24, []Margin{{Point: 0, Win: 2, RunnerUp: 14}})
+	}
+	h := c.Health()
+	if h.SER != 0.25 {
+		t.Errorf("SER = %v, want 0.25", h.SER)
+	}
+	if h.BER != 0.25 {
+		t.Errorf("BER = %v, want 0.25 (2 of 8 bits)", h.BER)
+	}
+	if h.Reason != ReasonHighSER {
+		t.Errorf("reason = %q, want %q (%+v)", h.Reason, ReasonHighSER, h)
+	}
+	// Lost symbols (-1) and length-mismatched blocks are skipped.
+	c2 := NewCollector(Config{})
+	c2.SetTruth(truth)
+	c2.RecordBlock(BlockObs{Recovered: true, RawSymbols: []int{0, -1, 2, 3}})
+	c2.RecordBlock(BlockObs{Recovered: true, RawSymbols: []int{0, 1}})
+	c2.RecordBlock(BlockObs{Recovered: false, RawSymbols: []int{9, 9, 9, 9}})
+	if h := c2.Health(); h.SymbolsCompared != 3 || h.SymbolErrors != 0 {
+		t.Errorf("compared %d/%d, want 3/0", h.SymbolsCompared, h.SymbolErrors)
+	}
+}
+
+func TestHealthDegradedCap(t *testing.T) {
+	c := NewCollector(Config{})
+	c.RecordCalibration(0)
+	feedClean(c, nil, 35)
+	c.NoteStale()
+	c.NoteDegradedBlock()
+	c.EndFrame(24, []Margin{{Point: 0, Win: 2, RunnerUp: 14}})
+	h := c.Health()
+	if !h.Degraded || h.Score > degradedCap || h.Reason != ReasonStaleCal {
+		t.Errorf("degraded health = %+v", h)
+	}
+	if h.StaleEpisodes != 1 || h.DegradedBlocks != 1 {
+		t.Errorf("ledger: %+v", h)
+	}
+	// A fresh calibration lifts the cap.
+	c.RecordCalibration(2.5)
+	feedClean(c, nil, 2)
+	if h := c.Health(); h.Degraded || h.Score <= degradedCap {
+		t.Errorf("post-recalibration health = %+v", h)
+	}
+}
+
+func TestTelemetryMirror(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCollector(Config{Telemetry: reg})
+	c.RecordCalibration(1.25)
+	c.RecordBlock(BlockObs{Recovered: true, ParityBytes: 8, Erasures: 2, CorrectedBytes: 1})
+	c.EndFrame(24, []Margin{{Point: 0, Win: 2, RunnerUp: 10}})
+	snap := reg.Snapshot()
+	if snap.Gauges["link.cal_drift"] != 1.25 {
+		t.Errorf("link.cal_drift = %v", snap.Gauges["link.cal_drift"])
+	}
+	if g := snap.Gauges["link.health"]; g <= 0 {
+		t.Errorf("link.health gauge = %v, want > 0", g)
+	}
+	if st, ok := snap.Histograms["link.margin"]; !ok || st.Count != 1 {
+		t.Errorf("link.margin histogram: %+v", st)
+	}
+	if st, ok := snap.Histograms["link.rs_load"]; !ok || st.Count != 1 {
+		t.Errorf("link.rs_load histogram: %+v", st)
+	}
+}
+
+func TestReportTextAndJSON(t *testing.T) {
+	c := NewCollector(Config{Points: 4, BitsPerSymbol: 2})
+	c.SetTruth([]int{0, 1, 2, 3})
+	c.RecordCalibration(0.5)
+	feedClean(c, []int{0, 1, 2, 3}, 10)
+	r := c.Report("stream-0")
+
+	text := r.Text()
+	for _, want := range []string{"link report: stream-0", "health", "ground truth", "per-point margin"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report text missing %q:\n%s", want, text)
+		}
+	}
+
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Health.Frames != 10 || len(back.MarginPerPoint) != 4 {
+		t.Errorf("round-tripped report: %+v", back)
+	}
+	if back.Margin.Count == 0 || len(back.Margin.Bounds) == 0 {
+		t.Errorf("margin summary lost buckets: %+v", back.Margin)
+	}
+}
+
+func TestPublishServesDebugLink(t *testing.T) {
+	c := NewCollector(Config{})
+	c.RecordCalibration(0)
+	feedClean(c, nil, 5)
+	Publish("test-link", c)
+	defer Publish("test-link", nil)
+
+	l, err := telemetry.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	resp, err := http.Get("http://" + l.Addr().String() + "/debug/link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/link status %d", resp.StatusCode)
+	}
+	var payload struct {
+		Streams []Report `json:"streams"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("unmarshal /debug/link: %v\n%s", err, body)
+	}
+	found := false
+	for _, s := range payload.Streams {
+		if s.Name == "test-link" && s.Health.Frames == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/debug/link missing published stream: %s", body)
+	}
+}

@@ -1,0 +1,151 @@
+package linkstats
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"colorbars/internal/telemetry"
+)
+
+// HistSummary is one histogram's distribution, bucketized the same
+// way telemetry snapshots are (Counts has len(Bounds)+1 entries, the
+// last one overflow) so external tooling can re-aggregate.
+type HistSummary struct {
+	Count  int64     `json:"count"`
+	Mean   float64   `json:"mean"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+}
+
+func summarize(h *hist) HistSummary {
+	return HistSummary{
+		Count:  h.n,
+		Mean:   h.mean(),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+	}
+}
+
+// Report is one stream's end-of-run (or live) link report: the health
+// snapshot plus the margin and parity-load distributions behind it.
+type Report struct {
+	// Name identifies the stream ("" for single-link tools).
+	Name   string     `json:"name,omitempty"`
+	Health LinkHealth `json:"health"`
+	// Margin is the aggregate classification-margin histogram
+	// (CIEDE2000 units, runner-up minus winner).
+	Margin HistSummary `json:"margin"`
+	// MarginPerPoint splits margins by winning constellation index.
+	MarginPerPoint []HistSummary `json:"margin_per_point,omitempty"`
+	// RSLoad is the per-block parity-consumption histogram
+	// (fraction of the parity budget, recovered blocks only).
+	RSLoad HistSummary `json:"rs_load"`
+}
+
+// Report captures the collector's current report.
+func (c *Collector) Report(name string) Report {
+	if c == nil {
+		return Report{Name: name, Health: LinkHealth{Reason: ReasonNoTraffic}}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := Report{
+		Name:   name,
+		Health: c.healthLocked(),
+		Margin: summarize(&c.marginAll),
+		RSLoad: summarize(&c.rsLoad),
+	}
+	for i := range c.marginPerPoint {
+		r.MarginPerPoint = append(r.MarginPerPoint, summarize(&c.marginPerPoint[i]))
+	}
+	return r
+}
+
+// Text renders the report as a human-readable end-of-run summary.
+func (r Report) Text() string {
+	var b strings.Builder
+	h := r.Health
+	title := "link report"
+	if r.Name != "" {
+		title = "link report: " + r.Name
+	}
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	fmt.Fprintf(&b, "health          %.3f (%s)\n", h.Score, h.Reason)
+	fmt.Fprintf(&b, "frames          %d (window %d)\n", h.Frames, h.WindowFrames)
+	fmt.Fprintf(&b, "blocks          %d ok / %d failed / %d degraded\n",
+		h.BlocksOK, h.BlocksFailed, h.DegradedBlocks)
+	if h.SymbolsCompared > 0 {
+		fmt.Fprintf(&b, "ground truth    SER %.4g (%d/%d symbols)",
+			h.SER, h.SymbolErrors, h.SymbolsCompared)
+		if h.BitsCompared > 0 {
+			fmt.Fprintf(&b, "  BER %.4g (%d bits)", h.BER, h.BitsCompared)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "margin          mean %.2f ΔE00 (window %.2f, %d obs)\n",
+		h.MeanMargin, h.WindowMargin, r.Margin.Count)
+	fmt.Fprintf(&b, "rs load         mean %.2f of parity budget (%d blocks)\n",
+		h.RSLoadMean, r.RSLoad.Count)
+	fmt.Fprintf(&b, "calibration     applied %d, drift %.2f, %d frames ago\n",
+		h.CalibrationsApplied, h.CalibrationDrift, h.FramesSinceCalibration)
+	fmt.Fprintf(&b, "self-heal       %d resyncs, %d stale episodes\n",
+		h.Resyncs, h.StaleEpisodes)
+	if len(r.MarginPerPoint) > 0 {
+		b.WriteString("per-point margin mean (ΔE00):\n")
+		for i, p := range r.MarginPerPoint {
+			if p.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  point %2d  %7.2f  (%d obs)\n", i, p.Mean, p.Count)
+		}
+	}
+	return b.String()
+}
+
+// published is the process-wide set of collectors exposed at
+// /debug/link, keyed by stream name.
+var (
+	pubMu     sync.Mutex
+	published = map[string]*Collector{}
+	pubOnce   sync.Once
+)
+
+// Publish exposes c under name at the /debug/link endpoint of every
+// telemetry debug server (see telemetry.ServeDebug). Re-publishing a
+// name replaces the previous collector; a nil collector unpublishes.
+func Publish(name string, c *Collector) {
+	pubMu.Lock()
+	if c == nil {
+		delete(published, name)
+	} else {
+		published[name] = c
+	}
+	pubMu.Unlock()
+	pubOnce.Do(func() {
+		telemetry.RegisterDebugHandler("/debug/link", http.HandlerFunc(serveLink))
+	})
+}
+
+// serveLink renders every published collector's report as JSON:
+// {"streams": [Report, ...]} sorted by name.
+func serveLink(w http.ResponseWriter, req *http.Request) {
+	pubMu.Lock()
+	names := make([]string, 0, len(published))
+	for n := range published {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	reports := make([]Report, 0, len(names))
+	for _, n := range names {
+		reports = append(reports, published[n].Report(n))
+	}
+	pubMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{"streams": reports})
+}

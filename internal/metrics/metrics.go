@@ -26,6 +26,7 @@ import (
 	"colorbars/internal/coding"
 	"colorbars/internal/csk"
 	"colorbars/internal/fault"
+	"colorbars/internal/linkstats"
 	"colorbars/internal/modem"
 	"colorbars/internal/packet"
 	"colorbars/internal/pipeline"
@@ -128,6 +129,12 @@ type LinkParams struct {
 	// every pipeline stage and counter increment — *why* blocks
 	// failed, not just how many.
 	Trace telemetry.TraceSink
+	// LinkStats optionally supplies the run's link-quality collector
+	// (so a caller can Publish it at /debug/link while the run is
+	// live). Nil creates a private one; either way Run installs the
+	// transmitted symbol stream as SER/BER ground truth and the
+	// result carries the end-of-run LinkHealth and Report.
+	LinkStats *linkstats.Collector
 }
 
 // LinkResult holds the measured quantities.
@@ -149,6 +156,13 @@ type LinkResult struct {
 	// Telemetry is the run's full metric snapshot: every counter of
 	// Stats plus the per-stage failure counters and latency spans.
 	Telemetry telemetry.Snapshot
+	// Health is the end-of-run link-quality snapshot — ground-truth
+	// SER/BER, classification margins, RS correction load, the scalar
+	// health score (see internal/linkstats).
+	Health linkstats.LinkHealth
+	// LinkReport is the full link report behind Health, including the
+	// margin and parity-load histograms.
+	LinkReport linkstats.Report
 }
 
 // Run measures one link configuration end to end: it builds a
@@ -214,6 +228,14 @@ func Run(p LinkParams) (LinkResult, error) {
 	if err != nil {
 		return LinkResult{}, err
 	}
+	ls := p.LinkStats
+	if ls == nil {
+		ls = linkstats.NewCollector(linkstats.Config{
+			Points:        int(p.Order),
+			BitsPerSymbol: p.Order.BitsPerSymbol(),
+			Telemetry:     tel,
+		})
+	}
 	rx, err := modem.NewReceiver(modem.RxConfig{
 		Order:                p.Order,
 		SymbolRate:           p.SymbolRate,
@@ -224,6 +246,7 @@ func Run(p LinkParams) (LinkResult, error) {
 		ReceiverOptimized:    p.ReceiverOptimized,
 		SelfHeal:             p.SelfHeal,
 		Telemetry:            tel,
+		LinkStats:            ls,
 	})
 	if err != nil {
 		return LinkResult{}, err
@@ -242,6 +265,8 @@ func Run(p LinkParams) (LinkResult, error) {
 	}
 	// On-air symbols carry the whitened codeword (see packet.Scramble).
 	truth := p.Order.Pack(packet.Scramble(cw))
+	// The same stream is the link-quality layer's SER/BER ground truth.
+	ls.SetTruth(truth)
 
 	sp := run.StartChild("metrics.build_waveform")
 	w, err := tx.BuildWaveformRepeating(msg, p.Duration+0.5)
@@ -293,6 +318,8 @@ func Run(p LinkParams) (LinkResult, error) {
 
 	res := score(p, code.K(), truth, blocks, rx.Stats(), block)
 	res.Telemetry = tel.Snapshot()
+	res.Health = ls.Health()
+	res.LinkReport = ls.Report("")
 	return res, nil
 }
 

@@ -254,6 +254,55 @@ func TestRunTraceCountersMatchStats(t *testing.T) {
 	}
 }
 
+// TestRunLinkHealthConsistent is the link-quality acceptance check: on
+// a clean 16-CSK Nexus 5 link the linkstats ground-truth SER must
+// agree with the run's own SER measurement (both compare recovered
+// blocks' raw symbols against the transmitted stream), and the health
+// snapshot must be consistent with the packet ledger — a link whose
+// blocks mostly recover cannot report a high SER or a sick score.
+func TestRunLinkHealthConsistent(t *testing.T) {
+	res, err := Run(LinkParams{
+		Order: csk.CSK16, SymbolRate: 3000, Profile: camera.Nexus5(),
+		WhiteFraction: 0.2, Duration: 3, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Health
+	if h.SymbolsCompared == 0 {
+		t.Fatalf("no ground-truth symbols compared: %+v", h)
+	}
+	if diff := h.SER - res.SER; diff < -0.01 || diff > 0.01 {
+		t.Errorf("linkstats SER %.4f disagrees with metrics SER %.4f", h.SER, res.SER)
+	}
+	if int(h.BlocksOK) != res.Stats.BlocksOK || int(h.BlocksFailed) != res.Stats.BlocksFailed {
+		t.Errorf("health block ledger %d/%d != receiver stats %d/%d",
+			h.BlocksOK, h.BlocksFailed, res.Stats.BlocksOK, res.Stats.BlocksFailed)
+	}
+	// SER consistent with packet success: RS corrects up to its parity
+	// budget, so the block success rate bounds the plausible SER — a
+	// mostly-recovering link must sit well under the RS correction
+	// ceiling, and its BER cannot exceed its SER (multiple bit flips
+	// per wrong symbol are impossible to exceed symbol flips).
+	okRate := float64(res.Stats.BlocksOK) / float64(res.Stats.BlocksOK+res.Stats.BlocksFailed)
+	if okRate > 0.6 && h.SER > 0.15 {
+		t.Errorf("SER %.4f implausible with %.0f%% block success", h.SER, okRate*100)
+	}
+	if h.BER > h.SER {
+		t.Errorf("BER %.4f exceeds SER %.4f", h.BER, h.SER)
+	}
+	if okRate > 0.6 && (h.Score < 0.3 || !h.Calibrated) {
+		t.Errorf("healthy link reports sick snapshot: score %.3f reason %s calibrated=%v",
+			h.Score, h.Reason, h.Calibrated)
+	}
+	if h.MeanMargin <= 0 {
+		t.Errorf("no classification margin recorded: %+v", h)
+	}
+	if res.LinkReport.RSLoad.Count == 0 {
+		t.Error("no RS correction-load samples recorded")
+	}
+}
+
 // TestRunSizingPaths checks the two RS sizing paths stay distinct and
 // each one is exercised exactly as selected: the codes differ in k
 // (erasure-aware sizing provisions half the parity), so with everything

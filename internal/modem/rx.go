@@ -2,11 +2,13 @@ package modem
 
 import (
 	"fmt"
+	"math"
 
 	"colorbars/internal/camera"
 	"colorbars/internal/cie"
 	"colorbars/internal/colorspace"
 	"colorbars/internal/csk"
+	"colorbars/internal/linkstats"
 	"colorbars/internal/packet"
 	"colorbars/internal/rs"
 	"colorbars/internal/telemetry"
@@ -50,6 +52,11 @@ type RxConfig struct {
 	// machine (see DESIGN.md §10). The zero value enables it with
 	// conservative defaults that never fire on a healthy link.
 	SelfHeal SelfHealConfig
+	// LinkStats, when non-nil, receives link-quality evidence —
+	// classification margins, RS correction load, calibration drift,
+	// block outcomes — and serves LinkHealth snapshots (DESIGN.md
+	// §11). Nil disables the instrumentation with no hot-path cost.
+	LinkStats *linkstats.Collector
 }
 
 // SelfHealConfig tunes the receiver's recovery state machine. All
@@ -254,6 +261,7 @@ type Receiver struct {
 
 	tel *telemetry.Registry
 	c   rxCounters
+	ls  *linkstats.Collector // nil disables link-quality collection
 	// seenDiscards tracks how much of deframer.Discarded has been
 	// mirrored into the rx.deframe_discards counter.
 	seenDiscards int
@@ -296,6 +304,7 @@ func NewReceiver(cfg RxConfig) (*Receiver, error) {
 		cls:       newClassifier(),
 		tel:       tel,
 		c:         newRxCounters(tel),
+		ls:        cfg.LinkStats,
 		distGauge: tel.Gauge("rx.classify_distance"),
 		syncGauge: tel.Gauge("rx.sync_state"),
 	}
@@ -307,6 +316,10 @@ func NewReceiver(cfg RxConfig) (*Receiver, error) {
 	if cfg.UseFactoryReferences {
 		r.refs = cons.ReferenceABs()
 		r.haveRefs = true
+		// Factory references count as a zero-drift calibration: the
+		// link is ready to demodulate, so health should not report
+		// "acquiring" while it waits for packets that never come.
+		r.ls.RecordCalibration(0)
 	}
 	return r, nil
 }
@@ -336,6 +349,12 @@ func (r *Receiver) Stats() RxStats {
 // Telemetry returns the receiver's registry, for attaching a trace
 // sink or publishing snapshots.
 func (r *Receiver) Telemetry() *telemetry.Registry { return r.tel }
+
+// LinkStats returns the receiver's link-quality collector (nil when
+// none was configured). The collector is safe for concurrent reads —
+// pipeline health probes and HTTP handlers call Health() on it while
+// the decode tail feeds it.
+func (r *Receiver) LinkStats() *linkstats.Collector { return r.ls }
 
 // Snapshot captures all receiver metrics, including the stage latency
 // histograms that RxStats does not carry.
@@ -512,7 +531,50 @@ func (r *Receiver) finishSymbols(syms []packet.RxSymbol, frame telemetry.Span) [
 	}
 	sp.End()
 	r.observeFrameHealth(syms, len(pkts), discards)
+	if r.ls != nil {
+		r.ls.EndFrame(int(nData), r.collectMargins(syms))
+	}
 	return blocks
+}
+
+// marginL is the nominal lightness at which classification margins
+// are evaluated: demodulation happens in the a,b plane (RxSymbol
+// carries no L), so CIEDE2000 margins are computed with both the
+// observed color and the references pinned to mid lightness.
+const marginL = 50
+
+// collectMargins computes per-data-symbol classification margins: the
+// CIEDE2000 distance from the observed color to the winning
+// (nearest-by-AB, i.e. the classification the decoder actually used)
+// reference, versus the closest other reference. Only meaningful once
+// references exist.
+func (r *Receiver) collectMargins(syms []packet.RxSymbol) []linkstats.Margin {
+	if !r.haveRefs {
+		return nil
+	}
+	var margins []linkstats.Margin
+	for _, s := range syms {
+		if s.Kind != packet.KindData {
+			continue
+		}
+		win := csk.NearestAB(s.AB, r.refs)
+		obs := colorspace.Lab{L: marginL, A: s.AB.A, B: s.AB.B}
+		dWin := 0.0
+		dRun := math.Inf(1)
+		for i, ref := range r.refs {
+			d := colorspace.DeltaE2000(obs, colorspace.Lab{L: marginL, A: ref.A, B: ref.B})
+			if i == win {
+				dWin = d
+			} else if d < dRun {
+				dRun = d
+			}
+		}
+		if math.IsInf(dRun, 1) {
+			continue // single-point constellation: no runner-up
+		}
+		margins = append(margins, linkstats.Margin{Point: win, Win: dWin, RunnerUp: dRun})
+	}
+	return margins
 }
 
 // observeFrameHealth is the per-frame step of the self-heal state
@@ -586,13 +648,14 @@ func (r *Receiver) observeFrameHealth(syms []packet.RxSymbol, pkts, discards int
 func (r *Receiver) resync() {
 	h := &r.heal
 	r.deframer.Reset()
-	r.syncDiscards() // Reset counts any dropped fragment as a discard
+	r.syncDiscards()  // Reset counts any dropped fragment as a discard
 	r.started = false // no gap marker into the empty buffer
 	h.collapseStreak, h.distStreak = 0, 0
 	if h.calEver && !h.stale {
 		r.markStale()
 	}
 	r.c.resyncs.Inc()
+	r.ls.NoteResync()
 }
 
 // markStale begins a degraded-mode episode: decoding continues against
@@ -602,6 +665,7 @@ func (r *Receiver) markStale() {
 	r.heal.stale = true
 	r.c.staleCalibrations.Inc()
 	r.syncGauge.Set(1)
+	r.ls.NoteStale()
 }
 
 // Flush drains any partially buffered packet at end of capture.
@@ -640,6 +704,17 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 				colors[idx] = pkt.Colors[i]
 			}
 			pkt.Colors = colors
+			drift := 0.0
+			if r.ls != nil && r.haveRefs {
+				// Calibration drift: how far this packet says the
+				// channel moved the constellation since the current
+				// references (mean a,b-plane distance).
+				var sum float64
+				for i := range r.refs {
+					sum += r.refs[i].Dist(pkt.Colors[i])
+				}
+				drift = sum / float64(len(r.refs))
+			}
 			if !r.haveRefs || r.heal.stale {
 				// First calibration, or re-acquisition after a stale
 				// episode: the old references are absent or suspect, so
@@ -663,6 +738,7 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 			// the device's own view of the constellation.
 			r.cls.setDataRefs(r.refs)
 			r.c.calibrationApplied.Inc()
+			r.ls.RecordCalibration(drift)
 			r.heal.calEver = true
 			r.heal.framesSinceCal = 0
 			r.heal.distStreak = 0
@@ -686,14 +762,67 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 		} else {
 			r.c.rsDecodeFail.Inc()
 		}
+		if r.ls != nil {
+			r.ls.RecordBlock(linkstats.BlockObs{
+				Recovered:      b.Recovered,
+				Erasures:       b.Erasures,
+				CorrectedBytes: r.correctionCount(b),
+				ParityBytes:    r.cfg.Code.ParityBytes(),
+				RawSymbols:     b.RawSymbols,
+			})
+		}
 		if r.heal.stale {
 			// Decoded against last-known-good references while waiting
 			// for recalibration: usable, but flagged.
 			r.c.degradedBlocks.Inc()
+			r.ls.NoteDegradedBlock()
 		}
 		return b
 	}
 	return nil
+}
+
+// correctionCount estimates how many unknown-position byte errors the
+// RS decoder corrected in a recovered block: the decoded data is
+// re-encoded and diffed against the received codeword at the
+// non-erased positions. (The rs decoder does not expose its error
+// locator, but a systematic code makes the count recoverable this
+// way.) Only called when a linkstats collector is attached.
+func (r *Receiver) correctionCount(b *Block) int {
+	if !b.Recovered || b.Data == nil {
+		return 0
+	}
+	n := r.cfg.Code.N()
+	c := r.cfg.Order.BitsPerSymbol()
+	filled := make([]int, len(b.RawSymbols))
+	erased := make([]bool, n)
+	for i, s := range b.RawSymbols {
+		if s < 0 {
+			firstByte := i * c / 8
+			lastByte := ((i+1)*c - 1) / 8
+			for by := firstByte; by <= lastByte && by < n; by++ {
+				erased[by] = true
+			}
+		} else {
+			filled[i] = s
+		}
+	}
+	received, err := r.cfg.Order.Unpack(filled, n)
+	if err != nil {
+		return 0
+	}
+	received = packet.Scramble(received) // undo payload whitening
+	reenc, err := r.cfg.Code.Encode(b.Data)
+	if err != nil || len(reenc) != len(received) {
+		return 0
+	}
+	diffs := 0
+	for i := range reenc {
+		if !erased[i] && reenc[i] != received[i] {
+			diffs++
+		}
+	}
+	return diffs
 }
 
 // decodeData demodulates and RS-decodes one data packet. When the

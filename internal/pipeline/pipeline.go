@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"colorbars/internal/camera"
+	"colorbars/internal/linkstats"
 	"colorbars/internal/modem"
 	"colorbars/internal/telemetry"
 )
@@ -507,6 +508,12 @@ func (s *Stream) Stats() modem.RxStats { return s.rx.Stats() }
 // Telemetry returns the stream receiver's metric registry (for
 // attaching trace sinks or reading per-stage histograms).
 func (s *Stream) Telemetry() *telemetry.Registry { return s.rx.Telemetry() }
+
+// Health returns the stream's current link-quality snapshot. It is
+// safe to call while the stream is decoding — the collector is
+// internally synchronized — and returns a no-traffic snapshot when
+// the stream's receiver has no linkstats collector attached.
+func (s *Stream) Health() linkstats.LinkHealth { return s.rx.LinkStats().Health() }
 
 // Submitted reports how many frames Submit has admitted (including
 // ones DropOldest later discarded).

@@ -24,6 +24,33 @@ func Process() *Registry {
 	return process
 }
 
+// debugHandlers is the process-wide set of extra debug endpoints
+// served by every ServeDebug listener. Lookup happens per request, so
+// handlers registered after the server starts (e.g. linkstats
+// publishing /debug/link once the first collector exists) are served
+// without restarting.
+var (
+	debugMu       sync.RWMutex
+	debugHandlers = map[string]http.Handler{}
+)
+
+// RegisterDebugHandler mounts h at path (e.g. "/debug/link") on every
+// current and future ServeDebug server. Registering the same path
+// again replaces the handler.
+func RegisterDebugHandler(path string, h http.Handler) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	debugHandlers[path] = h
+}
+
+// lookupDebugHandler resolves one registered extra endpoint.
+func lookupDebugHandler(path string) (http.Handler, bool) {
+	debugMu.RLock()
+	defer debugMu.RUnlock()
+	h, ok := debugHandlers[path]
+	return h, ok
+}
+
 // PublishExpvar publishes the registry's snapshot as the named expvar
 // variable (visible at /debug/vars). Publishing the same name twice
 // is a no-op, so callers need not coordinate.
@@ -35,12 +62,20 @@ func PublishExpvar(name string, r *Registry) {
 }
 
 // ServeDebug starts an HTTP server on addr (e.g. ":8080", ":0" for an
-// ephemeral port) exposing expvar at /debug/vars and the pprof
-// profiling endpoints at /debug/pprof/. It returns the bound listener
-// (whose Addr reports the actual port); the server runs until the
-// listener is closed or the process exits.
+// ephemeral port) exposing expvar at /debug/vars, the pprof
+// profiling endpoints at /debug/pprof/, and every endpoint added via
+// RegisterDebugHandler (linkstats mounts /debug/link there). It
+// returns the bound listener (whose Addr reports the actual port);
+// the server runs until the listener is closed or the process exits.
 func ServeDebug(addr string) (net.Listener, error) {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := lookupDebugHandler(r.URL.Path); ok {
+			h.ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestQuantileEdgeCases pins the documented contract of
+// Histogram.Quantile at its boundaries: empty histograms report 0, a
+// single observation interpolates across its bucket, q outside [0,1]
+// clamps, and overflow observations report the last bound.
+func TestQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	empty := r.Histogram("empty", []float64{1, 2, 4})
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile(0.5) = %v, want 0", got)
+	}
+
+	single := r.Histogram("single", []float64{1, 2, 4})
+	single.Observe(1.5) // bucket (1, 2]
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1},     // lower edge of the containing bucket
+		{0.5, 1.5}, // midpoint interpolation
+		{1, 2},     // upper edge
+		{-3, 1},    // clamps to q=0
+		{7, 2},     // clamps to q=1
+	}
+	for _, c := range cases {
+		if got := single.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("single-observation Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	over := r.Histogram("overflow", []float64{1, 2, 4})
+	over.Observe(100)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := over.Quantile(q); got != 4 {
+			t.Errorf("overflow-only Quantile(%v) = %v, want last bound 4", q, got)
+		}
+	}
+
+	first := r.Histogram("first", []float64{1, 2, 4})
+	first.Observe(0.5) // first bucket interpolates from 0
+	if got := first.Quantile(1); got != 1 {
+		t.Errorf("first-bucket Quantile(1) = %v, want 1", got)
+	}
+	if got := first.Quantile(0); got != 0 {
+		t.Errorf("first-bucket Quantile(0) = %v, want 0", got)
+	}
+
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+}
+
+// TestSnapshotJSONGolden locks the serialized field set of
+// Snapshot.JSON. External tooling re-aggregates histograms from the
+// bounds/bucket_counts pair, so renaming or dropping any field here is
+// a breaking change — update the golden only deliberately.
+func TestSnapshotJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rx.test").Add(3)
+	r.Gauge("link.gauge").Set(1.5)
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(1)
+	h.Observe(2)
+
+	got, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "counters": {
+    "rx.test": 3
+  },
+  "gauges": {
+    "link.gauge": 1.5
+  },
+  "histograms": {
+    "lat": {
+      "count": 2,
+      "sum": 3,
+      "mean": 1.5,
+      "p50": 1,
+      "p90": 1.8,
+      "p99": 1.98,
+      "bounds": [
+        1,
+        2
+      ],
+      "bucket_counts": [
+        1,
+        1,
+        0
+      ]
+    }
+  }
+}`
+	if string(got) != want {
+		t.Errorf("Snapshot.JSON drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshotBucketsReaggregate checks that the buckets surviving
+// JSON round-trip carry the full distribution: counts sum to the
+// histogram count and match the live accessors.
+func TestSnapshotBucketsReaggregate(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	raw, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	st := back.Histograms["x"]
+	if len(st.Bounds) != 3 || len(st.BucketCounts) != 4 {
+		t.Fatalf("bounds/counts shape: %v / %v", st.Bounds, st.BucketCounts)
+	}
+	var sum int64
+	for _, c := range st.BucketCounts {
+		sum += c
+	}
+	if sum != st.Count || sum != h.Count() {
+		t.Errorf("bucket counts sum %d, histogram count %d/%d", sum, st.Count, h.Count())
+	}
+	wantCounts := []int64{1, 1, 1, 2}
+	for i, c := range st.BucketCounts {
+		if c != wantCounts[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, wantCounts[i])
+		}
+	}
+}
+
+// TestSpanEmitsAtAncestorSinks checks the process-wide tracing path:
+// a sink attached to a parent registry receives span events from
+// spans running on child registries, exactly like propagated counter
+// events.
+func TestSpanEmitsAtAncestorSinks(t *testing.T) {
+	parent := NewRegistry()
+	sink := &CollectorSink{}
+	parent.SetSink(sink)
+	child := parent.NewChild()
+
+	sp := child.StartSpan("child.work")
+	sp.End()
+	child.Counter("child.count").Inc()
+
+	var spans, counts int
+	for _, e := range sink.Events() {
+		switch e.Kind {
+		case KindSpan:
+			if e.Name != "child.work" {
+				t.Errorf("unexpected span event %q", e.Name)
+			}
+			spans++
+		case KindCount:
+			counts++
+		}
+	}
+	if spans != 1 {
+		t.Errorf("parent sink saw %d span events from the child, want 1", spans)
+	}
+	if counts != 1 {
+		t.Errorf("parent sink saw %d count events from the child, want 1", counts)
+	}
+
+	// A sink on the child itself must not double-report to the parent
+	// sink: each registry emits to its own sink only.
+	childSink := &CollectorSink{}
+	child.SetSink(childSink)
+	child.StartSpan("child.more").End()
+	var childSpans int
+	for _, e := range childSink.Events() {
+		if e.Kind == KindSpan && e.Name == "child.more" {
+			childSpans++
+		}
+	}
+	if childSpans != 1 {
+		t.Errorf("child sink saw %d copies of its own span, want 1", childSpans)
+	}
+}
+
+// TestRegisterDebugHandler checks that extra endpoints registered at
+// any time — including after the server started — are served.
+func TestRegisterDebugHandler(t *testing.T) {
+	l, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	RegisterDebugHandler("/debug/test-late", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "late ok")
+		}))
+
+	resp, err := http.Get("http://" + l.Addr().String() + "/debug/test-late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "late ok") {
+		t.Errorf("late-registered handler: status %d body %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get("http://" + l.Addr().String() + "/debug/unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -81,8 +81,11 @@ func (s Span) StartChild(name string) Span {
 }
 
 // End completes the span, recording its duration (in seconds) into
-// the span's latency histogram and emitting a trace event when a sink
-// is attached. End on a zero span is a no-op.
+// the span's latency histogram and emitting a trace event at every
+// registry in the ancestry chain that has a sink attached — mirroring
+// counter propagation, so a sink on telemetry.Process() sees the
+// spans of every per-run child registry (how the cmd tools' -trace
+// flag captures whole-process traces). End on a zero span is a no-op.
 func (s Span) End() {
 	if s.reg == nil {
 		return
@@ -92,8 +95,10 @@ func (s Span) End() {
 		d = 0
 	}
 	s.hist.Observe(float64(d) / 1e9)
-	if s.reg.hasSink() {
-		s.reg.emit(Event{TNs: s.start, Kind: KindSpan, Name: s.name, Parent: s.parent, DurNs: d})
+	for r := s.reg; r != nil; r = r.parent {
+		if r.hasSink() {
+			r.emit(Event{TNs: s.start, Kind: KindSpan, Name: s.name, Parent: s.parent, DurNs: d})
+		}
 	}
 }
 

@@ -320,6 +320,27 @@ func (h *Histogram) Observe(v float64) {
 	h.parent.Observe(v)
 }
 
+// Bounds returns a copy of the histogram's ascending bucket bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns a copy of the per-bucket observation counts:
+// len(Bounds())+1 entries, the last being the overflow bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -387,7 +408,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 // --- snapshots ---
 
-// HistogramStats is the rendered summary of one histogram.
+// HistogramStats is the rendered summary of one histogram. Besides
+// the derived quantiles it carries the raw bucket bounds and counts,
+// so external tooling consuming Snapshot.JSON can re-aggregate
+// histograms (merge runs, recompute quantiles) instead of being stuck
+// with the pre-derived p50/p90/p99.
 type HistogramStats struct {
 	Count int64   `json:"count"`
 	Sum   float64 `json:"sum"`
@@ -395,6 +420,10 @@ type HistogramStats struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	// Bounds are the ascending bucket upper bounds; BucketCounts has
+	// len(Bounds)+1 entries, the last counting overflow observations.
+	Bounds       []float64 `json:"bounds,omitempty"`
+	BucketCounts []int64   `json:"bucket_counts,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry.
@@ -436,11 +465,13 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range hists {
 		st := HistogramStats{
-			Count: h.Count(),
-			Sum:   h.Sum(),
-			P50:   h.Quantile(0.50),
-			P90:   h.Quantile(0.90),
-			P99:   h.Quantile(0.99),
+			Count:        h.Count(),
+			Sum:          h.Sum(),
+			P50:          h.Quantile(0.50),
+			P90:          h.Quantile(0.90),
+			P99:          h.Quantile(0.99),
+			Bounds:       h.Bounds(),
+			BucketCounts: h.BucketCounts(),
 		}
 		if st.Count > 0 {
 			st.Mean = st.Sum / float64(st.Count)

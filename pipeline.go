@@ -3,6 +3,7 @@ package colorbars
 import (
 	"context"
 
+	"colorbars/internal/linkstats"
 	"colorbars/internal/modem"
 	"colorbars/internal/pipeline"
 	"colorbars/internal/telemetry"
@@ -63,12 +64,19 @@ func (p *Pipeline) AddStream(id string, cfg Config) (*PipelineStream, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel := telemetry.Process().NewChild()
+	ls := linkstats.NewCollector(linkstats.Config{
+		Points:        int(cfg.Order),
+		BitsPerSymbol: cfg.Order.BitsPerSymbol(),
+		Telemetry:     tel,
+	})
 	rx, err := modem.NewReceiver(modem.RxConfig{
 		Order:         cfg.Order,
 		SymbolRate:    cfg.SymbolRate,
 		WhiteFraction: cfg.WhiteFraction,
 		Code:          code,
-		Telemetry:     telemetry.Process().NewChild(),
+		Telemetry:     tel,
+		LinkStats:     ls,
 	})
 	if err != nil {
 		return nil, err
@@ -77,7 +85,7 @@ func (p *Pipeline) AddStream(id string, cfg Config) (*PipelineStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	ps := &PipelineStream{s: s, out: make(chan Message, 4)}
+	ps := &PipelineStream{s: s, id: id, ls: ls, out: make(chan Message, 4)}
 	go ps.assemble()
 	return ps, nil
 }
@@ -96,6 +104,8 @@ func (p *Pipeline) Abort() { p.p.Abort() }
 // captured frames, receive reassembled Messages.
 type PipelineStream struct {
 	s   *pipeline.Stream
+	id  string
+	ls  *linkstats.Collector
 	out chan Message
 }
 
@@ -122,6 +132,19 @@ func (s *PipelineStream) Stats() modem.RxStats { return s.s.Stats() }
 // Telemetry returns the stream receiver's metric registry; attach a
 // trace sink with SetSink to record the stream's per-stage events.
 func (s *PipelineStream) Telemetry() *telemetry.Registry { return s.s.Telemetry() }
+
+// Health returns the stream's current link-quality snapshot; safe to
+// call while the stream is decoding.
+func (s *PipelineStream) Health() LinkHealth { return s.s.Health() }
+
+// LinkReport returns the stream's full link-quality report, labeled
+// with the stream id.
+func (s *PipelineStream) LinkReport() LinkReport { return s.ls.Report(s.id) }
+
+// PublishLink exposes this stream's live link report at the
+// /debug/link endpoint of any -telemetry-addr debug server, under the
+// stream id.
+func (s *PipelineStream) PublishLink() { linkstats.Publish(s.id, s.ls) }
 
 // assemble translates the stream's ordered Block output into
 // application Messages — the same assembler the serial Receiver uses,
