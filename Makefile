@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-pipeline fault-soak fuzz-smoke bench bench-json bench-gate
+.PHONY: ci vet build test race race-pipeline fault-soak fuzz-smoke bench bench-json bench-gate golden cover
 
 # ci is the full gate: static checks, build, the test suite, a short
 # fuzz smoke over every fuzz target, the race-enabled pass over the
@@ -53,6 +53,30 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzDeframe$$' -fuzztime=5s ./internal/packet/
 	$(GO) test -run='^$$' -fuzz='^FuzzRSDecode$$' -fuzztime=5s ./internal/rs/
 	$(GO) test -run='^$$' -fuzz='^FuzzStripSegment$$' -fuzztime=5s ./internal/modem/
+	$(GO) test -run='^$$' -fuzz='^FuzzFrontEndDifferential$$' -fuzztime=5s ./internal/modem/
+
+# golden regenerates the committed golden-frame digests under
+# internal/modem/testdata/golden/ from the scenario definitions in
+# golden_test.go. Run after an intentional decode-behavior change,
+# then review the digest diff like any other code change — an
+# unexpected digest flip is a decode regression, not noise.
+golden:
+	$(GO) test -run='^TestGoldenCorpus$$' -count=1 ./internal/modem/ -args -update
+
+# cover enforces a statement-coverage floor on the two packages the
+# vectorized hot path lives in. The floor is deliberately below the
+# current numbers (modem 94.6%, colorspace 97.7% at introduction) —
+# it exists to catch a future fast-path branch (new kernel, new LUT)
+# landing without tests, not to chase a percentage.
+cover:
+	@$(GO) test -count=1 -coverprofile=/tmp/colorbars-cover.out ./internal/modem/ ./internal/colorspace/
+	@$(GO) tool cover -func=/tmp/colorbars-cover.out | tail -1
+	@total=$$($(GO) tool cover -func=/tmp/colorbars-cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	floor=90; \
+	ok=$$(awk -v t=$$total -v f=$$floor 'BEGIN{print (t>=f)?1:0}'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "coverage $$total% below floor $$floor% (modem+colorspace)"; exit 1; \
+	fi
 
 bench:
 	$(GO) test -run=- -bench=BenchmarkProcessFrame -benchtime=1x ./...

@@ -8,8 +8,11 @@ import (
 
 	"colorbars"
 	"colorbars/internal/camera"
+	"colorbars/internal/coding"
 	"colorbars/internal/linkstats"
 	"colorbars/internal/metrics"
+	"colorbars/internal/modem"
+	"colorbars/internal/telemetry"
 )
 
 // benchOutDir / benchGateDir / benchHandicap are the -bench-out,
@@ -43,7 +46,7 @@ var perfCells = []struct {
 }
 
 // runPerf measures receiver decode cost (ns/frame, B/op, allocs/op via
-// the Go benchmark machinery, min of 3 runs) and link quality
+// the Go benchmark machinery, min of 5 runs) and link quality
 // (ground-truth SER from an instrumented metrics run) for every
 // trajectory cell, then optionally writes the dated BENCH_<date>.json
 // point (-bench-out) and gates against the newest committed baseline
@@ -100,9 +103,14 @@ func runPerf(duration float64, seed int64) error {
 // benchCell measures one operating point. The decode benchmark cycles
 // a pre-captured clean-link video through one receiver — steady-state
 // per-frame cost, no capture or allocation of the frame stream inside
-// the timed loop. The SER comes from a separate ground-truth metrics
-// run at the same point (the linkstats collector compares every
-// recovered block's raw symbols against the transmitted stream).
+// the timed loop. The receiver is built at the modem layer (the same
+// construction the facade performs) and every delivered block batch is
+// recycled, so the loop measures the link-layer decode path itself —
+// which is expected to run allocation-free — rather than the
+// application-layer message assembler. The SER comes from a separate
+// ground-truth metrics run at the same point (the linkstats collector
+// compares every recovered block's raw symbols against the transmitted
+// stream).
 func benchCell(order colorbars.Order, rate, duration float64, seed int64) (linkstats.BenchEntry, error) {
 	prof := camera.Nexus5()
 	cfg := colorbars.Config{Order: order, SymbolRate: rate, WhiteFraction: 0.2}
@@ -119,17 +127,47 @@ func benchCell(order colorbars.Order, rate, duration float64, seed int64) (links
 	if len(frames) == 0 {
 		return linkstats.BenchEntry{}, fmt.Errorf("no frames captured")
 	}
-	rx, err := colorbars.NewReceiver(cfg)
+	// The same erasure-aware code sizing the facade resolves from this
+	// Config — the receiver must agree with the transmitted waveform.
+	params := coding.Params{
+		SymbolRate:   rate,
+		FrameRate:    prof.FrameRate,
+		LossRatio:    0.38,
+		Order:        order,
+		DataFraction: 1 - cfg.WhiteFraction,
+	}
+	code, err := params.LinkCodeErasure()
+	if err != nil {
+		return linkstats.BenchEntry{}, err
+	}
+	tel := telemetry.NewRegistry()
+	ls := linkstats.NewCollector(linkstats.Config{
+		Points:        int(order),
+		BitsPerSymbol: order.BitsPerSymbol(),
+		Telemetry:     tel,
+	})
+	rx, err := modem.NewReceiver(modem.RxConfig{
+		Order:         order,
+		SymbolRate:    rate,
+		WhiteFraction: cfg.WhiteFraction,
+		Code:          code,
+		Telemetry:     tel,
+		LinkStats:     ls,
+	})
 	if err != nil {
 		return linkstats.BenchEntry{}, err
 	}
 
+	// Min of 5 one-second benchmark runs: on a shared host, load
+	// spikes last whole seconds, so three samples can all land in one
+	// noisy window; five keeps the min a stable estimate of the true
+	// per-frame cost on both sides of a gate comparison.
 	var best testing.BenchmarkResult
-	for run := 0; run < 3; run++ {
+	for run := 0; run < 5; run++ {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rx.ProcessFrame(frames[i%len(frames)])
+				rx.Recycle(rx.ProcessFrame(frames[i%len(frames)]))
 			}
 		})
 		if run == 0 || r.NsPerOp() < best.NsPerOp() {

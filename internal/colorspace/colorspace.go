@@ -124,6 +124,20 @@ func (c XY) Dist(o XY) float64 {
 // DeltaE returns the CIE76 color difference between two Lab colors:
 // the Euclidean distance in Lab space. A difference of about 2.3 is
 // the just-noticeable difference the paper uses as matching threshold.
+//
+// The repo deliberately keeps three ΔE entry points for three layers:
+//
+//   - DeltaE (CIE76, this function): modem band segmentation and
+//     merging — boundary detection thresholds full-Lab discontinuities
+//     against boundaryTheta, where the cheap Euclidean metric matches
+//     the paper's §7 receiver.
+//   - AB.Dist / AB.DistSq: symbol matching — the classifier and
+//     csk.NearestAB compare chromaticity only (lightness is carried by
+//     modulation, not by color identity).
+//   - DeltaE2000 (and the pinned-lightness DeltaE2000AB fast variant):
+//     perceptual margin accounting in linkstats and the classifier's
+//     precomputed margin tables, where CIE76's chroma non-uniformity
+//     would misrank margins between saturated references.
 func DeltaE(a, b Lab) float64 {
 	dl, da, db := a.L-b.L, a.A-b.A, a.B-b.B
 	return math.Sqrt(dl*dl + da*da + db*db)

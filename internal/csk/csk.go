@@ -175,11 +175,13 @@ func (c *Constellation) MinDistance() float64 {
 // NearestAB returns the index of the reference color closest to the
 // observed {a,b} value, matching against the provided references
 // (calibrated or factory). This is the paper's ΔE color-matching step
-// restricted to the a,b-plane.
+// restricted to the a,b-plane. The comparison runs on squared
+// distances (argmin-identical, one Hypot cheaper per reference); ties
+// keep resolving to the first reference in order.
 func NearestAB(observed colorspace.AB, refs []colorspace.AB) int {
 	best, bestD := 0, math.Inf(1)
 	for i, r := range refs {
-		if d := observed.Dist(r); d < bestD {
+		if d := observed.DistSq(r); d < bestD {
 			best, bestD = i, d
 		}
 	}
@@ -222,12 +224,19 @@ func (o Order) Pack(data []byte) []int {
 // trailing padding bits beyond byteLen bytes. byteLen must not exceed
 // the symbol capacity.
 func (o Order) Unpack(symbols []int, byteLen int) ([]byte, error) {
+	return o.AppendUnpack(make([]byte, 0, byteLen), symbols, byteLen)
+}
+
+// AppendUnpack is Unpack appending into a caller-owned buffer (reset
+// it with dst[:0] to reuse), the allocation-free form the receiver's
+// decode path uses. Exactly byteLen bytes are appended on success.
+func (o Order) AppendUnpack(dst []byte, symbols []int, byteLen int) ([]byte, error) {
 	bps := o.BitsPerSymbol()
 	if need := o.SymbolsPerBytes(byteLen); len(symbols) < need {
 		return nil, fmt.Errorf("csk: %d symbols carry at most %d bytes, need %d",
 			len(symbols), len(symbols)*bps/8, byteLen)
 	}
-	out := make([]byte, 0, byteLen)
+	start := len(dst)
 	var acc, nbits int
 	for _, s := range symbols {
 		if s < 0 || s >= int(o) {
@@ -237,16 +246,16 @@ func (o Order) Unpack(symbols []int, byteLen int) ([]byte, error) {
 		nbits += bps
 		for nbits >= 8 {
 			nbits -= 8
-			out = append(out, byte(acc>>nbits))
-			if len(out) == byteLen {
-				return out, nil
+			dst = append(dst, byte(acc>>nbits))
+			if len(dst)-start == byteLen {
+				return dst, nil
 			}
 		}
 	}
-	if len(out) < byteLen {
-		return nil, fmt.Errorf("csk: ran out of symbols at byte %d of %d", len(out), byteLen)
+	if len(dst)-start < byteLen {
+		return nil, fmt.Errorf("csk: ran out of symbols at byte %d of %d", len(dst)-start, byteLen)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Modulate packs a byte stream into symbol indices. See Order.Pack.

@@ -46,7 +46,11 @@ func BenchFileName(date string) string {
 }
 
 // WriteBenchReport serializes r to dir/BENCH_<date>.json and returns
-// the written path.
+// the written path. When that file already exists — a second
+// trajectory point recorded the same day — a _2, _3, … suffix is
+// appended before the extension instead of overwriting history. '_'
+// sorts after '.', so LatestBenchReport's lexical max still picks the
+// newest same-day point.
 func WriteBenchReport(dir string, r *BenchReport) (string, error) {
 	if r.Schema == 0 {
 		r.Schema = BenchSchemaVersion
@@ -59,7 +63,17 @@ func WriteBenchReport(dir string, r *BenchReport) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, BenchFileName(r.Date))
+	name := BenchFileName(r.Date)
+	base := name[:len(name)-len(".json")]
+	path := filepath.Join(dir, name)
+	for n := 2; ; n++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			break
+		} else if err != nil {
+			return "", err
+		}
+		path = filepath.Join(dir, fmt.Sprintf("%s_%d.json", base, n))
+	}
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		return "", err
 	}
@@ -120,10 +134,18 @@ func (r BenchRegression) String() string {
 // noise, not quality regression.
 const serAbsSlack = 0.005
 
+// bytesAbsSlack is the absolute B/op movement always tolerated. A
+// zero-alloc steady-state path still reports a few residual bytes per
+// op (benchmark-harness amortization of pool warm-up), where a
+// one-byte wobble trips any purely relative tolerance; real B/op
+// regressions show up hundreds of bytes at a time.
+const bytesAbsSlack = 64
+
 // CompareBench gates current against baseline: every baseline entry
 // must still exist, and its ns/frame, B/op, allocs/op and SER must
-// not exceed baseline*(1+tolerance) — SER additionally gets a small
-// absolute slack. New entries in current (absent from baseline) never
+// not exceed baseline*(1+tolerance) — SER and B/op additionally get a
+// small absolute slack. New entries in current (absent from baseline)
+// never
 // fail the gate; they join the trajectory at the next baseline
 // refresh. Returns the sorted list of violations (empty = gate
 // passes).
@@ -157,7 +179,12 @@ func CompareBench(baseline, current *BenchReport, tolerance float64) ([]BenchReg
 			}
 		}
 		check("ns_per_frame", base.NsPerFrame, cur.NsPerFrame)
-		check("bytes_per_op", float64(base.BytesPerOp), float64(cur.BytesPerOp))
+		if c, b := float64(cur.BytesPerOp), float64(base.BytesPerOp); b > 0 && c > b*(1+tolerance)+bytesAbsSlack {
+			out = append(out, BenchRegression{
+				Entry: name, Metric: "bytes_per_op",
+				Baseline: b, Current: c, Ratio: c / b,
+			})
+		}
 		check("allocs_per_op", float64(base.AllocsPerOp), float64(cur.AllocsPerOp))
 		if base.HasSER && cur.HasSER {
 			limit := base.SER*(1+tolerance) + serAbsSlack

@@ -126,6 +126,26 @@ func TestCompareBenchEdges(t *testing.T) {
 		t.Errorf("SER jump: %v", regs)
 	}
 
+	// Residual-byte wobble on a zero-alloc path stays under the
+	// absolute B/op slack: 4 -> 5 bytes is harness noise, not a
+	// regression, even though it is 25% relative growth.
+	base4 := sampleReport("2026-08-01")
+	e4 := base4.Entries["decode/csk8"]
+	e4.BytesPerOp = 4
+	base4.Entries["decode/csk8"] = e4
+	cur4 := sampleReport("2026-08-09")
+	e4.BytesPerOp = 5
+	cur4.Entries["decode/csk8"] = e4
+	if regs, _ := CompareBench(base4, cur4, 0.10); len(regs) != 0 {
+		t.Errorf("residual byte wobble flagged: %v", regs)
+	}
+	e4.BytesPerOp = 4 + bytesAbsSlack + 1
+	cur4.Entries["decode/csk8"] = e4
+	regs, _ = CompareBench(base4, cur4, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "bytes_per_op" {
+		t.Errorf("byte growth past slack: %v", regs)
+	}
+
 	// Allocation growth past tolerance fails.
 	cur = sampleReport("2026-08-09")
 	e = cur.Entries["decode/csk16"]

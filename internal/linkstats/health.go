@@ -170,7 +170,11 @@ func (c *Collector) healthLocked() LinkHealth {
 		reason string
 		v      float64
 	}
-	factors := []factor{}
+	// Fixed-size factor set: healthLocked runs once per frame on the
+	// zero-alloc receive path, so the candidate list must not grow on
+	// the heap.
+	var factors [4]factor
+	nf := 0
 
 	// Block success rate inside the window, Laplace-smoothed: links
 	// complete only a handful of blocks per window, and the odd
@@ -179,7 +183,8 @@ func (c *Collector) healthLocked() LinkHealth {
 	// dead link (0). Sustained failure bursts still crater the factor.
 	if h.WindowBlocks > 0 {
 		smoothed := (float64(w.blocksOK) + 1) / (float64(h.WindowBlocks) + 1)
-		factors = append(factors, factor{ReasonBlockFail, clamp01(smoothed)})
+		factors[nf] = factor{ReasonBlockFail, clamp01(smoothed)}
+		nf++
 	}
 	// Decode drought: frames since the last completed data packet,
 	// decaying linearly past the healthy grace interval.
@@ -188,19 +193,22 @@ func (c *Collector) healthLocked() LinkHealth {
 		drought = clamp01(float64(droughtZeroFrames-c.framesSincePkt) /
 			float64(droughtZeroFrames-droughtGraceFrames))
 	}
-	factors = append(factors, factor{ReasonDrought, drought})
+	factors[nf] = factor{ReasonDrought, drought}
+	nf++
 	// Classification margin vs the healthy floor.
 	if w.marginN > 0 {
-		factors = append(factors, factor{ReasonLowMargin, clamp01(h.WindowMargin / healthyMargin)})
+		factors[nf] = factor{ReasonLowMargin, clamp01(h.WindowMargin / healthyMargin)}
+		nf++
 	}
 	// Ground-truth windowed SER, when a truth stream is installed.
 	if w.symCmp > 0 {
-		factors = append(factors, factor{ReasonHighSER, clamp01(1 - h.WindowSER/serCeiling)})
+		factors[nf] = factor{ReasonHighSER, clamp01(1 - h.WindowSER/serCeiling)}
+		nf++
 	}
 
 	score := 1.0
 	worst := factor{ReasonOK, 1.0}
-	for _, f := range factors {
+	for _, f := range factors[:nf] {
 		score *= f.v
 		if f.v < worst.v {
 			worst = f

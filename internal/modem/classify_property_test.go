@@ -1,0 +1,158 @@
+package modem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"colorbars/internal/cie"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+)
+
+// jitteredRefs returns the order's designed constellation with each
+// reference perturbed in the a,b-plane — the shape calibrated
+// references actually take after channel tilt and estimation noise.
+func jitteredRefs(t *testing.T, rng *rand.Rand, order csk.Order, jitter float64) []colorspace.AB {
+	t.Helper()
+	c, err := csk.New(order, cie.SRGBTriangle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]colorspace.AB, c.Size())
+	for i := range refs {
+		r := c.ReferenceAB(i)
+		refs[i] = colorspace.AB{
+			A: r.A + (rng.Float64()*2-1)*jitter,
+			B: r.B + (rng.Float64()*2-1)*jitter,
+		}
+	}
+	return refs
+}
+
+// minPairDistAB returns the minimum pairwise a,b-plane distance.
+func minPairDistAB(refs []colorspace.AB) float64 {
+	min := math.Inf(1)
+	for i := range refs {
+		for j := i + 1; j < len(refs); j++ {
+			if d := refs[i].Dist(refs[j]); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}
+
+// deltaEArgmin is the direct CIEDE2000 matcher the fast path replaces:
+// exhaustive argmin of DeltaE2000AB over the references.
+func deltaEArgmin(obs colorspace.AB, refs []colorspace.AB) int {
+	best, bestD := 0, math.Inf(1)
+	for i, r := range refs {
+		if d := colorspace.DeltaE2000AB(obs, r); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// TestNearestABAgreesWithDeltaE2000Argmin pins the decode matcher's
+// metric substitution: csk.NearestAB classifies on squared a,b-plane
+// distance, the paper's matcher on CIEDE2000. The two metrics weight
+// the plane differently, so they can only disagree far from every
+// reference — for observations within the decode regime (inside a
+// fraction of the constellation's minimum pair distance around a
+// point, where every correctly-received symbol lives) the argmin must
+// be identical on random jittered 4/8/16-CSK constellations.
+func TestNearestABAgreesWithDeltaE2000Argmin(t *testing.T) {
+	rng := rand.New(rand.NewSource(1009))
+	for _, order := range []csk.Order{csk.CSK4, csk.CSK8, csk.CSK16} {
+		for trial := 0; trial < 20; trial++ {
+			refs := jitteredRefs(t, rng, order, 1.0)
+			noiseR := 0.25 * minPairDistAB(refs)
+			for n := 0; n < 200; n++ {
+				ref := refs[rng.Intn(len(refs))]
+				ang := rng.Float64() * 2 * math.Pi
+				rad := rng.Float64() * noiseR
+				obs := colorspace.AB{
+					A: ref.A + rad*math.Cos(ang),
+					B: ref.B + rad*math.Sin(ang),
+				}
+				fast := csk.NearestAB(obs, refs)
+				exact := deltaEArgmin(obs, refs)
+				if fast != exact {
+					t.Fatalf("csk%d trial %d: NearestAB=%d deltaE-argmin=%d for obs %+v",
+						int(order), trial, fast, exact, obs)
+				}
+			}
+		}
+	}
+}
+
+// exhaustiveRunnerUp returns the CIEDE2000-closest reference other
+// than win.
+func exhaustiveRunnerUp(obs colorspace.AB, refs []colorspace.AB, win int) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for j := range refs {
+		if j == win {
+			continue
+		}
+		if d := colorspace.DeltaE2000AB(obs, refs[j]); d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best, bestD
+}
+
+// TestRunnerUpTableAgreesWithExhaustive pins the margin path's
+// distance tables (classifier.setDataRefs neighbor lists) against a
+// direct exhaustive CIEDE2000 runner-up search. For 4/8-CSK the
+// neighbor set holds every other reference, so the restricted search
+// must find the identical runner-up distance; for 16-CSK the set is
+// pruned to the 8 a,b-nearest, so the restricted minimum may only
+// exceed the exhaustive one by a bounded approximation error.
+func TestRunnerUpTableAgreesWithExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7331))
+	for _, tc := range []struct {
+		order    csk.Order
+		exact    bool
+		slackRel float64 // tolerated relative excess for pruned sets
+	}{
+		{csk.CSK4, true, 0},
+		{csk.CSK8, true, 0},
+		{csk.CSK16, false, 0.25},
+	} {
+		for trial := 0; trial < 10; trial++ {
+			refs := jitteredRefs(t, rng, tc.order, 1.0)
+			cls := newClassifier()
+			cls.setDataRefs(refs)
+			noiseR := 0.25 * minPairDistAB(refs)
+			for n := 0; n < 100; n++ {
+				win := rng.Intn(len(refs))
+				ang := rng.Float64() * 2 * math.Pi
+				rad := rng.Float64() * noiseR
+				obs := colorspace.AB{
+					A: refs[win].A + rad*math.Cos(ang),
+					B: refs[win].B + rad*math.Sin(ang),
+				}
+				tableBest, tableD := -1, math.Inf(1)
+				for _, j := range cls.runnerUps(win) {
+					if d := colorspace.DeltaE2000AB(obs, refs[j]); d < tableD {
+						tableBest, tableD = j, d
+					}
+				}
+				exBest, exD := exhaustiveRunnerUp(obs, refs, win)
+				if tc.exact {
+					if tableBest != exBest || tableD != exD {
+						t.Fatalf("csk%d trial %d: table runner-up (%d, %g) vs exhaustive (%d, %g)",
+							int(tc.order), trial, tableBest, tableD, exBest, exD)
+					}
+					continue
+				}
+				if tableD > exD*(1+tc.slackRel) {
+					t.Fatalf("csk%d trial %d: pruned runner-up distance %g exceeds exhaustive %g beyond %.0f%%",
+						int(tc.order), trial, tableD, exD, tc.slackRel*100)
+				}
+			}
+		}
+	}
+}

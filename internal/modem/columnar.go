@@ -1,0 +1,454 @@
+package modem
+
+import (
+	"math"
+	"sync"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/telemetry"
+)
+
+// This file is the vectorized per-frame front end: the frame is
+// reduced to flat row-mean planes, converted to Lab planes in one pass
+// through the colorspace LUTs, segmented with squared CIE76 distances,
+// and planned into a pooled Analysis — all on recycled scratch, so a
+// steady-state Analyze call performs no heap allocation.
+//
+// The scalar implementation in strip.go is kept verbatim as the
+// reference decoder. The two front ends make identical threshold
+// decisions by construction (squared-distance compares are monotone
+// in the distances they replace); the only numeric difference is the
+// tabulated Lab conversion, whose error (≤ colorspace.LUTMaxDeltaE2000)
+// sits orders of magnitude below the modem's decision margins. The
+// differential golden-frame harness (golden_test.go) pins the
+// symbol-for-symbol agreement of the two paths end to end.
+
+// boundaryThetaSq is the segmentation threshold squared, compared
+// against squared windowed differences.
+const boundaryThetaSq = boundaryTheta * boundaryTheta
+
+// frameScratch is the per-frame working set of the columnar front end.
+// One scratch serves one frame at a time; concurrent Analyze calls
+// each take their own from the pool.
+type frameScratch struct {
+	r, g, b  []float64 // row-mean linear RGB planes
+	l, a, bb []float64 // Lab planes
+	diff     []float64 // squared windowed color difference per row
+	sel      []float64 // quickselect scratch (lightness copy)
+	sel2     []float64 // second selection bucket (orderStat2)
+	cuts     []int     // detected boundary rows
+	fcuts    []float64 // cut positions for the grid-phase fit
+	bands    []band    // segmented bands
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(frameScratch) }}
+
+func getScratch(rows int) *frameScratch {
+	s := scratchPool.Get().(*frameScratch)
+	s.resize(rows)
+	return s
+}
+
+func putScratch(s *frameScratch) { scratchPool.Put(s) }
+
+func (s *frameScratch) resize(rows int) {
+	grow := func(p *[]float64) {
+		if cap(*p) < rows {
+			*p = make([]float64, rows)
+		} else {
+			*p = (*p)[:rows]
+		}
+	}
+	grow(&s.r)
+	grow(&s.g)
+	grow(&s.b)
+	grow(&s.l)
+	grow(&s.a)
+	grow(&s.bb)
+	grow(&s.diff)
+	grow(&s.sel)
+	grow(&s.sel2)
+	s.cuts = s.cuts[:0]
+	s.fcuts = s.fcuts[:0]
+	s.bands = s.bands[:0]
+}
+
+// extractPlanes fills the row-mean and Lab planes from the frame. The
+// per-row mean is accumulated per channel in pixel order and scaled by
+// the same reciprocal the scalar camera.Frame.RowMean applies, so the
+// linear RGB means are bit-identical to the reference path; only the
+// Lab conversion (LUT vs exact) differs.
+func (s *frameScratch) extractPlanes(f *camera.Frame) {
+	inv := 1 / float64(f.Cols)
+	if haveSIMDRowSum && f.Rows > 0 && f.Cols >= 4 && f.Cols%4 == 0 {
+		// Interleave the packed row sum with the LUT Lab conversion
+		// row by row. The sum streams cold pixels from DRAM while the
+		// conversion is pure arithmetic on the row just summed, so
+		// out-of-order execution hides the conversion under the
+		// stream's cache-miss stalls — measurably faster than the
+		// kernel pass followed by a whole-plane conversion pass, with
+		// bit-identical results (same per-row operations).
+		groups := f.Cols / 4
+		for r := 0; r < f.Rows; r++ {
+			sr, sg, sb := sumPix12(&f.Pix[r*f.Cols], groups)
+			lab := colorspace.LinearRGBToLabFast(colorspace.RGB{R: sr * inv, G: sg * inv, B: sb * inv})
+			s.r[r], s.g[r], s.b[r] = sr*inv, sg*inv, sb*inv
+			s.l[r], s.a[r], s.bb[r] = lab.L, lab.A, lab.B
+		}
+		return
+	}
+	for r := 0; r < f.Rows; r++ {
+		row := f.Pix[r*f.Cols : (r+1)*f.Cols]
+		// Four independent accumulator sets break the serial float-add
+		// dependency chain (the row sum is latency-bound otherwise).
+		// Re-associating the sum changes low-order bits relative to the
+		// reference path's strict left-to-right fold, so equality with
+		// the reference is asserted at symbol level (classification);
+		// the differential harness compares AB within epsilon.
+		var sr0, sg0, sb0, sr1, sg1, sb1 float64
+		var sr2, sg2, sb2, sr3, sg3, sb3 float64
+		i := 0
+		for ; i+3 < len(row); i += 4 {
+			sr0 += row[i].R
+			sg0 += row[i].G
+			sb0 += row[i].B
+			sr1 += row[i+1].R
+			sg1 += row[i+1].G
+			sb1 += row[i+1].B
+			sr2 += row[i+2].R
+			sg2 += row[i+2].G
+			sb2 += row[i+2].B
+			sr3 += row[i+3].R
+			sg3 += row[i+3].G
+			sb3 += row[i+3].B
+		}
+		for ; i < len(row); i++ {
+			sr0 += row[i].R
+			sg0 += row[i].G
+			sb0 += row[i].B
+		}
+		s.r[r] = (sr0 + sr1 + sr2 + sr3) * inv
+		s.g[r] = (sg0 + sg1 + sg2 + sg3) * inv
+		s.b[r] = (sb0 + sb1 + sb2 + sb3) * inv
+	}
+	colorspace.LinearPlanesToLab(s.l, s.a, s.bb, s.r, s.g, s.b)
+}
+
+// segment is the columnar counterpart of segmentBands: same windowed
+// local-maxima boundary detection and same merge rule, with every
+// distance compare done on squared CIE76 values. The returned bands
+// live in the scratch and are invalidated by the next use.
+func (s *frameScratch) segment(rowsPerSym, smearRows float64) []band {
+	n := len(s.l)
+	if n == 0 {
+		return s.bands[:0]
+	}
+	h := int(smearRows/2 + 1)
+	diff := s.diff
+	l, a, bb := s.l, s.a, s.bb
+	for i := 0; i < n; i++ {
+		lo, hi := i-h, i+h
+		if lo < 0 || hi >= n {
+			diff[i] = 0
+			continue
+		}
+		dl, da, db := l[lo]-l[hi], a[lo]-a[hi], bb[lo]-bb[hi]
+		diff[i] = dl*dl + da*da + db*db
+	}
+	minSpacing := int(rowsPerSym / 2)
+	if minSpacing < 1 {
+		minSpacing = 1
+	}
+	cuts := s.cuts[:0]
+	lastCut := -minSpacing
+	for i := 1; i+1 < n; i++ {
+		if diff[i] >= boundaryThetaSq && diff[i] >= diff[i-1] && diff[i] > diff[i+1] {
+			if i-lastCut >= minSpacing {
+				cuts = append(cuts, i)
+				lastCut = i
+			}
+		}
+	}
+	s.cuts = cuts
+	bands := s.bands[:0]
+	prev := 0
+	for _, c := range cuts {
+		b := band{start: prev, end: c}
+		b.lab = s.bandColor(b, smearRows)
+		bands = append(bands, b)
+		prev = c
+	}
+	last := band{start: prev, end: n}
+	last.lab = s.bandColor(last, smearRows)
+	bands = append(bands, last)
+	s.bands = mergeSimilarBandsSq(bands)
+	return s.bands
+}
+
+// bandColor mirrors the scalar bandColor over the Lab planes.
+func (s *frameScratch) bandColor(b band, smearRows float64) colorspace.Lab {
+	w := b.width()
+	trim := int(math.Max(float64(w)*0.3, smearRows*0.75))
+	lo, hi := b.start+trim, b.end-trim
+	if lo >= hi {
+		mid := (b.start + b.end) / 2
+		lo, hi = mid, mid+1
+	}
+	var sl, sa, sb float64
+	for r := lo; r < hi; r++ {
+		sl += s.l[r]
+		sa += s.a[r]
+		sb += s.bb[r]
+	}
+	n := float64(hi - lo)
+	return colorspace.Lab{L: sl / n, A: sa / n, B: sb / n}
+}
+
+// mergeSimilarBandsSq is mergeSimilarBands with the adjacency compare
+// done on squared full-Lab distance — the same decision for the same
+// band colors.
+func mergeSimilarBandsSq(bands []band) []band {
+	if len(bands) < 2 {
+		return bands
+	}
+	out := bands[:1]
+	for _, b := range bands[1:] {
+		prev := &out[len(out)-1]
+		dl, da, db := prev.lab.L-b.lab.L, prev.lab.A-b.lab.A, prev.lab.B-b.lab.B
+		if dl*dl+da*da+db*db < boundaryThetaSq {
+			wp, wb := float64(prev.width()), float64(b.width())
+			total := wp + wb
+			prev.lab = colorspace.Lab{
+				L: (prev.lab.L*wp + b.lab.L*wb) / total,
+				A: (prev.lab.A*wp + b.lab.A*wb) / total,
+				B: (prev.lab.B*wp + b.lab.B*wb) / total,
+			}
+			prev.end = b.end
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// offLevel computes the frame-adapted OFF threshold from the lightness
+// plane: the same two order statistics offLevelFor takes from a full
+// sort, obtained by quickselect on a scratch copy. The k-th order
+// statistic is unique as a value, so the result equals sorted[k]
+// exactly.
+func (s *frameScratch) offLevel() float64 {
+	n := len(s.l)
+	p5, p75 := s.orderStat2(n/20, n*3/4)
+	spread := p75 - p5
+	return math.Max(8, p5+math.Max(5, 0.25*spread))
+}
+
+// offHistBins sizes the counting histogram orderStat2 uses to narrow
+// each quickselect to one bucket of the lightness range.
+const offHistBins = 256
+
+// orderStat2 returns the exact k1-th and k2-th smallest lightness
+// values (0-based ranks). One range scan and one counting histogram
+// serve both selections — the OFF-threshold fit needs two percentiles
+// of the same plane, and the three passes over the rows dominate the
+// cost, so fusing them halves it versus two independent selections.
+// Each bucket's members then go through quickselect; the k-th order
+// statistic is unique as a value, so the results equal a full sort's
+// sorted[k1]/sorted[k2] exactly. The plain comparisons (rather than
+// math.Min/Max) skip the NaN-propagation branches; a NaN plane is
+// caught by the histogram total instead and bails out like a flat
+// plane, since no threshold fit is meaningful there.
+func (s *frameScratch) orderStat2(k1, k2 int) (float64, float64) {
+	l := s.l
+	n := len(l)
+	lo, hi := l[0], l[0]
+	for _, v := range l[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if !(hi > lo) { // flat plane: every value is both order statistics
+		return l[0], l[0]
+	}
+	var hist [offHistBins]int32
+	scale := (offHistBins - 1) / (hi - lo)
+	total := 0
+	for _, v := range l {
+		// The bounds guard keeps a NaN (whose int conversion is
+		// unspecified) from indexing out of range.
+		if idx := int((v - lo) * scale); uint(idx) < offHistBins {
+			hist[idx]++
+			total++
+		}
+	}
+	if total != n { // NaN in the plane: no meaningful statistics
+		return l[0], l[0]
+	}
+	rank1, bin1 := histLocate(&hist, k1)
+	rank2, bin2 := histLocate(&hist, k2)
+	sel1, sel2 := s.sel[:0], s.sel2[:0]
+	b1, b2 := int32(bin1), int32(bin2)
+	for _, v := range l {
+		b := int32((v - lo) * scale)
+		if b == b1 {
+			sel1 = append(sel1, v)
+		}
+		if b == b2 {
+			sel2 = append(sel2, v)
+		}
+	}
+	s.sel, s.sel2 = sel1[:0], sel2[:0]
+	return selectKth(sel1, k1-rank1), selectKth(sel2, k2-rank2)
+}
+
+// histLocate finds the histogram bucket containing the k-th count and
+// the number of counts in the buckets before it.
+func histLocate(hist *[offHistBins]int32, k int) (rank, bin int) {
+	for ; bin < offHistBins; bin++ {
+		if rank+int(hist[bin]) > k {
+			return rank, bin
+		}
+		rank += int(hist[bin])
+	}
+	return rank, offHistBins - 1
+}
+
+// selectKth returns the k-th smallest value of v (0-based),
+// partitioning v in place (Hoare partition, median-of-three pivot).
+func selectKth(v []float64, k int) float64 {
+	lo, hi := 0, len(v)-1
+	for lo < hi {
+		// Median-of-three pivot guards against already-partitioned
+		// input (the second select call runs on a partially ordered
+		// slice).
+		mid := lo + (hi-lo)/2
+		if v[mid] < v[lo] {
+			v[mid], v[lo] = v[lo], v[mid]
+		}
+		if v[hi] < v[lo] {
+			v[hi], v[lo] = v[lo], v[hi]
+		}
+		if v[hi] < v[mid] {
+			v[hi], v[mid] = v[mid], v[hi]
+		}
+		pivot := v[mid]
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if v[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if v[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			v[i], v[j] = v[j], v[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return v[lo]
+}
+
+// analysisPool recycles Analysis values between frames. ProcessFrame
+// and ProcessAnalysis return each frame's Analysis here after the
+// symbols are emitted.
+var analysisPool = sync.Pool{New: func() any { return new(Analysis) }}
+
+func getAnalysis() *Analysis {
+	a := analysisPool.Get().(*Analysis)
+	a.offLevel, a.hasOffLevel = 0, false
+	a.bands = a.bands[:0]
+	return a
+}
+
+func recycleAnalysis(a *Analysis) {
+	if a != nil {
+		analysisPool.Put(a)
+	}
+}
+
+// planInto is planBands writing into a pooled Analysis, with the
+// grid-fit cut buffer drawn from the frame scratch.
+func (s *frameScratch) planInto(a *Analysis, bands []band, rowsPerSym float64) {
+	if len(s.l) > 0 {
+		a.offLevel = s.offLevel()
+		a.hasOffLevel = true
+	}
+	if len(bands) == 0 {
+		return
+	}
+	fcuts := s.fcuts[:0]
+	for _, b := range bands[1:] {
+		fcuts = append(fcuts, float64(b.start))
+	}
+	s.fcuts = fcuts
+	phase := fitGridPhase(fcuts, rowsPerSym)
+	snap := func(x float64) int {
+		return int(math.Round((x - phase) / rowsPerSym))
+	}
+	for i, b := range bands {
+		count := snap(float64(b.end)) - snap(float64(b.start))
+		if count < 1 {
+			if i == 0 || i == len(bands)-1 {
+				continue
+			}
+			count = 1
+		}
+		a.bands = append(a.bands, plannedBand{lab: b.lab, count: count})
+	}
+}
+
+// analyzeFast runs the columnar front end on one frame under the given
+// parent span, producing a pooled Analysis.
+func (r *Receiver) analyzeFast(parent telemetry.Span, f *camera.Frame) *Analysis {
+	rowsPerSym := 1 / (r.cfg.SymbolRate * f.RowTime)
+	s := getScratch(f.Rows)
+
+	sp := parent.StartChild("rx.strip")
+	s.extractPlanes(f)
+	sp.End()
+
+	sp = parent.StartChild("rx.segment")
+	bands := s.segment(rowsPerSym, f.Exposure/f.RowTime)
+	sp.End()
+
+	a := getAnalysis()
+	s.planInto(a, bands, rowsPerSym)
+	putScratch(s)
+	return a
+}
+
+// analyzeReference runs the scalar reference front end (strip.go)
+// under the given parent span. It is selected by the refFrontEnd
+// switch, which only the differential test harness flips.
+func (r *Receiver) analyzeReference(parent telemetry.Span, f *camera.Frame) *Analysis {
+	rowsPerSym := 1 / (r.cfg.SymbolRate * f.RowTime)
+
+	sp := parent.StartChild("rx.strip")
+	strip := getStrip(f.Rows)
+	extractStripInto(*strip, f)
+	sp.End()
+
+	sp = parent.StartChild("rx.segment")
+	bands := segmentBands(*strip, rowsPerSym, f.Exposure/f.RowTime)
+	sp.End()
+
+	a := planBands(*strip, bands, rowsPerSym)
+	putStrip(strip)
+	return a
+}

@@ -1,0 +1,39 @@
+package modem
+
+import (
+	"testing"
+
+	"colorbars/internal/csk"
+)
+
+func BenchmarkExtractPlanes(b *testing.B) {
+	_, frames := allocLink(b, csk.CSK8, 2000)
+	s := getScratch(frames[0].Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.extractPlanes(frames[i%len(frames)])
+	}
+}
+
+func BenchmarkSumPix12PerRow(b *testing.B) {
+	_, frames := allocLink(b, csk.CSK8, 2000)
+	s := getScratch(frames[0].Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := frames[i%len(frames)]
+		groups := f.Cols / 4
+		for r := 0; r < f.Rows; r++ {
+			s.r[r], s.g[r], s.b[r] = sumPix12(&f.Pix[r*f.Cols], groups)
+		}
+	}
+}
+
+func BenchmarkSumPixPlanes(b *testing.B) {
+	_, frames := allocLink(b, csk.CSK8, 2000)
+	s := getScratch(frames[0].Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := frames[i%len(frames)]
+		sumPixPlanes(&f.Pix[0], f.Rows, f.Cols/4, 1, &s.r[0], &s.g[0], &s.b[0])
+	}
+}

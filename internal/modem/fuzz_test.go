@@ -3,6 +3,7 @@ package modem
 import (
 	"testing"
 
+	"colorbars/internal/camera"
 	"colorbars/internal/colorspace"
 )
 
@@ -17,6 +18,16 @@ func FuzzStripSegment(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{16, 8})
 	f.Add([]byte{16, 8, 200, 10, 10, 200, 12, 12, 30, 1, 1, 200, 120, 120})
+	// One-row strip: a single band with no interior boundaries.
+	f.Add([]byte{16, 8, 200, 10, 10})
+	// All-off frame: every row below any plausible OFF threshold, so
+	// segmentation sees a flat dark strip and classification must emit
+	// only OFF symbols without dividing by a zero spread.
+	f.Add([]byte{16, 8, 2, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0})
+	// Width-1 bands: rowsPerSym below one row with a hard color flip on
+	// every row, so each band is a single row and the grid fitter sees
+	// count≈1 everywhere.
+	f.Add([]byte{0, 0, 200, 60, 10, 200, 196, 246, 200, 60, 10, 200, 196, 246, 200, 60, 10, 200, 196, 246})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var rowsPerSym, expRows float64 = 1, 0
 		if len(data) >= 2 {
@@ -48,5 +59,61 @@ func FuzzStripSegment(f *testing.F) {
 				t.Fatalf("symbol %d differs: %v vs %v", i, syms[i], syms2[i])
 			}
 		}
+	})
+}
+
+// FuzzFrontEndDifferential pins the columnar front end's strip
+// extraction (flat planes + fused LUT conversion, with the packed
+// row-sum kernel when the width allows it) against the scalar
+// reference (RowMean + exact LinearRGBToLab) on arbitrary frames.
+// For any pixel content in [0,1]³ and any geometry — including widths
+// that force the kernel's scalar fallback — the per-row Lab values
+// must agree within the documented LUT ceiling. This is the
+// property-level sibling of the golden-frame harness: the harness
+// proves symbol/block equality on realistic captures, this target
+// hands the adversarial geometries to the fuzzer.
+func FuzzFrontEndDifferential(f *testing.F) {
+	f.Add(uint8(24), []byte{})
+	// 2×4 frame on the kernel path.
+	f.Add(uint8(4), []byte{
+		200, 10, 10, 200, 10, 10, 200, 10, 10, 200, 10, 10,
+		10, 200, 10, 10, 200, 10, 10, 200, 10, 10, 200, 10,
+	})
+	// Width 1 and width 7 force the scalar fallback.
+	f.Add(uint8(1), []byte{255, 0, 128, 0, 255, 3})
+	f.Add(uint8(7), []byte{90, 90, 90, 0, 0, 0, 255, 255, 255, 1, 2, 3, 40, 50, 60, 200, 10, 10, 5, 5, 5, 9, 9, 9, 77, 77, 77})
+	f.Fuzz(func(t *testing.T, cols8 uint8, data []byte) {
+		cols := 1 + int(cols8)%32
+		rows := len(data) / (3 * cols)
+		if rows == 0 {
+			return
+		}
+		if rows > 256 {
+			rows = 256
+		}
+		pix := make([]colorspace.RGB, rows*cols)
+		for i := range pix {
+			pix[i] = colorspace.RGB{
+				R: float64(data[i*3]) / 255,
+				G: float64(data[i*3+1]) / 255,
+				B: float64(data[i*3+2]) / 255,
+			}
+		}
+		fr := &camera.Frame{Rows: rows, Cols: cols, Pix: pix, Exposure: 1e-4, RowTime: 1e-5}
+
+		s := getScratch(rows)
+		s.extractPlanes(fr)
+		strip := getStrip(rows)
+		extractStripInto(*strip, fr)
+		for r := 0; r < rows; r++ {
+			exact := (*strip)[r].lab
+			fast := colorspace.Lab{L: s.l[r], A: s.a[r], B: s.bb[r]}
+			if d := colorspace.DeltaE2000(exact, fast); !(d <= colorspace.LUTMaxDeltaE2000) {
+				t.Fatalf("row %d (%dx%d): fast %+v vs exact %+v diverge by ΔE %g",
+					r, rows, cols, fast, exact, d)
+			}
+		}
+		putStrip(strip)
+		putScratch(s)
 	})
 }

@@ -19,7 +19,7 @@ type linkUnderTest struct {
 	prof camera.Profile
 }
 
-func newLink(t *testing.T, order csk.Order, symbolRate float64, prof camera.Profile, seed int64) *linkUnderTest {
+func newLink(t testing.TB, order csk.Order, symbolRate float64, prof camera.Profile, seed int64) *linkUnderTest {
 	t.Helper()
 	params := coding.Params{
 		SymbolRate:   symbolRate,

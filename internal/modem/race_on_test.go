@@ -1,0 +1,9 @@
+//go:build race
+
+package modem
+
+// raceEnabled reports whether this test binary was built with the
+// race detector. The zero-alloc assertions are skipped under it:
+// race-mode sync.Pool deliberately drops items to widen interleaving
+// coverage, so AllocsPerRun measures the detector, not the hot path.
+const raceEnabled = true

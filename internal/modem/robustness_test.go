@@ -183,6 +183,7 @@ func TestDecodeDataNeverPanicsOnRandomPackets(t *testing.T) {
 		}
 		// Must not panic; recovery of random noise is astronomically
 		// unlikely but harmless if the syndrome check passes.
-		rx.handlePacket(pkt)
+		var blk Block
+		rx.handlePacket(pkt, &blk)
 	}
 }

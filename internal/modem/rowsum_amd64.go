@@ -1,0 +1,38 @@
+//go:build amd64
+
+package modem
+
+import (
+	"unsafe"
+
+	"colorbars/internal/colorspace"
+)
+
+// haveSIMDRowSum selects the packed-double row-sum kernel in
+// extractPlanes when the row width permits (a multiple of 4 pixels).
+const haveSIMDRowSum = true
+
+// The kernel indexes raw struct memory, so the colorspace.RGB layout
+// it assumes — three consecutive float64 fields R, G, B — is pinned
+// at compile time.
+var (
+	_ [unsafe.Sizeof(colorspace.RGB{}) - 24]byte
+	_ [24 - unsafe.Sizeof(colorspace.RGB{})]byte
+	_ [unsafe.Offsetof(colorspace.RGB{}.G) - 8]byte
+	_ [unsafe.Offsetof(colorspace.RGB{}.B) - 16]byte
+)
+
+// sumPix12 sums the R, G and B channels of groups*4 consecutive
+// pixels starting at p. Packed adds re-associate the reduction, so
+// low-order bits can differ from a strict left-to-right scalar fold;
+// callers assert agreement with the reference path at symbol level.
+//
+//go:noescape
+func sumPix12(p *colorspace.RGB, groups int) (sr, sg, sb float64)
+
+// sumPixPlanes fills sr/sg/sb (one value per row) with the channel
+// sums of rows consecutive rows of groups*4 pixels each, streaming
+// the whole frame through the packed kernel in a single call.
+//
+//go:noescape
+func sumPixPlanes(p *colorspace.RGB, rows, groups int, scale float64, sr, sg, sb *float64)

@@ -1,0 +1,121 @@
+package modem
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"colorbars/internal/colorspace"
+)
+
+// TestSumPix12MatchesScalar pins the packed row-sum kernel against a
+// plain left-to-right fold: channel sums must agree to within
+// re-association rounding for random pixel data at several widths.
+func TestSumPix12MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, cols := range []int{4, 8, 24, 96, 400} {
+		for trial := 0; trial < 50; trial++ {
+			px := make([]colorspace.RGB, cols)
+			for i := range px {
+				px[i] = colorspace.RGB{
+					R: rng.Float64() * 255,
+					G: rng.Float64() * 255,
+					B: rng.Float64() * 255,
+				}
+			}
+			var wr, wg, wb float64
+			for _, p := range px {
+				wr += p.R
+				wg += p.G
+				wb += p.B
+			}
+			gr, gg, gb := sumPix12(&px[0], cols/4)
+			const tol = 1e-9
+			if math.Abs(gr-wr) > tol*math.Max(1, wr) ||
+				math.Abs(gg-wg) > tol*math.Max(1, wg) ||
+				math.Abs(gb-wb) > tol*math.Max(1, wb) {
+				t.Fatalf("cols=%d trial=%d: kernel (%g,%g,%g) vs scalar (%g,%g,%g)",
+					cols, trial, gr, gg, gb, wr, wg, wb)
+			}
+		}
+	}
+}
+
+// TestSumPix12Signs exercises negative and denormal-free edge values
+// through the kernel (the Lab planes can go negative after white
+// subtraction elsewhere; the kernel must be sign-agnostic).
+func TestSumPix12Signs(t *testing.T) {
+	px := make([]colorspace.RGB, 8)
+	for i := range px {
+		v := float64(i - 4)
+		px[i] = colorspace.RGB{R: v, G: -v, B: v * 0.5}
+	}
+	r, g, b := sumPix12(&px[0], 2)
+	if r != -4 || g != 4 || b != -2 {
+		t.Fatalf("got (%g,%g,%g), want (-4,4,-2)", r, g, b)
+	}
+}
+
+// TestOrderStatExact pins the histogram-guided selection against a
+// full sort: the k-th order statistic must be the sorted value
+// exactly, across uniform, clustered, and constant planes.
+func TestOrderStatExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []func() float64{
+		func() float64 { return rng.Float64() * 100 },
+		func() float64 { return 42 + rng.NormFloat64()*0.01 },
+		func() float64 { return 13.5 },
+		func() float64 { return math.Floor(rng.Float64()*4) * 25 },
+	}
+	for si, gen := range shapes {
+		for _, n := range []int{1, 2, 7, 100, 3264} {
+			s := getScratch(n)
+			for i := range s.l {
+				s.l[i] = gen()
+			}
+			sorted := append([]float64(nil), s.l...)
+			sort.Float64s(sorted)
+			ks := []int{0, n / 20, n / 2, n * 3 / 4, n - 1}
+			// Every rank pair, both as the low and the high selection,
+			// including equal ranks and pairs landing in one bucket.
+			for _, k1 := range ks {
+				for _, k2 := range ks {
+					if k1 > k2 {
+						continue
+					}
+					g1, g2 := s.orderStat2(k1, k2)
+					if g1 != sorted[k1] || g2 != sorted[k2] {
+						t.Fatalf("shape %d n=%d k=(%d,%d): got (%v,%v) want (%v,%v)",
+							si, n, k1, k2, g1, g2, sorted[k1], sorted[k2])
+					}
+				}
+			}
+			putScratch(s)
+		}
+	}
+}
+
+// TestSumPixPlanesMatchesPerRow pins the whole-frame kernel against
+// per-row sumPix12 calls bit-for-bit.
+func TestSumPixPlanesMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, dim := range []struct{ rows, cols int }{{1, 4}, {3, 8}, {17, 24}, {100, 4}} {
+		px := make([]colorspace.RGB, dim.rows*dim.cols)
+		for i := range px {
+			px[i] = colorspace.RGB{R: rng.Float64(), G: rng.Float64(), B: rng.Float64()}
+		}
+		r := make([]float64, dim.rows)
+		g := make([]float64, dim.rows)
+		b := make([]float64, dim.rows)
+		sumPixPlanes(&px[0], dim.rows, dim.cols/4, 0.5, &r[0], &g[0], &b[0])
+		for i := 0; i < dim.rows; i++ {
+			wr, wg, wb := sumPix12(&px[i*dim.cols], dim.cols/4)
+			wr, wg, wb = wr*0.5, wg*0.5, wb*0.5
+			if r[i] != wr || g[i] != wg || b[i] != wb {
+				t.Fatalf("%dx%d row %d: planes (%v,%v,%v) vs per-row (%v,%v,%v)",
+					dim.rows, dim.cols, i, r[i], g[i], b[i], wr, wg, wb)
+			}
+		}
+	}
+}

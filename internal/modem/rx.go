@@ -280,7 +280,54 @@ type Receiver struct {
 	}
 	distGauge *telemetry.Gauge // rx.classify_distance
 	syncGauge *telemetry.Gauge // rx.sync_state (0 locked, 1 degraded)
+
+	// refFrontEnd routes frames through the scalar reference front end
+	// (strip.go) instead of the columnar one. Only the differential
+	// test harness flips it; both paths feed the identical back half.
+	refFrontEnd bool
+	// symTap, when set, observes each frame's classified symbols before
+	// deframing. The slice is scratch, valid only during the call.
+	// Test-only instrumentation.
+	symTap func([]packet.RxSymbol)
+
+	// Pooled per-frame buffers: classified symbols, the deframer feed
+	// (gap marker + symbols), parsed packets, and margins. Reused every
+	// frame so the steady-state pipeline stays allocation-free.
+	symBuf    []packet.RxSymbol
+	feedBuf   []packet.RxSymbol
+	pktBuf    []packet.RxPacket
+	marginBuf []linkstats.Margin
+
+	// dec is the scratch-carrying RS decoder; ds is the demodulation
+	// scratch. Free-lists recycle the only block-lifetime buffers —
+	// Data, RawSymbols and the returned []Block — through Recycle.
+	dec       *rs.Decoder
+	ds        decodeScratch
+	dataFree  [][]byte
+	rawFree   [][]int
+	blockFree [][]Block
 }
+
+// decodeScratch holds every working buffer the sequential decode tail
+// needs, reused across packets. All are private to the receiver's
+// single decode goroutine.
+type decodeScratch struct {
+	sizeIdx  []int           // size-field constellation indices
+	gaps     []int           // gap positions rebased past the size field
+	split    []int           // the hypothesized per-gap loss split
+	order    []int           // per-gap loss candidates, most even first
+	layout   []bool          // reconstructed white/data slot layout
+	erased   []bool          // per-byte erasure flags
+	erasures []int           // erased byte positions, ascending
+	filled   []int           // raw symbols with erasures zero-filled
+	cw       []byte          // unpacked (and descrambled) codeword
+	reenc    []byte          // re-encoded codeword for correction count
+	calib    []colorspace.AB // permutation-corrected calibration colors
+}
+
+// maxFreeBufs bounds each free-list so a pathological burst cannot pin
+// unbounded memory.
+const maxFreeBufs = 32
 
 // NewReceiver builds a receiver.
 func NewReceiver(cfg RxConfig) (*Receiver, error) {
@@ -307,6 +354,7 @@ func NewReceiver(cfg RxConfig) (*Receiver, error) {
 		ls:        cfg.LinkStats,
 		distGauge: tel.Gauge("rx.classify_distance"),
 		syncGauge: tel.Gauge("rx.sync_state"),
+		dec:       cfg.Code.NewDecoder(),
 	}
 	r.heal.cfg = cfg.SelfHeal.withDefaults()
 	// The classifier always knows the factory constellation geometry —
@@ -424,24 +472,20 @@ func (r *Receiver) ProcessFrame(f *camera.Frame) []Block {
 	frame := r.tel.StartSpan("rx.frame")
 	defer frame.End()
 	r.c.frames.Inc()
-	rowsPerSym := 1 / (r.cfg.SymbolRate * f.RowTime)
 
-	sp := frame.StartChild("rx.strip")
-	strip := getStrip(f.Rows)
-	extractStripInto(*strip, f)
+	var a *Analysis
+	if r.refFrontEnd {
+		a = r.analyzeReference(frame, f)
+	} else {
+		a = r.analyzeFast(frame, f)
+	}
+
+	sp := frame.StartChild("rx.classify")
+	r.symBuf = r.cls.emitSymbolsInto(r.symBuf[:0], a)
 	sp.End()
+	recycleAnalysis(a)
 
-	sp = frame.StartChild("rx.segment")
-	bands := segmentBands(*strip, rowsPerSym, f.Exposure/f.RowTime)
-	sp.End()
-
-	sp = frame.StartChild("rx.classify")
-	plan := planBands(*strip, bands, rowsPerSym)
-	putStrip(strip)
-	syms := r.cls.emitSymbols(plan)
-	sp.End()
-
-	return r.finishSymbols(syms, frame)
+	return r.finishSymbols(r.symBuf, frame)
 }
 
 // Analyze runs the CPU-heavy, receiver-state-independent front end on
@@ -455,20 +499,10 @@ func (r *Receiver) ProcessFrame(f *camera.Frame) []Block {
 func (r *Receiver) Analyze(f *camera.Frame) *Analysis {
 	parent := r.tel.StartSpan("rx.analyze")
 	defer parent.End()
-	rowsPerSym := 1 / (r.cfg.SymbolRate * f.RowTime)
-
-	sp := parent.StartChild("rx.strip")
-	strip := getStrip(f.Rows)
-	extractStripInto(*strip, f)
-	sp.End()
-
-	sp = parent.StartChild("rx.segment")
-	bands := segmentBands(*strip, rowsPerSym, f.Exposure/f.RowTime)
-	sp.End()
-
-	plan := planBands(*strip, bands, rowsPerSym)
-	putStrip(strip)
-	return plan
+	if r.refFrontEnd {
+		return r.analyzeReference(parent, f)
+	}
+	return r.analyzeFast(parent, f)
 }
 
 // ProcessAnalysis completes the processing of an analyzed frame:
@@ -478,16 +512,20 @@ func (r *Receiver) Analyze(f *camera.Frame) *Analysis {
 // (references, deframer buffer) and are inherently sequential. For any
 // frame sequence, Analyze + ProcessAnalysis yields exactly the blocks
 // ProcessFrame yields.
+//
+// The Analysis is recycled into the analysis pool on return; the
+// caller must not use it afterwards.
 func (r *Receiver) ProcessAnalysis(a *Analysis) []Block {
 	frame := r.tel.StartSpan("rx.frame")
 	defer frame.End()
 	r.c.frames.Inc()
 
 	sp := frame.StartChild("rx.classify")
-	syms := r.cls.emitSymbols(a)
+	r.symBuf = r.cls.emitSymbolsInto(r.symBuf[:0], a)
 	sp.End()
+	recycleAnalysis(a)
 
-	return r.finishSymbols(syms, frame)
+	return r.finishSymbols(r.symBuf, frame)
 }
 
 // finishSymbols runs the sequential back half of frame processing —
@@ -509,24 +547,33 @@ func (r *Receiver) finishSymbols(syms []packet.RxSymbol, frame telemetry.Span) [
 	r.c.symbolsData.Add(nData)
 	r.c.symbolsWhite.Add(nWhite)
 	r.c.symbolsOff.Add(nOff)
+	if r.symTap != nil {
+		r.symTap(syms)
+	}
 
-	var feed []packet.RxSymbol
+	feed := r.feedBuf[:0]
 	if r.started {
 		feed = append(feed, packet.RxSymbol{Kind: packet.KindGap})
 	}
 	r.started = true
 	feed = append(feed, syms...)
+	r.feedBuf = feed
 
 	sp := frame.StartChild("rx.deframe")
-	pkts := r.deframer.Push(feed)
+	r.pktBuf = r.deframer.PushInto(feed, r.pktBuf[:0])
+	pkts := r.pktBuf
 	sp.End()
 	discards := r.syncDiscards()
 
 	sp = frame.StartChild("rx.decode")
 	var blocks []Block
-	for _, pkt := range pkts {
-		if b := r.handlePacket(pkt); b != nil {
-			blocks = append(blocks, *b)
+	for i := range pkts {
+		var blk Block
+		if r.handlePacket(pkts[i], &blk) {
+			if blocks == nil {
+				blocks = r.getBlockSlice()
+			}
+			blocks = append(blocks, blk)
 		}
 	}
 	sp.End()
@@ -548,24 +595,29 @@ const marginL = 50
 // (nearest-by-AB, i.e. the classification the decoder actually used)
 // reference, versus the closest other reference. Only meaningful once
 // references exist.
+//
+// Margins are evaluated at the shared nominal lightness marginL —
+// DeltaE2000AB computes exactly the CIEDE2000 value of the Lab pairs
+// pinned there. The runner-up search walks the classifier's
+// precomputed neighbor table: exhaustive for constellations of up to
+// 1+maxMarginNeighbors points, a nearest-neighbor approximation
+// beyond that (margins feed observability, not decoding). The
+// returned slice is scratch, reused next frame; linkstats.EndFrame
+// consumes it without retaining.
 func (r *Receiver) collectMargins(syms []packet.RxSymbol) []linkstats.Margin {
 	if !r.haveRefs {
 		return nil
 	}
-	var margins []linkstats.Margin
+	margins := r.marginBuf[:0]
 	for _, s := range syms {
 		if s.Kind != packet.KindData {
 			continue
 		}
 		win := csk.NearestAB(s.AB, r.refs)
-		obs := colorspace.Lab{L: marginL, A: s.AB.A, B: s.AB.B}
-		dWin := 0.0
+		dWin := colorspace.DeltaE2000AB(s.AB, r.refs[win])
 		dRun := math.Inf(1)
-		for i, ref := range r.refs {
-			d := colorspace.DeltaE2000(obs, colorspace.Lab{L: marginL, A: ref.A, B: ref.B})
-			if i == win {
-				dWin = d
-			} else if d < dRun {
+		for _, j := range r.cls.runnerUps(win) {
+			if d := colorspace.DeltaE2000AB(s.AB, r.refs[j]); d < dRun {
 				dRun = d
 			}
 		}
@@ -574,6 +626,7 @@ func (r *Receiver) collectMargins(syms []packet.RxSymbol) []linkstats.Margin {
 		}
 		margins = append(margins, linkstats.Margin{Point: win, Win: dWin, RunnerUp: dRun})
 	}
+	r.marginBuf = margins
 	return margins
 }
 
@@ -676,15 +729,18 @@ func (r *Receiver) Flush() []Block {
 	r.syncDiscards()
 	var blocks []Block
 	for _, pkt := range pkts {
-		if b := r.handlePacket(pkt); b != nil {
-			blocks = append(blocks, *b)
+		var blk Block
+		if r.handlePacket(pkt, &blk) {
+			blocks = append(blocks, blk)
 		}
 	}
 	return blocks
 }
 
-// handlePacket dispatches one deframed packet.
-func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
+// handlePacket dispatches one deframed packet. It fills blk and
+// reports true when the packet produced a block (every data packet
+// does, recovered or not); calibration packets return false.
+func (r *Receiver) handlePacket(pkt packet.RxPacket, blk *Block) bool {
 	switch pkt.Kind {
 	case packet.PacketCalibration:
 		r.c.packetsCalibration.Inc()
@@ -693,17 +749,22 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 			// packet; accepting its colors would poison the reference
 			// set for every later packet. Reject implausible bodies.
 			r.c.calibrationRejected.Inc()
-			return nil
+			return false
 		}
 		if len(pkt.Colors) == int(r.cfg.Order) && !r.cfg.UseFactoryReferences {
 			// Undo the transmission permutation (see
 			// csk.Constellation.CalibrationOrder).
 			perm := r.cons.CalibrationOrder()
-			colors := make([]colorspace.AB, len(pkt.Colors))
-			for i, idx := range perm {
-				colors[idx] = pkt.Colors[i]
+			calib := r.ds.calib
+			if cap(calib) < len(pkt.Colors) {
+				calib = make([]colorspace.AB, len(pkt.Colors))
 			}
-			pkt.Colors = colors
+			calib = calib[:len(pkt.Colors)]
+			for i, idx := range perm {
+				calib[idx] = pkt.Colors[i]
+			}
+			r.ds.calib = calib
+			pkt.Colors = calib
 			drift := 0.0
 			if r.ls != nil && r.haveRefs {
 				// Calibration drift: how far this packet says the
@@ -747,28 +808,28 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 				r.syncGauge.Set(0)
 			}
 		}
-		return nil
+		return false
 	case packet.PacketData:
 		r.c.packetsData.Inc()
 		if !r.haveRefs {
 			// Cannot demodulate before the first calibration packet
 			// (§6.2: a new receiver waits for one).
 			r.c.uncalibratedDrops.Inc()
-			return nil
+			return false
 		}
-		b := r.decodeData(pkt)
-		if b.Recovered {
+		r.decodeData(pkt, blk)
+		if blk.Recovered {
 			r.c.rsDecodeOK.Inc()
 		} else {
 			r.c.rsDecodeFail.Inc()
 		}
 		if r.ls != nil {
 			r.ls.RecordBlock(linkstats.BlockObs{
-				Recovered:      b.Recovered,
-				Erasures:       b.Erasures,
-				CorrectedBytes: r.correctionCount(b),
+				Recovered:      blk.Recovered,
+				Erasures:       blk.Erasures,
+				CorrectedBytes: r.correctionCount(blk),
 				ParityBytes:    r.cfg.Code.ParityBytes(),
-				RawSymbols:     b.RawSymbols,
+				RawSymbols:     blk.RawSymbols,
 			})
 		}
 		if r.heal.stale {
@@ -777,9 +838,9 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket) *Block {
 			r.c.degradedBlocks.Inc()
 			r.ls.NoteDegradedBlock()
 		}
-		return b
+		return true
 	}
-	return nil
+	return false
 }
 
 // correctionCount estimates how many unknown-position byte errors the
@@ -792,10 +853,19 @@ func (r *Receiver) correctionCount(b *Block) int {
 	if !b.Recovered || b.Data == nil {
 		return 0
 	}
+	ds := &r.ds
 	n := r.cfg.Code.N()
 	c := r.cfg.Order.BitsPerSymbol()
-	filled := make([]int, len(b.RawSymbols))
-	erased := make([]bool, n)
+	erased := ds.erased
+	if cap(erased) < n {
+		erased = make([]bool, n)
+	}
+	erased = erased[:n]
+	for i := range erased {
+		erased[i] = false
+	}
+	ds.erased = erased
+	filled := ds.filled[:0]
 	for i, s := range b.RawSymbols {
 		if s < 0 {
 			firstByte := i * c / 8
@@ -803,19 +873,23 @@ func (r *Receiver) correctionCount(b *Block) int {
 			for by := firstByte; by <= lastByte && by < n; by++ {
 				erased[by] = true
 			}
+			filled = append(filled, 0)
 		} else {
-			filled[i] = s
+			filled = append(filled, s)
 		}
 	}
-	received, err := r.cfg.Order.Unpack(filled, n)
+	ds.filled = filled
+	received, err := r.cfg.Order.AppendUnpack(ds.cw[:0], filled, n)
 	if err != nil {
 		return 0
 	}
-	received = packet.Scramble(received) // undo payload whitening
-	reenc, err := r.cfg.Code.Encode(b.Data)
+	ds.cw = received
+	packet.ScrambleInPlace(received) // undo payload whitening
+	reenc, err := r.cfg.Code.EncodeInto(ds.reenc[:0], b.Data)
 	if err != nil || len(reenc) != len(received) {
 		return 0
 	}
+	ds.reenc = reenc
 	diffs := 0
 	for i := range reenc {
 		if !erased[i] && reenc[i] != received[i] {
@@ -825,35 +899,37 @@ func (r *Receiver) correctionCount(b *Block) int {
 	return diffs
 }
 
-// decodeData demodulates and RS-decodes one data packet. When the
-// packet straddled several inter-frame gaps, only the *total* number
-// of missing slots is known (from the header size field), not how the
-// loss split between the gaps; the decoder searches the splits,
-// letting the Reed-Solomon syndrome check reject wrong guesses.
-func (r *Receiver) decodeData(pkt packet.RxPacket) *Block {
-	blk := &Block{}
+// decodeData demodulates and RS-decodes one data packet into blk.
+// When the packet straddled several inter-frame gaps, only the *total*
+// number of missing slots is known (from the header size field), not
+// how the loss split between the gaps; the decoder searches the
+// splits, letting the Reed-Solomon syndrome check reject wrong
+// guesses.
+func (r *Receiver) decodeData(pkt packet.RxPacket, blk *Block) {
+	ds := &r.ds
 	nSize := packet.SizeSymbols(r.cfg.Order)
 	if len(pkt.Slots) < nSize {
-		return blk
+		return
 	}
 	// Match and decode the size field.
-	sizeIdx := make([]int, nSize)
+	sizeIdx := ds.sizeIdx[:0]
 	for i := 0; i < nSize; i++ {
-		sizeIdx[i] = csk.NearestAB(pkt.Slots[i].AB, r.refs)
+		sizeIdx = append(sizeIdx, csk.NearestAB(pkt.Slots[i].AB, r.refs))
 	}
+	ds.sizeIdx = sizeIdx
 	totalSlots, err := r.pktCfg.DecodeSizeField(sizeIdx)
 	if err != nil {
 		r.c.sizeFieldBad.Inc()
-		return blk
+		return
 	}
 
 	observed := pkt.Slots[nSize:]
 	missing := totalSlots - len(observed)
 	if missing < 0 {
 		// More slots observed than declared: corrupt size field.
-		return blk
+		return
 	}
-	gaps := make([]int, 0, len(pkt.Gaps)+1)
+	gaps := ds.gaps[:0]
 	for _, g := range pkt.Gaps {
 		gaps = append(gaps, g-nSize)
 	}
@@ -862,15 +938,17 @@ func (r *Receiver) decodeData(pkt packet.RxPacket) *Block {
 		// the loss.
 		gaps = append(gaps, len(observed))
 	}
+	ds.gaps = gaps
 	for _, g := range gaps {
 		if g < 0 || g > len(observed) {
-			return blk
+			return
 		}
 	}
 
 	// Reconstruct the slot kinds for the whole packet from the shared
 	// layout rule.
-	layout := packet.WhiteLayout(totalSlots, r.cfg.WhiteFraction)
+	layout := packet.AppendWhiteLayout(ds.layout[:0], totalSlots, r.cfg.WhiteFraction)
+	ds.layout = layout
 	dataCount := 0
 	for _, w := range layout {
 		if !w {
@@ -881,7 +959,7 @@ func (r *Receiver) decodeData(pkt packet.RxPacket) *Block {
 	if dataCount != r.cfg.Order.SymbolsPerBytes(n) {
 		// Declared size does not correspond to one codeword: corrupt
 		// size field.
-		return blk
+		return
 	}
 
 	// Try loss splits across the gaps, most even first. With zero or
@@ -890,76 +968,157 @@ func (r *Receiver) decodeData(pkt packet.RxPacket) *Block {
 	// code's full parity. Every further attempt (multi-gap splits,
 	// position jitter) is a guess and must leave verification slack so
 	// a wrong guess cannot masquerade as a valid decode (see rsDecode).
+	//
+	// The whole search — the single deterministic split and the
+	// multi-gap enumeration — runs on decode scratch (ds.split,
+	// ds.order), allocation-free.
 	recovered := false
-	needSlack := len(gaps) > 1
-	trySplit := func(split []int) bool {
-		raw, erasures, symbolsObserved := r.assembleSymbols(layout, observed, gaps, split, n)
-		if blk.RawSymbols == nil {
-			// Keep the first (most even, most likely) assembly for
-			// SER accounting even if no split decodes.
-			blk.RawSymbols = raw
-			blk.Erasures = len(erasures)
-			blk.SymbolsObserved = symbolsObserved
-		}
-		data, decodeOK := r.rsDecode(raw, erasures, n, needSlack)
-		if !decodeOK {
-			return false
-		}
-		blk.RawSymbols = raw
-		blk.Erasures = len(erasures)
-		blk.SymbolsObserved = symbolsObserved
-		blk.Data = data
-		recovered = true
-		return true
+	split := ds.split
+	if cap(split) < len(gaps) {
+		split = make([]int, len(gaps))
 	}
-	forEachSplit(missing, len(gaps), 2000, trySplit)
-	if !recovered && len(gaps) == 1 && missing > 0 {
-		// Band miscounting can offset the gap's apparent position by a
-		// slot or two; these retries are guesses, so they too require
-		// verification slack.
-		needSlack = true
-		base := gaps[0]
-		for _, delta := range []int{-1, 1, -2, 2, -3, 3} {
-			g := base + delta
-			if g < 0 || g > len(observed) {
-				continue
+	split = split[:len(gaps)]
+	ds.split = split
+	if len(gaps) <= 1 {
+		if len(gaps) == 1 {
+			split[0] = missing
+		}
+		recovered = r.trySplit(blk, layout, observed, gaps, split, n, false)
+		if !recovered && len(gaps) == 1 && missing > 0 {
+			// Band miscounting can offset the gap's apparent position
+			// by a slot or two; these retries are guesses, so they
+			// require verification slack.
+			base := gaps[0]
+			for _, delta := range [...]int{-1, 1, -2, 2, -3, 3} {
+				g := base + delta
+				if g < 0 || g > len(observed) {
+					continue
+				}
+				gaps[0] = g
+				if r.trySplit(blk, layout, observed, gaps, split, n, true) {
+					recovered = true
+					break
+				}
 			}
-			gaps[0] = g
-			if trySplit([]int{missing}) {
+			gaps[0] = base
+		}
+	} else {
+		// Per-gap candidate losses ordered by distance from the even
+		// share (the same sequence forEachSplit enumerates: gaps have
+		// equal durations, so even splits are overwhelmingly likely).
+		base := missing / len(gaps)
+		order := append(ds.order[:0], base)
+		for d := 1; ; d++ {
+			grew := false
+			if base+d <= missing {
+				order = append(order, base+d)
+				grew = true
+			}
+			if base-d >= 0 {
+				order = append(order, base-d)
+				grew = true
+			}
+			if !grew {
 				break
 			}
 		}
-		gaps[0] = base
+		ds.order = order
+		tries := 0
+		recovered = r.searchSplits(blk, layout, observed, gaps, order, split, n, 0, missing, &tries)
 	}
 	blk.Recovered = recovered
-	return blk
+}
+
+// maxSplitTries bounds the multi-gap loss-split search, matching
+// forEachSplit's historical budget.
+const maxSplitTries = 2000
+
+// searchSplits recursively enumerates multi-gap loss splits in
+// most-even-first order (the sequence forEachSplit produces) on the
+// decode scratch, trying each against the RS decoder until one
+// verifies or the budget runs out. Verification slack is always
+// required here: every multi-gap split is a guess.
+func (r *Receiver) searchSplits(blk *Block, layout []bool, observed []packet.RxSlot, gaps, order, split []int, n, idx, remaining int, tries *int) bool {
+	if idx == len(gaps)-1 {
+		if *tries >= maxSplitTries {
+			return false
+		}
+		*tries++
+		split[idx] = remaining
+		return r.trySplit(blk, layout, observed, gaps, split, n, true)
+	}
+	for _, v := range order {
+		if v > remaining {
+			continue
+		}
+		split[idx] = v
+		if r.searchSplits(blk, layout, observed, gaps, order, split, n, idx+1, remaining-v, tries) {
+			return true
+		}
+		if *tries >= maxSplitTries {
+			return false
+		}
+	}
+	return false
+}
+
+// trySplit attempts one hypothesized loss split: assemble the symbol
+// stream, RS-decode, and on success store the result in blk. The
+// first assembly (most even, most likely) is kept for SER accounting
+// even if no split decodes; buffers from superseded attempts return
+// to the free-lists.
+func (r *Receiver) trySplit(blk *Block, layout []bool, observed []packet.RxSlot, gaps, split []int, n int, needSlack bool) bool {
+	raw, erasures, symbolsObserved := r.assembleSymbols(layout, observed, gaps, split, n)
+	data, decodeOK := r.rsDecode(raw, erasures, n, needSlack)
+	if !decodeOK {
+		if blk.RawSymbols == nil {
+			blk.RawSymbols = raw
+			blk.Erasures = len(erasures)
+			blk.SymbolsObserved = symbolsObserved
+		} else {
+			r.putRawBuf(raw)
+		}
+		return false
+	}
+	if blk.RawSymbols != nil && &blk.RawSymbols[0] != &raw[0] {
+		r.putRawBuf(blk.RawSymbols)
+	}
+	blk.RawSymbols = raw
+	blk.Erasures = len(erasures)
+	blk.SymbolsObserved = symbolsObserved
+	blk.Data = data
+	return true
 }
 
 // assembleSymbols walks the packet's slots for one hypothesized loss
 // split (split[i] slots lost at gap i), returning the matched
 // constellation indices (-1 = erased), the byte-level erasure
 // positions, and the observed-symbol count.
+//
+// raw comes from the receiver's free-list (it outlives the call as
+// Block.RawSymbols); erasures is scratch, ascending (the RS decoder
+// is order-independent: the erasure locator is a commutative product
+// over positions).
 func (r *Receiver) assembleSymbols(layout []bool, observed []packet.RxSlot, gaps, split []int, n int) (raw []int, erasures []int, symbolsObserved int) {
+	ds := &r.ds
 	c := r.cfg.Order.BitsPerSymbol()
-	erasedBytes := map[int]bool{}
-	markErased := func(symIdx int) {
-		firstByte := symIdx * c / 8
-		lastByte := ((symIdx+1)*c - 1) / 8
-		for by := firstByte; by <= lastByte && by < n; by++ {
-			erasedBytes[by] = true
-		}
+	erased := ds.erased
+	if cap(erased) < n {
+		erased = make([]bool, n)
 	}
-	raw = make([]int, 0, r.cfg.Order.SymbolsPerBytes(n))
+	erased = erased[:n]
+	for i := range erased {
+		erased[i] = false
+	}
+	ds.erased = erased
+	raw = r.getRawBuf()
 	oi := 0          // next observed slot
 	gi := 0          // next gap
 	pendingLoss := 0 // slots still missing at the current position
-	activateGaps := func() {
-		for gi < len(gaps) && gaps[gi] == oi {
-			pendingLoss += split[gi]
-			gi++
-		}
+	for gi < len(gaps) && gaps[gi] == oi {
+		pendingLoss += split[gi]
+		gi++
 	}
-	activateGaps()
 	for slot := 0; slot < len(layout); slot++ {
 		fromGap := pendingLoss > 0
 		if fromGap {
@@ -973,7 +1132,12 @@ func (r *Receiver) assembleSymbols(layout []bool, observed []packet.RxSlot, gaps
 			}
 		} else {
 			if fromGap || oi >= len(observed) {
-				markErased(len(raw))
+				symIdx := len(raw)
+				firstByte := symIdx * c / 8
+				lastByte := ((symIdx+1)*c - 1) / 8
+				for by := firstByte; by <= lastByte && by < n; by++ {
+					erased[by] = true
+				}
 				raw = append(raw, -1)
 			} else {
 				idx := csk.NearestAB(observed[oi].AB, r.refs)
@@ -983,13 +1147,19 @@ func (r *Receiver) assembleSymbols(layout []bool, observed []packet.RxSlot, gaps
 			}
 		}
 		if pendingLoss == 0 {
-			activateGaps()
+			for gi < len(gaps) && gaps[gi] == oi {
+				pendingLoss += split[gi]
+				gi++
+			}
 		}
 	}
-	erasures = make([]int, 0, len(erasedBytes))
-	for by := range erasedBytes {
-		erasures = append(erasures, by)
+	erasures = ds.erasures[:0]
+	for by := 0; by < n; by++ {
+		if erased[by] {
+			erasures = append(erasures, by)
+		}
 	}
+	ds.erasures = erasures
 	return raw, erasures, symbolsObserved
 }
 
@@ -998,19 +1168,22 @@ func (r *Receiver) assembleSymbols(layout []bool, observed []packet.RxSlot, gaps
 // attempts, which must leave spare parity for verification.
 func (r *Receiver) rsDecode(raw []int, erasures []int, n int, needSlack bool) ([]byte, bool) {
 	r.c.rsAttempts.Inc()
-	filled := make([]int, len(raw))
-	for i, s := range raw {
+	ds := &r.ds
+	filled := ds.filled[:0]
+	for _, s := range raw {
 		if s < 0 {
-			filled[i] = 0
+			filled = append(filled, 0)
 		} else {
-			filled[i] = s
+			filled = append(filled, s)
 		}
 	}
-	codeword, err := r.cfg.Order.Unpack(filled, n)
+	ds.filled = filled
+	codeword, err := r.cfg.Order.AppendUnpack(ds.cw[:0], filled, n)
 	if err != nil {
 		return nil, false
 	}
-	codeword = packet.Scramble(codeword) // undo payload whitening
+	ds.cw = codeword
+	packet.ScrambleInPlace(codeword) // undo payload whitening
 	eras := erasures
 	if r.cfg.NoErasureDecoding {
 		eras = nil
@@ -1029,11 +1202,78 @@ func (r *Receiver) rsDecode(raw []int, erasures []int, n int, needSlack bool) ([
 	if len(eras) > limit {
 		return nil, false
 	}
-	data, err := r.cfg.Code.Decode(codeword, eras)
+	data, err := r.dec.Decode(codeword, eras)
 	if err != nil {
 		return nil, false
 	}
-	return append([]byte(nil), data...), true
+	return append(r.getDataBuf(), data...), true
+}
+
+// getRawBuf pops a RawSymbols buffer from the free-list (sized for one
+// codeword's data symbols), or allocates one.
+func (r *Receiver) getRawBuf() []int {
+	if n := len(r.rawFree); n > 0 {
+		b := r.rawFree[n-1]
+		r.rawFree = r.rawFree[:n-1]
+		return b[:0]
+	}
+	return make([]int, 0, r.cfg.Order.SymbolsPerBytes(r.cfg.Code.N()))
+}
+
+func (r *Receiver) putRawBuf(b []int) {
+	if b != nil && len(r.rawFree) < maxFreeBufs {
+		r.rawFree = append(r.rawFree, b)
+	}
+}
+
+// getDataBuf pops a Block.Data buffer from the free-list, or allocates
+// one sized for the code's k data bytes.
+func (r *Receiver) getDataBuf() []byte {
+	if n := len(r.dataFree); n > 0 {
+		b := r.dataFree[n-1]
+		r.dataFree = r.dataFree[:n-1]
+		return b[:0]
+	}
+	return make([]byte, 0, r.cfg.Code.K())
+}
+
+func (r *Receiver) putDataBuf(b []byte) {
+	if b != nil && len(r.dataFree) < maxFreeBufs {
+		r.dataFree = append(r.dataFree, b)
+	}
+}
+
+// getBlockSlice pops a result slice for finishSymbols from the
+// free-list, or allocates one.
+func (r *Receiver) getBlockSlice() []Block {
+	if n := len(r.blockFree); n > 0 {
+		s := r.blockFree[n-1]
+		r.blockFree = r.blockFree[:n-1]
+		return s[:0]
+	}
+	return make([]Block, 0, 4)
+}
+
+// Recycle returns blocks previously delivered by ProcessFrame,
+// ProcessAnalysis or Flush to the receiver's free-lists, closing the
+// allocation loop: a caller that recycles every batch runs the
+// steady-state decode path allocation-free. The blocks — including
+// their Data and RawSymbols — must not be used after the call.
+// Recycle must run on the same goroutine as the sequential decode
+// path. Not recycling is always safe; the buffers are then simply
+// garbage-collected.
+func (r *Receiver) Recycle(blocks []Block) {
+	if blocks == nil {
+		return
+	}
+	for i := range blocks {
+		r.putDataBuf(blocks[i].Data)
+		r.putRawBuf(blocks[i].RawSymbols)
+		blocks[i] = Block{}
+	}
+	if len(r.blockFree) < maxFreeBufs {
+		r.blockFree = append(r.blockFree, blocks[:0])
+	}
 }
 
 // forEachSplit enumerates ways to split total lost slots among parts

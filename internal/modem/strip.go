@@ -206,7 +206,21 @@ type classifier struct {
 	whiteMargin float64
 	// offChroma is the maximum a,b-plane chroma of an OFF band.
 	offChroma float64
+
+	// neighbors[i] lists, for reference i, the indexes of up to
+	// maxMarginNeighbors other references ordered by squared a,b-plane
+	// distance — the runner-up candidate set the margin accounting
+	// scans instead of the full constellation. For orders ≤ 9 the set
+	// holds every other reference, so the CIEDE2000 runner-up search
+	// over it is exhaustive; for 16/32-CSK it is a pruned
+	// approximation (margins are observability, not decode input).
+	neighbors [][]int
+	// neighborBuf backs the neighbors sub-slices.
+	neighborBuf []int
 }
+
+// maxMarginNeighbors bounds the per-reference runner-up candidate set.
+const maxMarginNeighbors = 8
 
 func newClassifier() *classifier {
 	return &classifier{
@@ -241,9 +255,59 @@ func offLevelFor(strip []stripRow) float64 {
 }
 
 // setDataRefs installs the constellation colors used for
-// white-vs-data discrimination.
+// white-vs-data discrimination and rebuilds the margin runner-up
+// tables. Called once per applied calibration packet — the O(k²)
+// rebuild (k ≤ 32) is amortized over every symbol classified until
+// the next calibration.
 func (c *classifier) setDataRefs(refs []colorspace.AB) {
 	c.dataRefs = append(c.dataRefs[:0], refs...)
+
+	k := len(refs)
+	if cap(c.neighbors) < k {
+		c.neighbors = make([][]int, k)
+	}
+	c.neighbors = c.neighbors[:k]
+	if cap(c.neighborBuf) < k*maxMarginNeighbors {
+		c.neighborBuf = make([]int, k*maxMarginNeighbors)
+	}
+	c.neighborBuf = c.neighborBuf[:0]
+	for i := 0; i < k; i++ {
+		// Insertion sort the other references into a fixed-size
+		// nearest-first window.
+		var idx [maxMarginNeighbors]int
+		var dst [maxMarginNeighbors]float64
+		n := 0
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			d := refs[i].DistSq(refs[j])
+			if n < maxMarginNeighbors {
+				idx[n], dst[n] = j, d
+				n++
+			} else if d < dst[n-1] {
+				idx[n-1], dst[n-1] = j, d
+			} else {
+				continue
+			}
+			for p := n - 1; p > 0 && dst[p] < dst[p-1]; p-- {
+				idx[p], idx[p-1] = idx[p-1], idx[p]
+				dst[p], dst[p-1] = dst[p-1], dst[p]
+			}
+		}
+		start := len(c.neighborBuf)
+		c.neighborBuf = append(c.neighborBuf, idx[:n]...)
+		c.neighbors[i] = c.neighborBuf[start : start+n]
+	}
+}
+
+// runnerUps returns the runner-up candidate indexes for reference win
+// (empty for out-of-range win or single-point constellations).
+func (c *classifier) runnerUps(win int) []int {
+	if win < 0 || win >= len(c.neighbors) {
+		return nil
+	}
+	return c.neighbors[win]
 }
 
 // classify maps a band color to a received symbol. OFF is decided by
@@ -253,24 +317,27 @@ func (c *classifier) setDataRefs(refs []colorspace.AB) {
 // so low-saturation constellation points are not swallowed while
 // strongly hue-rotated ones are not mistaken for white.
 func (c *classifier) classify(lab colorspace.Lab) packet.RxSymbol {
+	// All distance tests compare squared values: squaring is monotone
+	// on non-negative distances, so every decision below matches the
+	// plain-distance formulation while skipping a Hypot per compare.
+	ab := lab.AB()
 	// OFF means the LED emitted nothing: the band is both dark and
 	// colorless (ambient light only). Checking chroma keeps dim,
 	// saturated symbols at vignetted frame edges from reading as OFF.
-	if lab.L < c.offLevel && lab.AB().Dist(colorspace.AB{}) < c.offChroma {
+	if lab.L < c.offLevel && ab.DistSq(colorspace.AB{}) < c.offChroma*c.offChroma {
 		return packet.RxSymbol{Kind: packet.KindOff}
 	}
-	ab := lab.AB()
-	dWhite := ab.Dist(c.whiteAB)
-	if dWhite >= c.whiteMargin {
+	dWhiteSq := ab.DistSq(c.whiteAB)
+	if dWhiteSq >= c.whiteMargin*c.whiteMargin {
 		return packet.RxSymbol{Kind: packet.KindData, AB: ab}
 	}
-	dData := math.Inf(1)
+	dDataSq := math.Inf(1)
 	for _, r := range c.dataRefs {
-		if d := ab.Dist(r); d < dData {
-			dData = d
+		if d := ab.DistSq(r); d < dDataSq {
+			dDataSq = d
 		}
 	}
-	if dWhite < dData {
+	if dWhiteSq < dDataSq {
 		return packet.RxSymbol{Kind: packet.KindWhite, AB: ab}
 	}
 	return packet.RxSymbol{Kind: packet.KindData, AB: ab}
@@ -359,17 +426,22 @@ func planBands(strip []stripRow, bands []band, rowsPerSym float64) *Analysis {
 // mutable receiver state (calibrated data references), so it runs on
 // the sequential stage, in capture order.
 func (c *classifier) emitSymbols(a *Analysis) []packet.RxSymbol {
+	return c.emitSymbolsInto(nil, a)
+}
+
+// emitSymbolsInto is emitSymbols appending into a caller-owned buffer,
+// the allocation-free form the receiver's hot path uses.
+func (c *classifier) emitSymbolsInto(dst []packet.RxSymbol, a *Analysis) []packet.RxSymbol {
 	if a.hasOffLevel {
 		c.offLevel = a.offLevel
 	}
-	var out []packet.RxSymbol
 	for _, b := range a.bands {
 		sym := c.classify(b.lab)
 		for j := 0; j < b.count; j++ {
-			out = append(out, sym)
+			dst = append(dst, sym)
 		}
 	}
-	return out
+	return dst
 }
 
 // classifyBands adapts the OFF threshold to the frame, snaps band

@@ -74,6 +74,21 @@ type Deframer struct {
 	// Discarded counts packets or fragments dropped because their
 	// header was unusable.
 	Discarded int
+
+	// Arena storage for the zero-copy PushInto/FlushInto path: parsed
+	// packets reference sub-slices of these arenas instead of owning
+	// fresh allocations. The arenas reset at the start of every
+	// PushInto call, which is what bounds their size — and why
+	// packets returned by PushInto are only valid until the next
+	// PushInto/FlushInto call.
+	slotArena  []RxSlot
+	gapArena   []int
+	colorArena []colorspace.AB
+	// Per-parse scratch (never escapes into returned packets).
+	runBuf  []headerRun
+	sizeBuf []colorspace.AB
+	obsBuf  []RxSymbol
+	pkt     RxPacket
 }
 
 // NewDeframer returns a deframer for the link configuration. It
@@ -88,21 +103,65 @@ func NewDeframer(cfg Config) *Deframer {
 
 // Push appends received symbols to the parse buffer and returns any
 // packets that became complete. Use a single RxSymbol{Kind: KindGap}
-// to mark each inter-frame gap.
+// to mark each inter-frame gap. The returned packets own their slices
+// and stay valid indefinitely; the receiver's hot path uses PushInto,
+// which trades that guarantee for zero allocation.
 func (d *Deframer) Push(symbols []RxSymbol) []RxPacket {
+	out := d.PushInto(symbols, nil)
+	copyOutPackets(out)
+	return out
+}
+
+// PushInto is Push appending parsed packets into a caller-owned slice
+// (reset it with out[:0] to reuse). The returned packets' Slots, Gaps
+// and Colors slices point into arenas owned by the deframer and are
+// valid only until the next PushInto, FlushInto, Push or Flush call;
+// callers that retain packets must copy them (or use Push).
+func (d *Deframer) PushInto(symbols []RxSymbol, out []RxPacket) []RxPacket {
+	d.resetArenas()
 	d.buf = append(d.buf, symbols...)
-	var out []RxPacket
 	for {
 		pkt, consumed, ok := d.tryParse(false)
 		if !ok {
 			break
 		}
-		d.buf = d.buf[consumed:]
+		d.consume(consumed)
 		if pkt != nil {
 			out = append(out, *pkt)
 		}
 	}
 	return out
+}
+
+// consume drops the first n buffered symbols, compacting the buffer to
+// the front of its backing array so repeated appends reuse storage
+// instead of sliding off the end of it.
+func (d *Deframer) consume(n int) {
+	m := copy(d.buf, d.buf[n:])
+	d.buf = d.buf[:m]
+}
+
+func (d *Deframer) resetArenas() {
+	d.slotArena = d.slotArena[:0]
+	d.gapArena = d.gapArena[:0]
+	d.colorArena = d.colorArena[:0]
+}
+
+// copyOutPackets rewrites arena-backed packet slices into owned
+// copies, giving Push/Flush their retain-forever semantics.
+func copyOutPackets(pkts []RxPacket) {
+	for i := range pkts {
+		p := &pkts[i]
+		if p.Slots != nil {
+			p.Slots = append([]RxSlot(nil), p.Slots...)
+		}
+		if p.Gaps != nil {
+			p.Gaps = append([]int(nil), p.Gaps...)
+		}
+		if p.Colors != nil {
+			p.Colors = append([]colorspace.AB(nil), p.Colors...)
+		}
+	}
 }
 
 // Reset discards any partially buffered packet, returning the parser
@@ -120,19 +179,28 @@ func (d *Deframer) Reset() {
 // Flush parses any packet still pending at end of stream (a final data
 // packet is normally terminated by the next packet's delimiter; Flush
 // terminates it with the stream end instead) and resets the buffer.
+// The returned packets own their slices (see Push vs PushInto).
 func (d *Deframer) Flush() []RxPacket {
-	var out []RxPacket
+	out := d.FlushInto(nil)
+	copyOutPackets(out)
+	return out
+}
+
+// FlushInto is Flush appending into a caller-owned slice, with the
+// same arena-lifetime caveat as PushInto.
+func (d *Deframer) FlushInto(out []RxPacket) []RxPacket {
+	d.resetArenas()
 	for {
 		pkt, consumed, ok := d.tryParse(true)
 		if !ok {
 			break
 		}
-		d.buf = d.buf[consumed:]
+		d.consume(consumed)
 		if pkt != nil {
 			out = append(out, *pkt)
 		}
 	}
-	d.buf = nil
+	d.buf = d.buf[:0]
 	return out
 }
 
@@ -166,7 +234,8 @@ func (d *Deframer) tryParse(eof bool) (*RxPacket, int, bool) {
 		return nil, 0, false
 	}
 
-	runs, end, terminated, damaged := scanRuns(d.buf)
+	runs, end, terminated, damaged := scanRuns(d.buf, d.runBuf[:0])
+	d.runBuf = runs[:0]
 	if damaged {
 		return d.discardThroughGap()
 	}
@@ -206,10 +275,10 @@ type headerRun struct {
 }
 
 // scanRuns collects the alternating OFF/white runs at the front of the
-// buffer. It stops at the first data symbol (terminated=true), at a
-// gap marker (damaged=true), or at the end of the buffer
-// (terminated=false: need more input).
-func scanRuns(buf []RxSymbol) (runs []headerRun, end int, terminated, damaged bool) {
+// buffer, appending into the caller's scratch. It stops at the first
+// data symbol (terminated=true), at a gap marker (damaged=true), or at
+// the end of the buffer (terminated=false: need more input).
+func scanRuns(buf []RxSymbol, runs []headerRun) (_ []headerRun, end int, terminated, damaged bool) {
 	i := 0
 	for i < len(buf) {
 		k := buf[i].Kind
@@ -262,7 +331,7 @@ func (d *Deframer) parseCalibration(bodyStart int, eof bool) (*RxPacket, int, bo
 		d.Discarded++
 		return nil, len(d.buf), true
 	}
-	colors := make([]colorspace.AB, 0, m)
+	calStart := len(d.colorArena)
 	for i := 0; i < m; i++ {
 		s := d.buf[bodyStart+i]
 		if s.Kind != KindData && s.Kind != KindWhite {
@@ -273,15 +342,17 @@ func (d *Deframer) parseCalibration(bodyStart int, eof bool) (*RxPacket, int, bo
 			// as white, and its observed {a,b} is still the wanted
 			// reference.
 			d.Discarded++
+			d.colorArena = d.colorArena[:calStart]
 			consumed := bodyStart + i
 			if s.Kind == KindGap {
 				consumed++ // gaps are markers; consume them
 			}
 			return nil, consumed, true
 		}
-		colors = append(colors, s.AB)
+		d.colorArena = append(d.colorArena, s.AB)
 	}
-	return &RxPacket{Kind: PacketCalibration, Colors: colors}, bodyStart + m, true
+	d.pkt = RxPacket{Kind: PacketCalibration, Colors: d.colorArena[calStart:len(d.colorArena):len(d.colorArena)]}
+	return &d.pkt, bodyStart + m, true
 }
 
 // parseData parses a data packet: size field, then payload slots until
@@ -302,7 +373,7 @@ func (d *Deframer) parseData(bodyStart int, eof bool) (*RxPacket, int, bool) {
 		d.Discarded++
 		return nil, len(d.buf), true
 	}
-	sizeABs := make([]colorspace.AB, 0, nSize)
+	sizeABs := d.sizeBuf[:0]
 	for j := 0; j < fieldLen; j++ {
 		s := d.buf[bodyStart+j]
 		if s.Kind == KindGap || s.Kind == KindOff {
@@ -317,45 +388,55 @@ func (d *Deframer) parseData(bodyStart int, eof bool) (*RxPacket, int, bool) {
 			sizeABs = append(sizeABs, s.AB)
 		}
 	}
+	d.sizeBuf = sizeABs
 	i := bodyStart + fieldLen
 	// Size symbols are matched by the consumer (they need calibration
 	// references); the deframer carries them raw in the first slots.
 	// Scan payload until we either see the next OFF (delimiter),
 	// accumulate the whole stream end (eof), or hit a second gap.
-	var gaps []int // observed-slot indexes where gaps occurred
-	var observed []RxSymbol
+	var gapIdx [MaxGapsPerPacket]int // observed-slot indexes where gaps occurred
+	nGaps := 0
+	observed := d.obsBuf[:0]
 	for ; i < len(d.buf); i++ {
 		s := d.buf[i]
 		if s.Kind == KindOff {
 			break // next packet's delimiter
 		}
 		if s.Kind == KindGap {
-			if len(gaps) >= MaxGapsPerPacket {
+			if nGaps >= MaxGapsPerPacket {
 				d.Discarded++
+				d.obsBuf = observed[:0]
 				return nil, i + 1, true
 			}
-			gaps = append(gaps, len(observed))
+			gapIdx[nGaps] = len(observed)
+			nGaps++
 			continue
 		}
 		observed = append(observed, s)
 	}
+	d.obsBuf = observed
 	terminated := i < len(d.buf) || eof
 	if !terminated {
 		return nil, 0, false
 	}
 
-	pkt := &RxPacket{Kind: PacketData}
-	pkt.Slots = make([]RxSlot, 0, len(observed)+nSize)
+	slotStart := len(d.slotArena)
 	// First nSize slots carry the raw size field colors for the
 	// consumer to match and decode.
 	for _, ab := range sizeABs {
-		pkt.Slots = append(pkt.Slots, RxSlot{Kind: KindData, AB: ab})
+		d.slotArena = append(d.slotArena, RxSlot{Kind: KindData, AB: ab})
 	}
 	for _, s := range observed {
-		pkt.Slots = append(pkt.Slots, RxSlot{Kind: s.Kind, AB: s.AB})
+		d.slotArena = append(d.slotArena, RxSlot{Kind: s.Kind, AB: s.AB})
 	}
-	for _, g := range gaps {
-		pkt.Gaps = append(pkt.Gaps, nSize+g)
+	gapStart := len(d.gapArena)
+	for _, g := range gapIdx[:nGaps] {
+		d.gapArena = append(d.gapArena, nSize+g)
 	}
-	return pkt, i, true
+	d.pkt = RxPacket{Kind: PacketData,
+		Slots: d.slotArena[slotStart:len(d.slotArena):len(d.slotArena)]}
+	if nGaps > 0 {
+		d.pkt.Gaps = d.gapArena[gapStart:len(d.gapArena):len(d.gapArena)]
+	}
+	return &d.pkt, i, true
 }

@@ -131,21 +131,28 @@ func CalPrefix() []Kind {
 // on the slot index, so transmitter and receiver always agree, even
 // about slots the receiver never saw.
 func WhiteLayout(totalSlots int, whiteFraction float64) []bool {
+	return AppendWhiteLayout(nil, totalSlots, whiteFraction)
+}
+
+// AppendWhiteLayout is WhiteLayout appending into a caller-owned
+// buffer (reset it with dst[:0] to reuse), the allocation-free form
+// the receiver's decode path uses.
+func AppendWhiteLayout(dst []bool, totalSlots int, whiteFraction float64) []bool {
 	if whiteFraction < 0 {
 		whiteFraction = 0
 	}
 	if whiteFraction >= 1 {
 		whiteFraction = 0.999
 	}
-	layout := make([]bool, totalSlots)
 	whites := 0.0
-	for i := range layout {
-		if (whites+1)/float64(i+1) <= whiteFraction {
-			layout[i] = true
+	for i := 0; i < totalSlots; i++ {
+		w := (whites+1)/float64(i+1) <= whiteFraction
+		if w {
 			whites++
 		}
+		dst = append(dst, w)
 	}
-	return layout
+	return dst
 }
 
 // SlotsForData returns the minimal total slot count whose WhiteLayout
@@ -214,10 +221,17 @@ var scrambler = func() [255]byte {
 // offset 0). Applying it twice restores the input.
 func Scramble(data []byte) []byte {
 	out := make([]byte, len(data))
-	for i, b := range data {
-		out[i] = b ^ scrambler[i%len(scrambler)]
-	}
+	copy(out, data)
+	ScrambleInPlace(out)
 	return out
+}
+
+// ScrambleInPlace XORs data with the whitening sequence in place —
+// the allocation-free form of Scramble for buffers the caller owns.
+func ScrambleInPlace(data []byte) {
+	for i := range data {
+		data[i] ^= scrambler[i%len(scrambler)]
+	}
 }
 
 // --- building packets ---

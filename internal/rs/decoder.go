@@ -1,0 +1,253 @@
+package rs
+
+import (
+	"fmt"
+
+	"colorbars/internal/gf256"
+)
+
+// Decoder is a scratch-carrying decoder for one Code: every working
+// polynomial the decode pipeline needs (syndromes, locators, the
+// error evaluator) lives in reusable buffers, so steady-state Decode
+// calls perform no heap allocation. A Decoder is not safe for
+// concurrent use; create one per goroutine (they are cheap).
+//
+// Code.Decode delegates here through a throwaway Decoder, so both
+// entry points run the same pipeline and produce identical results:
+// every step is exact GF(2^8) arithmetic, independent of buffer
+// reuse.
+type Decoder struct {
+	c *Code
+
+	synd, verify     []byte
+	gamma            []byte
+	fsynd            []byte
+	sigma, prev, tmp []byte
+	loc              []byte
+	omega, deriv     []byte
+	positions        []int
+}
+
+// NewDecoder returns a decoder with scratch sized for the code.
+func (c *Code) NewDecoder() *Decoder {
+	twoT := c.n - c.k
+	return &Decoder{
+		c:         c,
+		synd:      make([]byte, twoT),
+		verify:    make([]byte, twoT),
+		gamma:     make([]byte, 0, twoT+1),
+		fsynd:     make([]byte, twoT),
+		sigma:     make([]byte, 0, twoT+2),
+		prev:      make([]byte, 0, twoT+2),
+		tmp:       make([]byte, 0, twoT+2),
+		loc:       make([]byte, 0, 2*twoT+2),
+		omega:     make([]byte, twoT),
+		deriv:     make([]byte, 0, twoT+1),
+		positions: make([]int, 0, twoT),
+	}
+}
+
+// Decode corrects a received codeword in place and returns the k data
+// bytes (a prefix of the codeword slice). Semantics match Code.Decode
+// exactly; see there for the erasure contract.
+func (d *Decoder) Decode(codeword []byte, erasures []int) ([]byte, error) {
+	c := d.c
+	if len(codeword) != c.n {
+		return nil, fmt.Errorf("rs: codeword length %d, want %d", len(codeword), c.n)
+	}
+	for _, e := range erasures {
+		if e < 0 || e >= c.n {
+			return nil, fmt.Errorf("rs: erasure position %d out of range [0,%d)", e, c.n)
+		}
+	}
+	if len(erasures) > c.n-c.k {
+		return nil, ErrTooManyErrors
+	}
+
+	syndromesInto(d.synd, codeword)
+	if allZero(d.synd) {
+		return codeword[:c.k], nil
+	}
+
+	// Erasure locator Γ(x) = Π (1 + X_i·x), built by in-place binomial
+	// multiplication (descending index keeps each step reading
+	// pre-update coefficients) — the same convolution PolyMul computes.
+	g := append(d.gamma[:0], 1)
+	for _, pos := range erasures {
+		x := gf256.Exp(c.n - 1 - pos)
+		g = append(g, 0)
+		for i := len(g) - 1; i >= 1; i-- {
+			g[i] ^= gf256.Mul(g[i-1], x)
+		}
+	}
+	d.gamma = g
+
+	// Modified (Forney) syndromes: Ξ(x) = Γ(x)·S(x) mod x^(n−k).
+	for j := range d.fsynd {
+		var s byte
+		for i := 0; i < len(g) && i <= j; i++ {
+			s ^= gf256.Mul(g[i], d.synd[j-i])
+		}
+		d.fsynd[j] = s
+	}
+
+	errLoc, err := d.berlekampMassey(d.fsynd, len(erasures), c.n-c.k)
+	if err != nil {
+		return nil, err
+	}
+
+	// Combined locator loc = Γ·σ (plain convolution into scratch).
+	loc := d.loc[:0]
+	for i := 0; i < len(g)+len(errLoc)-1; i++ {
+		var s byte
+		for j := 0; j < len(g) && j <= i; j++ {
+			if i-j < len(errLoc) {
+				s ^= gf256.Mul(g[j], errLoc[i-j])
+			}
+		}
+		loc = append(loc, s)
+	}
+	d.loc = loc
+
+	positions, err := d.chienSearch(loc)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.forneyCorrect(codeword, d.synd, loc, positions); err != nil {
+		return nil, err
+	}
+	// Re-verify: a miscorrection leaves nonzero syndromes.
+	syndromesInto(d.verify, codeword)
+	if !allZero(d.verify) {
+		return nil, ErrTooManyErrors
+	}
+	return codeword[:c.k], nil
+}
+
+// syndromesInto fills synd with S_j = r(α^j).
+func syndromesInto(synd, codeword []byte) {
+	for j := range synd {
+		synd[j] = gf256.PolyEval(codeword, gf256.Exp(j))
+	}
+}
+
+// berlekampMassey mirrors the package-level pipeline on the decoder's
+// scratch buffers: polynomial updates write in place (with a swap for
+// the length-change case) instead of allocating.
+func (d *Decoder) berlekampMassey(synd []byte, numEras, twoT int) ([]byte, error) {
+	sigma := append(d.sigma[:0], 1)
+	prev := append(d.prev[:0], 1)
+	tmp := d.tmp[:0]
+	var l int
+	var m = 1
+	var b byte = 1
+	for i := 0; i < twoT-numEras; i++ {
+		n := i + numEras
+		delta := synd[n]
+		for j := 1; j <= l && j < len(sigma); j++ {
+			delta ^= gf256.Mul(sigma[j], synd[n-j])
+		}
+		if delta == 0 {
+			m++
+			continue
+		}
+		coef := gf256.Div(delta, b)
+		if 2*l <= i {
+			tmp = append(tmp[:0], sigma...)
+			sigma = subShiftedInPlace(sigma, prev, coef, m)
+			prev, tmp = tmp, prev
+			l = i + 1 - l
+			b = delta
+			m = 1
+		} else {
+			sigma = subShiftedInPlace(sigma, prev, coef, m)
+			m++
+		}
+	}
+	d.sigma, d.prev, d.tmp = sigma, prev, tmp
+	deg := len(sigma) - 1
+	for deg > 0 && sigma[deg] == 0 {
+		deg--
+	}
+	if 2*deg+numEras > twoT {
+		return nil, ErrTooManyErrors
+	}
+	return sigma[:deg+1], nil
+}
+
+// subShiftedInPlace computes sigma ^= coef·x^shift·prev, extending
+// sigma with zeros as needed. sigma and prev must not alias.
+func subShiftedInPlace(sigma, prev []byte, coef byte, shift int) []byte {
+	for len(sigma) < len(prev)+shift {
+		sigma = append(sigma, 0)
+	}
+	for i, c := range prev {
+		sigma[i+shift] ^= gf256.Mul(c, coef)
+	}
+	return sigma
+}
+
+// chienSearch is Code.chienSearch writing positions into scratch.
+func (d *Decoder) chienSearch(loc []byte) ([]int, error) {
+	c := d.c
+	deg := len(loc) - 1
+	for deg > 0 && loc[deg] == 0 {
+		deg--
+	}
+	loc = loc[:deg+1]
+	positions := d.positions[:0]
+	for i := 0; i < c.n; i++ {
+		xInv := gf256.Exp(-(c.n - 1 - i))
+		var v byte
+		for j := deg; j >= 0; j-- {
+			v = gf256.Mul(v, xInv) ^ loc[j]
+		}
+		if v == 0 {
+			positions = append(positions, i)
+		}
+	}
+	d.positions = positions
+	if len(positions) != deg {
+		return nil, ErrTooManyErrors
+	}
+	return positions, nil
+}
+
+// forneyCorrect is Code.forneyCorrect on scratch buffers.
+func (d *Decoder) forneyCorrect(codeword, synd, loc []byte, positions []int) error {
+	c := d.c
+	twoT := c.n - c.k
+	omega := d.omega[:twoT]
+	for i := 0; i < twoT; i++ {
+		var s byte
+		for j := 0; j < len(loc) && j <= i; j++ {
+			s ^= gf256.Mul(loc[j], synd[i-j])
+		}
+		omega[i] = s
+	}
+	deriv := d.deriv[:0]
+	for i := 1; i < len(loc); i += 2 {
+		deriv = append(deriv, loc[i])
+	}
+	d.deriv = deriv
+	for _, pos := range positions {
+		x := gf256.Exp(c.n - 1 - pos)
+		xInv := gf256.Inv(x)
+		var num byte
+		for i := len(omega) - 1; i >= 0; i-- {
+			num = gf256.Mul(num, xInv) ^ omega[i]
+		}
+		x2 := gf256.Mul(xInv, xInv)
+		var den byte
+		for i := len(deriv) - 1; i >= 0; i-- {
+			den = gf256.Mul(den, x2) ^ deriv[i]
+		}
+		if den == 0 {
+			return ErrTooManyErrors
+		}
+		mag := gf256.Mul(num, gf256.Inv(den))
+		mag = gf256.Mul(mag, x)
+		codeword[pos] ^= mag
+	}
+	return nil
+}

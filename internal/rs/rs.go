@@ -85,63 +85,51 @@ func (c *Code) Encode(data []byte) ([]byte, error) {
 	return out, nil
 }
 
+// EncodeInto is Encode writing the codeword into dst (reallocated only
+// when its capacity is short), for callers that reuse a buffer across
+// blocks. Parity is computed by LFSR-style synthetic division against
+// the monic generator, which is algebraically the remainder
+// data·x^(n−k) mod gen — the same value Encode computes via
+// PolyDivMod.
+func (c *Code) EncodeInto(dst, data []byte) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("rs: data length %d, want %d", len(data), c.k)
+	}
+	if cap(dst) < c.n {
+		dst = make([]byte, c.n)
+	}
+	dst = dst[:c.n]
+	copy(dst, data)
+	rem := dst[c.k:]
+	for i := range rem {
+		rem[i] = 0
+	}
+	for i := 0; i < c.k; i++ {
+		fb := data[i] ^ rem[0]
+		copy(rem, rem[1:])
+		rem[len(rem)-1] = 0
+		if fb != 0 {
+			// gen[0] is 1 (monic); gen[1:] multiplies the feedback.
+			for j := range rem {
+				rem[j] ^= gf256.Mul(c.gen[j+1], fb)
+			}
+		}
+	}
+	return dst, nil
+}
+
 // Decode corrects a received codeword in place and returns the k data
 // bytes. erasures lists known-bad positions (0-based indexes into the
 // codeword); pass nil when none are known. The codeword slice is
 // modified to hold the corrected codeword.
+//
+// Decode runs the pipeline through a throwaway Decoder; callers on a
+// hot path should hold their own Decoder (NewDecoder) to reuse its
+// scratch across calls. The erasure-position order does not affect
+// the result: the erasure locator is a product over positions, and
+// GF(2^8) multiplication is commutative and exact.
 func (c *Code) Decode(codeword []byte, erasures []int) ([]byte, error) {
-	if len(codeword) != c.n {
-		return nil, fmt.Errorf("rs: codeword length %d, want %d", len(codeword), c.n)
-	}
-	for _, e := range erasures {
-		if e < 0 || e >= c.n {
-			return nil, fmt.Errorf("rs: erasure position %d out of range [0,%d)", e, c.n)
-		}
-	}
-	if len(erasures) > c.n-c.k {
-		return nil, ErrTooManyErrors
-	}
-
-	synd := c.syndromes(codeword)
-	if allZero(synd) {
-		return codeword[:c.k], nil
-	}
-
-	// Erasure locator Γ(x) = Π (1 − x·X_i) with X_i = α^(n−1−i) for
-	// codeword position i. Locator polynomials are kept lowest-degree
-	// first throughout the decoder, so the factor (1 + X_i·x) is
-	// {1, X_i}. PolyMul is a plain convolution and therefore agnostic
-	// to the coefficient ordering as long as both inputs agree.
-	gamma := []byte{1}
-	for _, pos := range erasures {
-		gamma = gf256.PolyMul(gamma, []byte{1, gf256.Exp(c.n - 1 - pos)})
-	}
-
-	// Modified (Forney) syndromes: Ξ(x) = Γ(x)·S(x) mod x^(n−k).
-	fsynd := c.forneySyndromes(synd, gamma)
-
-	// Berlekamp–Massey on the modified syndromes finds the error
-	// locator for the unknown-position errors only.
-	errLoc, err := berlekampMassey(fsynd, len(erasures), c.n-c.k)
-	if err != nil {
-		return nil, err
-	}
-
-	// Combined locator covers both erasures and errors.
-	loc := gf256.PolyMul(gamma, errLoc)
-	positions, err := c.chienSearch(loc)
-	if err != nil {
-		return nil, err
-	}
-
-	if err := c.forneyCorrect(codeword, synd, loc, positions); err != nil {
-		return nil, err
-	}
-	// Re-verify: a miscorrection leaves nonzero syndromes.
-	if !allZero(c.syndromes(codeword)) {
-		return nil, ErrTooManyErrors
-	}
-	return codeword[:c.k], nil
+	return c.NewDecoder().Decode(codeword, erasures)
 }
 
 // syndromes returns S_j = r(α^j) for j in [0, n−k).
