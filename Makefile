@@ -1,17 +1,20 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-pipeline fault-soak fuzz-smoke bench bench-json bench-gate golden cover
+.PHONY: ci vet build test race race-pipeline fault-soak adapt-soak fuzz-smoke bench bench-json bench-gate golden cover
 
 # ci is the full gate: static checks, build, the test suite, a short
 # fuzz smoke over every fuzz target, the race-enabled pass over the
 # concurrent pipeline (the packages where races can actually live),
-# the deterministic chaos soak, a single-iteration pass over the
-# ProcessFrame benchmarks (so the telemetry-overhead path compiles and
-# runs), and the benchmark trajectory gate against the committed
-# bench/BENCH_*.json baseline. Budget: ~5 minutes on a laptop. The
-# full-suite race run stays available as `make race` but is too slow
-# for the default gate.
-ci: vet build test fuzz-smoke race-pipeline fault-soak bench bench-gate
+# the deterministic chaos soak, the adaptive-link chaos soak (the
+# closed-loop controller must beat every surviving fixed operating
+# point and regain the top rung on budget), a single-iteration pass
+# over the ProcessFrame benchmarks (so the telemetry-overhead path
+# compiles and runs), and the benchmark trajectory gate against the
+# committed bench/BENCH_*.json baseline. Budget: ~10 minutes on a
+# laptop (adapt-soak simulates 32 multi-second sessions and dominates).
+# The full-suite race run stays available as `make race` but is too
+# slow for the default gate.
+ci: vet build test fuzz-smoke race-pipeline fault-soak adapt-soak bench bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +49,17 @@ fault-soak:
 	$(GO) test -race -count=1 -run 'TestSoakResyncPath|TestSoakPipelineMatchesSerial|TestSoakNoFalseAlarms' ./internal/fault/...
 	$(GO) test -count=1 -run TestSoakHealthPerClass ./internal/fault/soak/
 
+# adapt-soak runs the adaptive-link chaos gate (internal/fault/soak
+# adapt_test.go): for every fault class in the chaos table, the
+# closed-loop link-adaptation session must deliver at least 2x the
+# goodput of the best fixed configuration that survived the burst,
+# regain the top ladder rung within the 90-frame recovery budget, and
+# reproduce byte-identically under a fixed seed. The long test ride is
+# real simulation time (each class runs one adaptive plus three
+# fixed-rung 14-second sessions).
+adapt-soak:
+	$(GO) test -count=1 -run TestAdaptSoak -v ./internal/fault/soak/
+
 # fuzz-smoke gives each fuzz target a few seconds of coverage-guided
 # input generation on top of the checked-in seed corpus. Panics found
 # here reproduce with `go test -run=Fuzz<Name>/<file>`.
@@ -54,6 +68,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzRSDecode$$' -fuzztime=5s ./internal/rs/
 	$(GO) test -run='^$$' -fuzz='^FuzzStripSegment$$' -fuzztime=5s ./internal/modem/
 	$(GO) test -run='^$$' -fuzz='^FuzzFrontEndDifferential$$' -fuzztime=5s ./internal/modem/
+	$(GO) test -run='^$$' -fuzz='^FuzzCalibrationTLV$$' -fuzztime=5s ./internal/packet/
 
 # golden regenerates the committed golden-frame digests under
 # internal/modem/testdata/golden/ from the scenario definitions in
@@ -82,15 +97,17 @@ bench:
 	$(GO) test -run=- -bench=BenchmarkProcessFrame -benchtime=1x ./...
 
 # bench-json measures the receiver decode trajectory (ns/frame, B/op,
-# allocs/op, ground-truth SER per operating point) and writes the
-# dated point bench/BENCH_<today>.json. Commit the file to extend the
-# trajectory; bench-gate diffs against the newest committed point.
+# allocs/op, ground-truth SER per operating point, and the adaptive
+# link's goodput under chaos) and writes the dated point
+# bench/BENCH_<today>.json. Commit the file to extend the trajectory;
+# bench-gate diffs against the newest committed point.
 bench-json:
-	$(GO) run ./cmd/colorbars-bench -exp perf -duration 1 -bench-out bench
+	$(GO) run ./cmd/colorbars-bench -exp perf -duration 1 -adapt -bench-out bench
 
 # bench-gate fails (exit 1) when any trajectory metric regresses more
-# than 10% against the newest bench/BENCH_*.json. Sanity-check the
-# gate itself with:  go run ./cmd/colorbars-bench -exp perf \
-#   -duration 1 -bench-gate bench -handicap 2   (must fail).
+# than 10% against the newest bench/BENCH_*.json — including the
+# goodput_chaos capacity cell, whose bad direction is down. Sanity-
+# check the gate itself with:  go run ./cmd/colorbars-bench -exp perf \
+#   -duration 1 -adapt -bench-gate bench -handicap 2   (must fail).
 bench-gate:
-	$(GO) run ./cmd/colorbars-bench -exp perf -duration 1 -bench-gate bench
+	$(GO) run ./cmd/colorbars-bench -exp perf -duration 1 -adapt -bench-gate bench

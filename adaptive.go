@@ -1,0 +1,39 @@
+package colorbars
+
+import "colorbars/internal/linkadapt"
+
+// Adaptive rate control (DESIGN.md §13). The link-adaptation layer
+// steps the operating point along a committed modulation ladder in
+// response to the receiver's live link-quality signals, announcing
+// each switch in-band through calibration-packet metadata. These
+// aliases expose the closed-loop simulation session used by the
+// tools and the soak harness.
+type (
+	// Rung is one operating point on the modulation ladder.
+	Rung = linkadapt.Rung
+	// AdaptiveConfig tunes the link-adaptation state machine
+	// (hysteresis thresholds, dwell minimum, probe interval).
+	AdaptiveConfig = linkadapt.Config
+	// AdaptiveParams parameterizes one closed-loop adaptive session.
+	AdaptiveParams = linkadapt.SessionParams
+	// AdaptiveResult is the outcome of a closed-loop adaptive
+	// session: goodput, rung trajectory, switch decisions, digest.
+	AdaptiveResult = linkadapt.SessionResult
+	// AdaptiveDecision is one committed rung switch.
+	AdaptiveDecision = linkadapt.Decision
+)
+
+// DefaultLadder returns the committed modulation ladder both ends
+// agree on out-of-band (the in-band metadata carries only rung
+// indexes into it).
+func DefaultLadder() []Rung { return linkadapt.DefaultLadder() }
+
+// RunAdaptive runs one deterministic closed-loop adaptive session:
+// transmitter, channel, camera, fault injector, and receiver in a
+// frame-by-frame loop with the link-adaptation controller choosing
+// the operating point. Set FixedRung to pin the ladder rung and
+// disable adaptation — the fixed-rate baseline the soak harness
+// compares against.
+func RunAdaptive(p AdaptiveParams) (AdaptiveResult, error) {
+	return linkadapt.RunSession(p)
+}

@@ -8,7 +8,7 @@
 //	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations|distance|pipeline|fault|perf]
 //	                [-duration seconds] [-seed n] [-workers n]
 //	                [-telemetry-addr host:port] [-trace file.jsonl]
-//	                [-bench-out dir] [-bench-gate dir] [-handicap x]
+//	                [-bench-out dir] [-bench-gate dir] [-handicap x] [-adapt]
 //
 // The pipeline experiment (not part of "all") compares serial decode
 // time against the concurrent pipeline at several worker counts on
@@ -22,6 +22,9 @@
 // BENCH_<date>.json point, -bench-gate compares against the newest
 // baseline in a directory and exits non-zero on regression, and
 // -handicap multiplies the measured costs to prove the gate trips.
+// With -adapt, the perf experiment also runs the closed-loop adaptive
+// link through the soak chaos geometry and records its goodput as the
+// goodput_chaos trajectory cell (lower-is-worse in the gate).
 package main
 
 import (
@@ -51,12 +54,14 @@ func main() {
 	benchOut := flag.String("bench-out", "", "with -exp perf: write the dated BENCH_<date>.json trajectory point into this directory")
 	benchGate := flag.String("bench-gate", "", "with -exp perf: gate against the newest BENCH_*.json in this directory, exiting non-zero on regression")
 	handicap := flag.Float64("handicap", 1, "with -exp perf: multiply measured costs by this factor (gate self-test)")
+	adapt := flag.Bool("adapt", false, "with -exp perf: also measure the adaptive link's goodput under chaos (the goodput_chaos trajectory cell)")
 	flag.Parse()
 	csvOutDir = *csvDir
 	decodeWorkers = *workers
 	benchOutDir = *benchOut
 	benchGateDir = *benchGate
 	benchHandicap = *handicap
+	benchAdapt = *adapt
 
 	if *tracePath != "" {
 		// A sink on the process registry sees every span and counter:

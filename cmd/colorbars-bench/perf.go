@@ -9,6 +9,8 @@ import (
 	"colorbars"
 	"colorbars/internal/camera"
 	"colorbars/internal/coding"
+	"colorbars/internal/fault"
+	"colorbars/internal/fault/soak"
 	"colorbars/internal/linkstats"
 	"colorbars/internal/metrics"
 	"colorbars/internal/modem"
@@ -25,6 +27,7 @@ var (
 	benchOutDir   string
 	benchGateDir  string
 	benchHandicap float64 = 1
+	benchAdapt    bool
 )
 
 // benchGateTolerance is the relative regression budget per metric:
@@ -72,6 +75,14 @@ func runPerf(duration float64, seed int64) error {
 		report.Entries[cell.name] = e
 		fmt.Printf("  %-20s %14.0f %12d %11d %11.1f %9.4f\n",
 			cell.name, e.NsPerFrame, e.BytesPerOp, e.AllocsPerOp, e.FramesPerSec, e.SER)
+	}
+	if benchAdapt {
+		e, err := benchChaosGoodput(seed)
+		if err != nil {
+			return fmt.Errorf("goodput_chaos: %w", err)
+		}
+		report.Entries["goodput_chaos"] = e
+		fmt.Printf("  %-20s %14.0f bps goodput under chaos (adaptive)\n", "goodput_chaos", e.GoodputBps)
 	}
 	if benchOutDir != "" {
 		path, err := linkstats.WriteBenchReport(benchOutDir, report)
@@ -195,4 +206,31 @@ func benchCell(order colorbars.Order, rate, duration float64, seed int64) (links
 		e.FramesPerSec = 1e9 / ns
 	}
 	return e, nil
+}
+
+// benchChaosGoodput measures the adaptive link's delivered goodput
+// under the soak suite's chaos geometry — one occlusion burst severe
+// enough to black out the top rung, forcing the controller through a
+// full down-shift/recovery cycle. The result is the goodput_chaos
+// trajectory cell: a capacity metric (lower is worse) that catches
+// regressions in the adaptation policy itself, which the decode-cost
+// cells cannot see. The handicap divides goodput (its bad direction is
+// down) so `-handicap 2 -bench-gate` still proves the gate trips.
+func benchChaosGoodput(seed int64) (linkstats.BenchEntry, error) {
+	m, err := metrics.Run(metrics.LinkParams{
+		Adaptive: true,
+		Profile:  camera.Nexus5(),
+		Duration: soak.AdaptDuration,
+		Seed:     seed,
+		Fault: fault.Schedule{Events: []fault.Event{{
+			Class:     fault.Occlusion,
+			Start:     soak.AdaptFaultStart,
+			Duration:  soak.AdaptFaultDuration,
+			Magnitude: 0.6,
+		}}},
+	})
+	if err != nil {
+		return linkstats.BenchEntry{}, err
+	}
+	return linkstats.BenchEntry{GoodputBps: m.GoodputBps / benchHandicap}, nil
 }

@@ -8,7 +8,7 @@
 //	colorbars-rx [-device nexus5|iphone5s|ideal] [-order n] [-rate hz]
 //	             [-white frac] [-duration s] [-seed n]
 //	             [-workers n] [-streams n] [-chaos all|class,class,...]
-//	             [-telemetry-addr host:port] [-trace file.jsonl]
+//	             [-adapt] [-telemetry-addr host:port] [-trace file.jsonl]
 //	             [-report] [-report-json file.json] [file]
 //
 // The link parameters (order, rate, white fraction) must match the
@@ -20,12 +20,14 @@
 // capture through the fault-injection layer (internal/fault) with a
 // seed-derived impairment schedule; the per-stream stats then show
 // the receiver's recovery counters (resyncs, stale calibrations,
-// degraded blocks). -report prints each stream's end-of-run
-// link-quality report (health score, ground-truth-free margins, RS
-// correction load) to stderr; -report-json writes the same reports as
-// one JSON document. While running, every stream's live report is
-// published at the -telemetry-addr debug server's /debug/link
-// endpoint.
+// degraded blocks). -adapt records modulation-ladder rungs announced
+// in calibration metadata (a colorbars-tx -adapt waveform), so the
+// current rung and rung history appear in the reports. -report prints
+// each stream's end-of-run link-quality report (health score,
+// ground-truth-free margins, RS correction load, self-heal counters)
+// to stderr; -report-json writes the same reports as one JSON
+// document. While running, every stream's live report is published at
+// the -telemetry-addr debug server's /debug/link endpoint.
 package main
 
 import (
@@ -57,6 +59,7 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = one per CPU)")
 	streams := flag.Int("streams", 1, "number of independent receiver streams (cameras) decoding the waveform")
 	chaos := flag.String("chaos", "", "inject a seed-derived impairment schedule: \"all\" or a comma-separated fault class list (empty = off)")
+	adapt := flag.Bool("adapt", false, "record modulation-ladder rungs announced in calibration metadata (shows in -report and /debug/link)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
 	tracePath := flag.String("trace", "", "write a JSONL trace of every pipeline stage and counter to this file")
 	report := flag.Bool("report", false, "print each stream's end-of-run link-quality report to stderr")
@@ -99,9 +102,10 @@ func main() {
 	}
 
 	cfg := colorbars.Config{
-		Order:         colorbars.Order(*order),
-		SymbolRate:    *rate,
-		WhiteFraction: *white,
+		Order:              colorbars.Order(*order),
+		SymbolRate:         *rate,
+		WhiteFraction:      *white,
+		TrackAnnouncedRung: *adapt,
 	}
 	var trace *telemetry.JSONLSink
 	if *tracePath != "" {
@@ -149,8 +153,15 @@ func main() {
 		var src camera.Source = wave
 		var inj *fault.Injector
 		if len(chaosClasses) > 0 {
+			// The schedule (the impairment timeline) is a property of the
+			// world, keyed by stream id alone; the injector's noise
+			// realization is keyed by the stream's recycle generation as
+			// well, so a stream the watchdog recycles and re-adds gets a
+			// deterministic-but-fresh phase instead of replaying the
+			// original injector's coins from zero.
 			schedule := fault.RandomSchedule(fault.DeriveSeed(*seed, "rx.chaos."+id), capture, chaosClasses...)
-			inj = fault.New(fault.Config{Seed: fault.DeriveSeed(*seed, id), Schedule: schedule})
+			injSeed := fault.DeriveSeed(*seed, fmt.Sprintf("%s#g%d", id, s.Generation()))
+			inj = fault.New(fault.Config{Seed: injSeed, Schedule: schedule})
 			src = inj.WrapSource(wave)
 			fmt.Fprintf(os.Stderr, "[%s] chaos schedule: %v\n", id, schedule)
 		}

@@ -7,12 +7,22 @@
 //	colorbars-sim [-device nexus5|iphone5s|ideal] [-order 4|8|16|32]
 //	              [-rate hz] [-white frac] [-duration s] [-seed n]
 //	              [-message text] [-trace file.jsonl]
+//	              [-adapt] [-chaos all|class,class,...]
+//
+// -adapt replaces the fixed link with the closed-loop adaptive
+// session (DESIGN.md §13): the transmitter and receiver renegotiate
+// their modulation-ladder rung frame by frame from live link health,
+// and the tool prints the full transcript — every committed rung
+// switch with its frame, time, and trigger. -chaos adds a
+// seed-derived impairment schedule so the adaptation has something to
+// ride out; -order/-rate/-white are ignored (the ladder governs).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"colorbars"
 	"colorbars/internal/camera"
@@ -35,6 +45,8 @@ func main() {
 	dumpWave := flag.String("dump-waveform", "", "write the first 400 transmitted symbols as a PNG stripe to this path")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
 	tracePath := flag.String("trace", "", "write a JSONL trace of every stage span and counter to this file")
+	adapt := flag.Bool("adapt", false, "run the closed-loop adaptive link (modulation ladder + link-adaptation state machine) and print its transcript")
+	chaos := flag.String("chaos", "", "with -adapt: inject a seed-derived impairment schedule, \"all\" or a comma-separated fault class list")
 	flag.Parse()
 
 	prof, ok := camera.Profiles()[*device]
@@ -68,6 +80,12 @@ func main() {
 		}
 		defer l.Close()
 		fmt.Fprintf(os.Stderr, "telemetry: expvar and pprof on http://%s/debug/\n", l.Addr())
+	}
+	if *adapt {
+		if err := runAdaptive(prof, *duration, *seed, *chaos); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	cfg := colorbars.Config{
 		Order:         colorbars.Order(*order),
@@ -144,6 +162,59 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// runAdaptive executes the closed-loop adaptive session and prints
+// its transcript: the ladder, the chaos schedule, every committed
+// rung switch, and the end-of-run summary.
+func runAdaptive(prof camera.Profile, duration float64, seed int64, chaos string) error {
+	var schedule fault.Schedule
+	if chaos != "" {
+		var classes []fault.Class
+		if chaos != "all" {
+			for _, name := range strings.Split(chaos, ",") {
+				c, err := fault.ParseClass(strings.TrimSpace(name))
+				if err != nil {
+					return err
+				}
+				classes = append(classes, c)
+			}
+		}
+		schedule = fault.RandomSchedule(fault.DeriveSeed(seed, "sim.chaos"), duration, classes...)
+	}
+	ladder := colorbars.DefaultLadder()
+	names := make([]string, len(ladder))
+	for i, r := range ladder {
+		names[i] = r.Name
+	}
+	fmt.Printf("adaptive link: ladder %s, device %s, seed %d, %.0f s\n",
+		strings.Join(names, " → "), prof.Name, seed, duration)
+	if !schedule.Empty() {
+		fmt.Printf("chaos schedule: %v\n", schedule)
+	}
+	res, err := colorbars.RunAdaptive(colorbars.AdaptiveParams{
+		Seed:     seed,
+		Duration: duration,
+		Profile:  prof,
+		Schedule: schedule,
+	})
+	if err != nil {
+		return err
+	}
+	for _, d := range res.Decisions {
+		verb := "step down"
+		if d.To > d.From {
+			verb = "step up"
+		}
+		fmt.Printf("t=%5.2fs f%-4d %s %s → %s (%s)\n",
+			float64(d.Frame)*prof.FramePeriod(), d.Frame, verb,
+			ladder[d.From].Name, ladder[d.To].Name, d.Reason)
+	}
+	fmt.Println(res.String())
+	final := res.RungByFrame[len(res.RungByFrame)-1]
+	fmt.Printf("final rung: %s · health %.3f (%s)\n",
+		ladder[final].Name, res.Health.Score, res.Health.Reason)
+	return nil
 }
 
 // dumpFramePNG writes one captured frame as a PNG (scanlines vertical,

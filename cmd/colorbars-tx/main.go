@@ -7,7 +7,16 @@
 // Usage:
 //
 //	colorbars-tx [-order n] [-rate hz] [-white frac] [-repeat s]
-//	             [-o file] [-trace file.jsonl] [message...]
+//	             [-adapt rung] [-o file] [-trace file.jsonl] [message...]
+//
+// -adapt N announces modulation-ladder rung N (0-based) in every
+// calibration packet's metadata region (the in-band negotiation
+// channel of DESIGN.md §13); a receiver run with its own -adapt flag
+// surfaces the announced rung in link reports and /debug/link, while
+// an un-upgraded receiver decodes the waveform unchanged. The
+// announcement is skipped (with a warning) when the metadata-bearing
+// calibration packet cannot fit one frame's visible symbol window at
+// the configured rate.
 package main
 
 import (
@@ -26,6 +35,7 @@ func main() {
 	rate := flag.Float64("rate", 4000, "symbol rate in Hz")
 	white := flag.Float64("white", 0, "white illumination fraction (0 = auto)")
 	repeat := flag.Float64("repeat", 0, "repeat the broadcast to cover this many seconds (0 = single pass)")
+	adapt := flag.Int("adapt", -1, "announce this modulation-ladder rung (0-based) in calibration metadata (-1 = off)")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address (empty = off)")
 	tracePath := flag.String("trace", "", "write a JSONL trace of every stage span and counter to this file")
@@ -69,6 +79,13 @@ func main() {
 	tx, err := colorbars.NewTransmitter(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *adapt >= 0 {
+		if tx.AnnounceRung(*adapt, 0) {
+			fmt.Fprintf(os.Stderr, "announcing ladder rung %d in calibration metadata\n", *adapt)
+		} else {
+			fmt.Fprintf(os.Stderr, "warning: calibration metadata does not fit the visible window at this rate; rung not announced\n")
+		}
 	}
 	var wave *colorbars.Waveform
 	if *repeat > 0 {

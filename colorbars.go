@@ -43,6 +43,7 @@ import (
 	"colorbars/internal/led"
 	"colorbars/internal/linkstats"
 	"colorbars/internal/modem"
+	"colorbars/internal/packet"
 	"colorbars/internal/rs"
 	"colorbars/internal/telemetry"
 )
@@ -121,6 +122,12 @@ type Config struct {
 	// (rate ≈ 1−l): the receiver learns the loss positions from the
 	// packet header, so half the parity suffices.
 	PaperSizing bool
+	// TrackAnnouncedRung records modulation-ladder rungs announced in
+	// transmitter calibration metadata (Transmitter.AnnounceRung) into
+	// the receiver's link report and the /debug/link endpoint — the rx
+	// tool's -adapt flag. Fixed-rate links without announcements are
+	// unaffected.
+	TrackAnnouncedRung bool
 }
 
 // DefaultConfig returns the configuration of the paper's headline
@@ -255,6 +262,35 @@ func (t *Transmitter) Config() Config { return t.cfg }
 // telemetry.Process(), so the tx.* counters also roll up into the
 // process-level registry exposed via -telemetry-addr).
 func (t *Transmitter) Telemetry() *telemetry.Registry { return t.tx.Telemetry() }
+
+// AnnounceRung embeds modulation-ladder metadata — the link's current
+// rung index and adaptation epoch — into every subsequent calibration
+// packet (the in-band negotiation channel of DESIGN.md §13). It
+// reports whether the metadata-bearing calibration packet still fits
+// one frame's visible symbol window under the link's worst supported
+// loss ratio; when it does not (dense metadata on a slow rung), no
+// metadata is emitted — a region split by the inter-frame gap could
+// never decode anyway. A negative rung stops the announcements.
+func (t *Transmitter) AnnounceRung(rung, epoch int) bool {
+	if rung < 0 {
+		t.tx.SetCalMeta(nil)
+		return true
+	}
+	meta := packet.EncodeCalMeta(packet.CalMeta{
+		Rung: rung, HasRung: true,
+		Epoch: epoch, HasEpoch: true,
+	})
+	cal, err := t.tx.PacketConfig().BuildCalibrationMeta(t.tx.Constellation().CalibrationOrder(), meta)
+	if err != nil {
+		return false
+	}
+	visible := t.cfg.SymbolRate / t.cfg.FrameRate * (1 - t.cfg.TargetLossRatio)
+	if float64(len(cal)) > visible-2 {
+		return false
+	}
+	t.tx.SetCalMeta(meta)
+	return true
+}
 
 // segment splits a message into headered blocks of exactly k bytes.
 func (t *Transmitter) segment(msg []byte) ([]byte, error) {
@@ -398,13 +434,14 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 		Telemetry:     tel,
 	})
 	rx, err := modem.NewReceiver(modem.RxConfig{
-		Order:         cfg.Order,
-		SymbolRate:    cfg.SymbolRate,
-		WhiteFraction: cfg.WhiteFraction,
-		Code:          code,
-		Triangle:      cie.SRGBTriangle,
-		Telemetry:     tel,
-		LinkStats:     ls,
+		Order:              cfg.Order,
+		SymbolRate:         cfg.SymbolRate,
+		WhiteFraction:      cfg.WhiteFraction,
+		Code:               code,
+		Triangle:           cie.SRGBTriangle,
+		Telemetry:          tel,
+		LinkStats:          ls,
+		TrackAnnouncedRung: cfg.TrackAnnouncedRung,
 	})
 	if err != nil {
 		return nil, err

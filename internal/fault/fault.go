@@ -405,36 +405,51 @@ func (in *Injector) FilterFrames(frames []*camera.Frame) []*camera.Frame {
 	}
 	out := make([]*camera.Frame, 0, len(frames))
 	for i, f := range frames {
-		drop, dup := false, false
-		for _, e := range in.cfg.Schedule.Events {
-			if !boxActive(e, f.Start) {
-				continue
-			}
-			switch e.Class {
-			case FrameDrop:
-				if in.frameCoin(i, 'd') < e.Magnitude {
-					drop = true
-				}
-			case FrameDuplicate:
-				if in.frameCoin(i, 'u') < e.Magnitude {
-					dup = true
-				}
-			case FrameTruncation:
-				f = truncateFrame(f, e.Magnitude)
-				in.truncated.Inc()
-			}
-		}
-		if drop {
-			in.dropped.Inc()
-			continue
-		}
-		out = append(out, f)
-		if dup {
-			in.duplicated.Inc()
-			out = append(out, f)
+		g, n := in.FilterFrame(f, i)
+		for k := 0; k < n; k++ {
+			out = append(out, g)
 		}
 	}
 	return out
+}
+
+// FilterFrame applies the schedule's frame-level impairments to one
+// captured frame. index is the frame's global capture index — it seeds
+// the per-frame coin, so callers that capture frame by frame (the
+// adaptive session, a recycled pipeline stream) must pass the index in
+// the whole run, not within the current batch, or the fault phase
+// resets every time the capture restarts. It returns the frame to
+// deliver (possibly a truncated shallow copy) and how many times to
+// deliver it: 0 means dropped, 2 means duplicated.
+func (in *Injector) FilterFrame(f *camera.Frame, index int) (*camera.Frame, int) {
+	drop, dup := false, false
+	for _, e := range in.cfg.Schedule.Events {
+		if !boxActive(e, f.Start) {
+			continue
+		}
+		switch e.Class {
+		case FrameDrop:
+			if in.frameCoin(index, 'd') < e.Magnitude {
+				drop = true
+			}
+		case FrameDuplicate:
+			if in.frameCoin(index, 'u') < e.Magnitude {
+				dup = true
+			}
+		case FrameTruncation:
+			f = truncateFrame(f, e.Magnitude)
+			in.truncated.Inc()
+		}
+	}
+	if drop {
+		in.dropped.Inc()
+		return f, 0
+	}
+	if dup {
+		in.duplicated.Inc()
+		return f, 2
+	}
+	return f, 1
 }
 
 // frameCoin returns a uniform [0,1) value that is a pure function of

@@ -175,9 +175,9 @@ func TestFilterFramesDropDuplicateTruncate(t *testing.T) {
 	frames := testFrames(30, 10, 2, 1.0/30)
 	tel := telemetry.NewRegistry()
 	in := New(Config{Seed: 11, Telemetry: tel, Schedule: Schedule{Events: []Event{
-		{Class: FrameDrop, Start: 0.2, Duration: 0.3, Magnitude: 1},      // frames 6..14 dropped
+		{Class: FrameDrop, Start: 0.2, Duration: 0.3, Magnitude: 1},         // frames 6..14 dropped
 		{Class: FrameTruncation, Start: 0.6, Duration: 0.2, Magnitude: 0.5}, // frames 18..23 halved
-		{Class: FrameDuplicate, Start: 0.9, Duration: 0.1, Magnitude: 1}, // frames 27..29 doubled
+		{Class: FrameDuplicate, Start: 0.9, Duration: 0.1, Magnitude: 1},    // frames 27..29 doubled
 	}}})
 	out := in.FilterFrames(frames)
 	if want := 30 - 9 + 3; len(out) != want {

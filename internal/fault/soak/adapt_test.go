@@ -1,0 +1,76 @@
+package soak
+
+import (
+	"reflect"
+	"testing"
+
+	"colorbars/internal/fault"
+	"colorbars/internal/linkadapt"
+)
+
+// TestAdaptSoakBeatsFixed is the adaptive soak's goodput-trajectory
+// gate: for every fault class in the chaos table, the closed-loop
+// adaptive link must deliver at least twice the goodput of the best
+// fixed configuration that survived the burst (any fixed config that
+// blanked during the fault cliffed — the failure mode adaptation
+// exists to prevent), and must be back on the top rung within the
+// recovery budget after the burst clears.
+func TestAdaptSoakBeatsFixed(t *testing.T) {
+	for _, spec := range AdaptChaosTable() {
+		spec := spec
+		t.Run(spec.Class.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunAdaptClass(77, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(res.String())
+			if got, want := res.Adaptive.GoodputBytes, 2*res.BestFixedGoodput; got < want {
+				t.Errorf("adaptive goodput %dB < 2x best surviving fixed (%dB, rungs %v)",
+					got, res.BestFixedGoodput, res.Survivors)
+			}
+			if res.Adaptive.GoodputBytes == 0 {
+				t.Error("adaptive link recovered no data at all")
+			}
+			if res.TopRegainedAt < 0 {
+				t.Errorf("adaptive link never regained the top rung after settle frame %d", res.SettleFrame)
+			} else if budget := res.TopRegainedAt - res.SettleFrame; budget > AdaptRecoveryBudget {
+				t.Errorf("top rung regained %d frames after settle, budget %d",
+					budget, AdaptRecoveryBudget)
+			}
+		})
+	}
+}
+
+// TestAdaptSoakDeterminism: two adaptive sessions with identical
+// params must produce byte-identical results — same decode digest,
+// same rung trajectory, same committed decisions.
+func TestAdaptSoakDeterminism(t *testing.T) {
+	p := linkadapt.SessionParams{
+		Seed:     99,
+		Duration: AdaptDuration,
+		Schedule: fault.Schedule{Events: []fault.Event{{
+			Class:     fault.Occlusion,
+			Start:     AdaptFaultStart,
+			Duration:  AdaptFaultDuration,
+			Magnitude: 0.6,
+		}}},
+	}
+	a, err := linkadapt.RunSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := linkadapt.RunSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Errorf("digests differ: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if !reflect.DeepEqual(a.RungByFrame, b.RungByFrame) {
+		t.Error("rung trajectories differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.Decisions, b.Decisions) {
+		t.Error("committed decisions differ between identical runs")
+	}
+}

@@ -1,0 +1,250 @@
+package linkadapt
+
+import (
+	"math/rand"
+	"testing"
+
+	"colorbars/internal/csk"
+)
+
+func newTestController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func healthySignals() Signals {
+	return Signals{Score: 0.95, Calibrated: true, Margin: 12, HasMargin: true, RSLoad: 0.1}
+}
+
+func TestDefaultLadderValid(t *testing.T) {
+	if err := ValidateLadder(DefaultLadder()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateLadderRejects(t *testing.T) {
+	good := DefaultLadder()
+	cases := []struct {
+		name   string
+		ladder []Rung
+	}{
+		{"single-rung", good[:1]},
+		{"bad-order", []Rung{{Order: 5, SymbolRate: 1000}, good[2]}},
+		{"zero-rate", []Rung{{Order: csk.CSK4, SymbolRate: 0}, good[2]}},
+		{"excess-rate", []Rung{good[0], {Order: csk.CSK16, SymbolRate: 9999}}},
+		{"bad-white", []Rung{{Order: csk.CSK4, SymbolRate: 1000, WhiteFraction: 1}, good[2]}},
+		{"non-increasing", []Rung{good[1], {Order: csk.CSK4, SymbolRate: 1000}}},
+	}
+	for _, c := range cases {
+		if err := ValidateLadder(c.ladder); err == nil {
+			t.Errorf("%s: ladder accepted", c.name)
+		}
+	}
+}
+
+func TestControllerRejectsInvertedHysteresis(t *testing.T) {
+	if _, err := NewController(Config{DownScore: 0.8, UpScore: 0.4}); err == nil {
+		t.Fatal("inverted hysteresis thresholds accepted")
+	}
+}
+
+// TestControllerStartsAtTop pins the optimistic start: links open at
+// the densest rung and step down on evidence.
+func TestControllerStartsAtTop(t *testing.T) {
+	c := newTestController(t, Config{})
+	if c.Rung() != len(c.Ladder())-1 {
+		t.Fatalf("start rung %d, want top %d", c.Rung(), len(c.Ladder())-1)
+	}
+}
+
+// TestAdjacentRungTransitions is the per-pair table test: for every
+// adjacent rung pair (i, i+1) the controller must step down i+1 -> i
+// under each distress signal, and probe up i -> i+1 after a sustained
+// healthy streak — and never skip a rung in either direction.
+func TestAdjacentRungTransitions(t *testing.T) {
+	ladder := DefaultLadder()
+	distress := []struct {
+		reason string
+		sig    func(prev Signals) Signals
+	}{
+		{ReasonResync, func(p Signals) Signals {
+			s := healthySignals()
+			s.Resyncs = p.Resyncs + 1
+			return s
+		}},
+		{ReasonDegraded, func(p Signals) Signals {
+			s := healthySignals()
+			s.DegradedBlocks = p.DegradedBlocks + 1
+			return s
+		}},
+		{ReasonLowScore, func(p Signals) Signals {
+			s := healthySignals()
+			s.Score = 0.1
+			return s
+		}},
+		{ReasonLowMargin, func(p Signals) Signals {
+			s := healthySignals()
+			s.Margin = 0.5
+			return s
+		}},
+		{ReasonRSLoad, func(p Signals) Signals {
+			s := healthySignals()
+			s.RSLoad = 0.99
+			return s
+		}},
+	}
+	for hi := 1; hi < len(ladder); hi++ {
+		for _, d := range distress {
+			c := newTestController(t, Config{Ladder: ladder, StartRung: hi + 1})
+			// Seed the counter baselines with one healthy frame.
+			prev := healthySignals()
+			if _, moved := c.Observe(prev); moved {
+				t.Fatalf("rung %d: transitioned on a healthy frame", hi)
+			}
+			dec, moved := c.Observe(d.sig(prev))
+			if !moved {
+				t.Fatalf("rung %d: no step-down under %s", hi, d.reason)
+			}
+			if dec.From != hi || dec.To != hi-1 {
+				t.Fatalf("rung %d under %s: transition %d -> %d, want %d -> %d",
+					hi, d.reason, dec.From, dec.To, hi, hi-1)
+			}
+			if dec.Reason != d.reason {
+				t.Errorf("rung %d: reason %q, want %q", hi, dec.Reason, d.reason)
+			}
+		}
+	}
+	// Upward: from every lower rung, a sustained healthy streak climbs
+	// exactly one rung per probe.
+	for lo := 0; lo < len(ladder)-1; lo++ {
+		c := newTestController(t, Config{Ladder: ladder, StartRung: lo + 1})
+		var dec Decision
+		moved := false
+		frames := 0
+		for ; frames < 10*DefaultProbeFrames && !moved; frames++ {
+			dec, moved = c.Observe(healthySignals())
+		}
+		if !moved {
+			t.Fatalf("rung %d: no probe after %d healthy frames", lo, frames)
+		}
+		if dec.From != lo || dec.To != lo+1 || dec.Reason != ReasonProbe {
+			t.Fatalf("rung %d: probe transition %+v", lo, dec)
+		}
+		if frames != DefaultProbeFrames {
+			t.Errorf("rung %d: probe armed after %d frames, want exactly %d",
+				lo, frames, DefaultProbeFrames)
+		}
+	}
+}
+
+// TestClimbToTopWithinRecoveryBudget pins the controller half of the
+// soak's 90-frame recovery contract: from the bottom rung under
+// continuously healthy signals, the controller must reach the top rung
+// within the budget.
+func TestClimbToTopWithinRecoveryBudget(t *testing.T) {
+	const budget = 90
+	c := newTestController(t, Config{StartRung: 1})
+	top := len(c.Ladder()) - 1
+	for f := 0; f < budget; f++ {
+		c.Observe(healthySignals())
+		if c.Rung() == top {
+			return
+		}
+	}
+	t.Fatalf("still at rung %d after %d healthy frames", c.Rung(), budget)
+}
+
+// TestNoOscillationProperty is the satellite hysteresis property test:
+// no admissible signal sequence — any scores, margins, loads, and
+// nondecreasing counters, adversarially chosen — may cause more than
+// one transition per dwell window, and the rung must always stay on
+// the ladder.
+func TestNoOscillationProperty(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			StartRung:   1 + rng.Intn(3),
+			DwellFrames: 5 + rng.Intn(40),
+			ProbeFrames: 1 + rng.Intn(40),
+		}
+		c := newTestController(t, cfg)
+		var resyncs, degraded int64
+		lastTransition := int64(-1 << 30)
+		for f := 0; f < 2000; f++ {
+			// Adversarial but admissible signals: counters only ever
+			// increase, everything else is unconstrained noise.
+			if rng.Intn(10) == 0 {
+				resyncs += int64(rng.Intn(3))
+			}
+			if rng.Intn(10) == 0 {
+				degraded += int64(rng.Intn(5))
+			}
+			s := Signals{
+				Score:          rng.Float64(),
+				Calibrated:     rng.Intn(8) != 0,
+				Margin:         rng.Float64() * 20,
+				HasMargin:      rng.Intn(4) != 0,
+				Resyncs:        resyncs,
+				DegradedBlocks: degraded,
+				RSLoad:         rng.Float64(),
+			}
+			dec, moved := c.Observe(s)
+			if c.Rung() < 0 || c.Rung() >= 3 {
+				t.Fatalf("seed %d frame %d: rung %d off the ladder", seed, f, c.Rung())
+			}
+			if !moved {
+				continue
+			}
+			if gap := dec.Frame - lastTransition; gap < int64(cfg.DwellFrames) {
+				t.Fatalf("seed %d: transitions %d frames apart, dwell %d (%v)",
+					seed, gap, cfg.DwellFrames, dec)
+			}
+			if diff := dec.To - dec.From; diff != 1 && diff != -1 {
+				t.Fatalf("seed %d: rung skip %v", seed, dec)
+			}
+			lastTransition = dec.Frame
+		}
+	}
+}
+
+// TestCounterBaselineSeeding: a controller attached to a receiver with
+// prior self-heal history must not read the cumulative counters as
+// fresh distress.
+func TestCounterBaselineSeeding(t *testing.T) {
+	c := newTestController(t, Config{})
+	s := healthySignals()
+	s.Resyncs, s.DegradedBlocks = 40, 17 // long-lived receiver
+	if dec, moved := c.Observe(s); moved {
+		t.Fatalf("first observation treated history as distress: %v", dec)
+	}
+}
+
+func TestHistoryRing(t *testing.T) {
+	c := newTestController(t, Config{DwellFrames: 1, ProbeFrames: 1})
+	// Bounce between the top two rungs to overflow the ring.
+	prev := healthySignals()
+	c.Observe(prev)
+	for i := 0; i < 3*HistorySize; i++ {
+		s := healthySignals()
+		if c.Rung() == len(c.Ladder())-1 {
+			s.Score = 0.05
+		}
+		c.Observe(s)
+	}
+	h := c.History()
+	if len(h) != HistorySize {
+		t.Fatalf("history length %d, want %d", len(h), HistorySize)
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Frame <= h[i-1].Frame {
+			t.Fatalf("history not in frame order: %v", h)
+		}
+	}
+	if c.Epoch() < 3*HistorySize/2 {
+		t.Errorf("epoch %d after %d bounces", c.Epoch(), 3*HistorySize)
+	}
+}

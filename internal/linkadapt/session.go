@@ -1,0 +1,353 @@
+package linkadapt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/channel"
+	"colorbars/internal/cie"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/fault"
+	"colorbars/internal/linkstats"
+	"colorbars/internal/modem"
+	"colorbars/internal/packet"
+	"colorbars/internal/telemetry"
+)
+
+// DefaultSwitchLagFrames is the delay between a controller decision
+// and the frame at which both ends actually retune. It models the
+// in-band negotiation round trip: the transmitter announces the
+// pending rung in calibration metadata (CalMeta.NextRung /
+// SwitchFrame) and the receiver holds the switch until the agreed
+// frame boundary.
+const DefaultSwitchLagFrames = 3
+
+// SessionParams configures one closed-loop adaptive run. Zero values
+// take the defaults noted on each field; only Seed and Duration are
+// required.
+type SessionParams struct {
+	// Seed drives every random choice: payload, sensor noise, LED
+	// drive jitter, and the injector's per-frame coins.
+	Seed int64
+	// Duration is the capture length in seconds.
+	Duration float64
+	// Profile is the receiving camera (zero value selects Nexus5).
+	Profile camera.Profile
+	// Channel is the optical channel (zero Distance selects
+	// channel.DefaultConfig).
+	Channel channel.Config
+	// Controller tunes the adaptation state machine (ladder, dwell,
+	// hysteresis). The zero value takes the package defaults.
+	Controller Config
+	// Schedule is the impairment timeline (empty runs a clean link).
+	Schedule fault.Schedule
+	// SwitchLagFrames is the decision-to-retune delay; zero selects
+	// DefaultSwitchLagFrames.
+	SwitchLagFrames int
+	// FixedRung, when positive, pins the link to that 1-based ladder
+	// rung and disables adaptation entirely — the fixed-rate baseline
+	// the adapt-soak compares the closed loop against. The capture
+	// loop, payload derivation, and fault phases are identical to an
+	// adaptive run, so goodput differences measure only adaptation.
+	FixedRung int
+	// Telemetry receives the run's spans and counters; nil uses a
+	// private registry.
+	Telemetry *telemetry.Registry
+}
+
+// SessionResult reports one adaptive run.
+type SessionResult struct {
+	// Frames is the number of camera frame periods simulated.
+	Frames int
+	// BlocksOK and BlocksFailed count RS block outcomes across every
+	// rung the session visited.
+	BlocksOK, BlocksFailed int
+	// GoodputBytes is the total payload recovered; GoodputBPS is the
+	// same as a bit rate over the session duration.
+	GoodputBytes int64
+	GoodputBPS   float64
+	// Digest is an FNV-1a hash over every decoded block's recovery
+	// flag and payload plus every committed rung transition — the
+	// run's full decode-and-trajectory fingerprint.
+	Digest uint64
+	// Decisions is every transition the controller committed.
+	Decisions []Decision
+	// RungByFrame is the rung index in effect at each frame period —
+	// the trajectory the adapt-soak asserts recovery budgets against.
+	RungByFrame []int
+	// RecoveredAt is the frame index at which each recovered block
+	// landed, in order — what the adapt-soak's survival predicate
+	// (blocks during the fault window, blocks after settle) reads.
+	RecoveredAt []int
+	// HealthSamples is the linkstats score after each frame period.
+	HealthSamples []float64
+	// Health is the end-of-run link snapshot.
+	Health linkstats.LinkHealth
+	// Report is the full link-quality report behind Health, including
+	// the rung-switch history ring.
+	Report linkstats.Report
+	// Snapshot is the run's full telemetry state.
+	Snapshot telemetry.Snapshot
+}
+
+// String formats the result for log output.
+func (r SessionResult) String() string {
+	return fmt.Sprintf("%d frames · %d/%d blocks ok · %d transitions · %.0f bps goodput · digest %016x",
+		r.Frames, r.BlocksOK, r.BlocksOK+r.BlocksFailed, len(r.Decisions), r.GoodputBPS, r.Digest)
+}
+
+// epochSource shifts time so a waveform rebuilt at a rung switch
+// starts playing at the switch instant instead of t=0.
+type epochSource struct {
+	src camera.Source
+	t0  float64
+}
+
+func (s epochSource) Mean(t0, t1 float64) colorspace.RGB {
+	return s.src.Mean(t0-s.t0, t1-s.t0)
+}
+
+// RunSession executes one closed-loop adaptive link: a transmitter and
+// receiver that renegotiate their operating point frame by frame while
+// the fault injector works the channel.
+//
+// The loop captures one frame per period (at exact period boundaries —
+// frame jitter is a batch-capture feature), filters it through the
+// frame-level fault classes using the global frame index, decodes, and
+// feeds the linkstats health snapshot to the adaptation controller.
+// When the controller commits a transition, the switch is applied
+// SwitchLagFrames later at a packet boundary: the receiver flushes and
+// retunes via SetOperatingPoint, and the transmitter rebuilds its
+// waveform at the new rung with the rung/epoch announced in
+// calibration metadata (omitted on rungs whose visible window cannot
+// fit the metadata region — see packet.Config.MetaRegionSlots).
+//
+// Everything is a pure function of SessionParams: two runs with equal
+// params produce byte-identical digests and rung trajectories, which
+// the adapt-soak asserts.
+func RunSession(p SessionParams) (SessionResult, error) {
+	if p.Duration <= 0 {
+		return SessionResult{}, fmt.Errorf("linkadapt: duration %v must be positive", p.Duration)
+	}
+	if p.Profile.FrameRate == 0 {
+		p.Profile = camera.Nexus5()
+	}
+	if p.Channel.Distance == 0 {
+		p.Channel = channel.DefaultConfig()
+	}
+	if p.SwitchLagFrames <= 0 {
+		p.SwitchLagFrames = DefaultSwitchLagFrames
+	}
+	tel := p.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+	run := tel.StartSpan("linkadapt.session")
+	defer run.End()
+
+	adapt := p.FixedRung <= 0
+	if !adapt {
+		p.Controller.StartRung = p.FixedRung
+	}
+	ctl, err := NewController(p.Controller)
+	if err != nil {
+		return SessionResult{}, err
+	}
+	if !adapt && p.FixedRung > len(ctl.Ladder()) {
+		return SessionResult{}, fmt.Errorf("linkadapt: fixed rung %d outside ladder of %d", p.FixedRung, len(ctl.Ladder()))
+	}
+	fps := p.Profile.FrameRate
+	loss := p.Profile.LossRatio()
+	calEvery := int(fps/5 + 0.5)
+	if calEvery < 1 {
+		calEvery = 1
+	}
+
+	// One collector spans every rung: margins histogram per point
+	// index, so size it for the densest constellation on the ladder.
+	maxOrder := 0
+	for _, r := range ctl.Ladder() {
+		if int(r.Order) > maxOrder {
+			maxOrder = int(r.Order)
+		}
+	}
+	ls := linkstats.NewCollector(linkstats.Config{
+		Points:        maxOrder,
+		BitsPerSymbol: ctl.CurrentRung().Order.BitsPerSymbol(),
+		Telemetry:     tel,
+	})
+
+	inj := fault.New(fault.Config{Seed: p.Seed, Schedule: p.Schedule, Telemetry: tel})
+	cam := camera.New(p.Profile, p.Seed)
+	cam.Instrument(tel)
+	payloadRng := rand.New(rand.NewSource(fault.DeriveSeed(p.Seed, "linkadapt.payload")))
+
+	// buildEpoch stands up the transmit side at a rung: erasure-sized
+	// code, fresh payload blocked for that code, repeating waveform
+	// long enough to cover the rest of the session, and the full
+	// source chain (waveform → channel → epoch time shift → injector,
+	// outermost so faults run on absolute session time).
+	buildEpoch := func(rung Rung, epoch int, startT float64) (camera.Source, *modem.Transmitter, error) {
+		params := rung.CodingParams(fps, loss)
+		code, err := params.LinkCodeErasure()
+		if err != nil {
+			return nil, nil, err
+		}
+		tx, err := modem.NewTransmitter(modem.TxConfig{
+			Order:            rung.Order,
+			SymbolRate:       rung.SymbolRate,
+			WhiteFraction:    rung.WhiteFraction,
+			Power:            1,
+			Triangle:         cie.SRGBTriangle,
+			CalibrationEvery: calEvery,
+			Code:             code,
+			Seed:             p.Seed,
+			Telemetry:        tel,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		meta := packet.EncodeCalMeta(packet.CalMeta{
+			Rung: ctl.Rung(), HasRung: true,
+			Epoch: epoch, HasEpoch: true,
+		})
+		// Announce only when the metadata-bearing calibration packet
+		// still fits one frame's visible symbol window; a region split
+		// by the inter-frame gap can never decode.
+		cal, err := tx.PacketConfig().BuildCalibrationMeta(tx.Constellation().CalibrationOrder(), meta)
+		if err != nil {
+			return nil, nil, err
+		}
+		if float64(len(cal)) <= rung.SymbolRate/fps*(1-loss)-2 {
+			tx.SetCalMeta(meta)
+		}
+		block := make([]byte, code.K())
+		payloadRng.Read(block)
+		msg := make([]byte, 0, 4*len(block))
+		for i := 0; i < 4; i++ {
+			msg = append(msg, block...)
+		}
+		w, err := tx.BuildWaveformRepeating(msg, p.Duration-startT+0.5)
+		if err != nil {
+			return nil, nil, err
+		}
+		ch, err := channel.New(p.Channel, w)
+		if err != nil {
+			return nil, nil, err
+		}
+		return inj.WrapSource(epochSource{src: ch, t0: startT}), tx, nil
+	}
+
+	rung := ctl.CurrentRung()
+	params := rung.CodingParams(fps, loss)
+	code, err := params.LinkCodeErasure()
+	if err != nil {
+		return SessionResult{}, err
+	}
+	rx, err := modem.NewReceiver(modem.RxConfig{
+		Order:         rung.Order,
+		SymbolRate:    rung.SymbolRate,
+		WhiteFraction: rung.WhiteFraction,
+		Code:          code,
+		Telemetry:     tel,
+		LinkStats:     ls,
+	})
+	if err != nil {
+		return SessionResult{}, err
+	}
+	ls.NoteRung(ctl.Rung(), rung.Name)
+	src, _, err := buildEpoch(rung, ctl.Epoch(), 0)
+	if err != nil {
+		return SessionResult{}, err
+	}
+
+	nFrames := int(p.Duration * fps)
+	res := SessionResult{
+		Frames:        nFrames,
+		RungByFrame:   make([]int, 0, nFrames),
+		HealthSamples: make([]float64, 0, nFrames),
+	}
+	digest := fnv.New64a()
+	score := func(blocks []modem.Block, frame int) {
+		for _, b := range blocks {
+			if b.Recovered {
+				res.BlocksOK++
+				res.GoodputBytes += int64(len(b.Data))
+				res.RecoveredAt = append(res.RecoveredAt, frame)
+				digest.Write([]byte{1})
+			} else {
+				res.BlocksFailed++
+				digest.Write([]byte{0})
+			}
+			digest.Write(b.Data)
+		}
+	}
+
+	period := p.Profile.FramePeriod()
+	switchAt := -1 // frame at which the pending decision retunes the link
+	var pending Decision
+	for i := 0; i < nFrames; i++ {
+		if i == switchAt {
+			to := ctl.Ladder()[pending.To]
+			toParams := to.CodingParams(fps, loss)
+			toCode, err := toParams.LinkCodeErasure()
+			if err != nil {
+				return SessionResult{}, err
+			}
+			flushed, err := rx.SetOperatingPoint(modem.OperatingPoint{
+				Order:         to.Order,
+				SymbolRate:    to.SymbolRate,
+				WhiteFraction: to.WhiteFraction,
+				Code:          toCode,
+			})
+			if err != nil {
+				return SessionResult{}, err
+			}
+			score(flushed, i)
+			src, _, err = buildEpoch(to, ctl.Epoch(), float64(i)*period)
+			if err != nil {
+				return SessionResult{}, err
+			}
+			ls.NoteRung(pending.To, to.Name)
+			digest.Write([]byte{0xA5, byte(pending.From), byte(pending.To)})
+			switchAt = -1
+		}
+
+		f := cam.Capture(src, float64(i)*period)
+		g, copies := inj.FilterFrame(f, i)
+		for k := 0; k < copies; k++ {
+			score(rx.ProcessFrame(g), i)
+		}
+
+		h := ls.Health()
+		res.RungByFrame = append(res.RungByFrame, ctl.Rung())
+		res.HealthSamples = append(res.HealthSamples, h.Score)
+
+		if !adapt {
+			continue
+		}
+		d, ok := ctl.Observe(Signals{
+			Score:          h.Score,
+			Calibrated:     h.Calibrated,
+			Margin:         h.WindowMargin,
+			HasMargin:      h.WindowMargin > 0,
+			Resyncs:        h.Resyncs,
+			DegradedBlocks: h.DegradedBlocks,
+			RSLoad:         h.RSLoadMean,
+		})
+		if ok {
+			res.Decisions = append(res.Decisions, d)
+			pending, switchAt = d, i+p.SwitchLagFrames
+		}
+	}
+	score(rx.Flush(), nFrames-1)
+
+	res.GoodputBPS = float64(res.GoodputBytes) * 8 / p.Duration
+	res.Digest = digest.Sum64()
+	res.Health = ls.Health()
+	res.Report = ls.Report("adaptive")
+	res.Snapshot = tel.Snapshot()
+	return res, nil
+}

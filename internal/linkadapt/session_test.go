@@ -1,0 +1,102 @@
+package linkadapt
+
+import (
+	"reflect"
+	"testing"
+
+	"colorbars/internal/fault"
+)
+
+// TestSessionDeterminism: the adaptive session is a pure function of
+// its params — same seed, same digest, same rung trajectory, same
+// committed decisions. This is the property the chaos soak's
+// reproducibility assertion rests on.
+func TestSessionDeterminism(t *testing.T) {
+	p := SessionParams{Seed: 11, Duration: 4, Schedule: fault.Schedule{Events: []fault.Event{
+		{Class: fault.Occlusion, Start: 1, Duration: 1.5, Magnitude: 0.55},
+	}}}
+	a, err := RunSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Errorf("digests differ: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if !reflect.DeepEqual(a.RungByFrame, b.RungByFrame) {
+		t.Error("rung trajectories differ across same-seed runs")
+	}
+	if !reflect.DeepEqual(a.Decisions, b.Decisions) {
+		t.Errorf("decisions differ: %v vs %v", a.Decisions, b.Decisions)
+	}
+}
+
+// TestSessionCleanLinkHoldsTopRung: with no impairments the link must
+// start at the top rung, stay there, and move data.
+func TestSessionCleanLinkHoldsTopRung(t *testing.T) {
+	r, err := RunSession(SessionParams{Seed: 1, Duration: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := len(DefaultLadder()) - 1
+	for i, rung := range r.RungByFrame {
+		if rung != top {
+			t.Fatalf("frame %d: left the top rung (%d) on a clean link: %v", i, rung, r.Decisions)
+		}
+	}
+	if r.GoodputBytes == 0 {
+		t.Fatal("clean adaptive link recovered no payload")
+	}
+	if !r.Health.Calibrated {
+		t.Fatal("clean adaptive link never calibrated")
+	}
+}
+
+// TestSessionStepsDownAndRecovers: a sustained partial occlusion must
+// drive the ladder down, and once the fault settles the probe path
+// must climb back to the top rung.
+func TestSessionStepsDownAndRecovers(t *testing.T) {
+	r, err := RunSession(SessionParams{Seed: 1, Duration: 6, Schedule: fault.Schedule{Events: []fault.Event{
+		{Class: fault.Occlusion, Start: 1.5, Duration: 2, Magnitude: 0.55},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := len(DefaultLadder()) - 1
+	minRung := top
+	for _, rung := range r.RungByFrame {
+		if rung < minRung {
+			minRung = rung
+		}
+	}
+	if minRung >= top {
+		t.Fatalf("occlusion never drove the ladder down: %v", r.Decisions)
+	}
+	if last := r.RungByFrame[len(r.RungByFrame)-1]; last != top {
+		t.Fatalf("link ended at rung %d, not back at top %d: %v", last, top, r.Decisions)
+	}
+	var sawProbe bool
+	for _, d := range r.Decisions {
+		if d.Reason == ReasonProbe {
+			sawProbe = true
+		}
+	}
+	if !sawProbe {
+		t.Fatalf("recovery happened without a probe-up transition: %v", r.Decisions)
+	}
+}
+
+// TestSessionRejectsBadParams: parameter validation must fail fast.
+func TestSessionRejectsBadParams(t *testing.T) {
+	if _, err := RunSession(SessionParams{Seed: 1}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := RunSession(SessionParams{Seed: 1, Duration: 1, Controller: Config{
+		DownScore: 0.9, UpScore: 0.1,
+	}}); err == nil {
+		t.Fatal("inverted hysteresis accepted")
+	}
+}

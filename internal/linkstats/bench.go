@@ -28,6 +28,11 @@ type BenchEntry struct {
 	SER float64 `json:"ser"`
 	// HasSER distinguishes a measured 0 from "not measured".
 	HasSER bool `json:"has_ser,omitempty"`
+	// GoodputBps is a delivered-data-rate metric for cells that measure
+	// link capacity rather than decode cost (the adaptive chaos cell).
+	// Unlike every other metric, LOWER is worse: the gate fails when
+	// goodput falls below baseline*(1-tolerance).
+	GoodputBps float64 `json:"goodput_bps,omitempty"`
 }
 
 // BenchReport is one dated point on the repository's benchmark
@@ -179,6 +184,15 @@ func CompareBench(baseline, current *BenchReport, tolerance float64) ([]BenchReg
 			}
 		}
 		check("ns_per_frame", base.NsPerFrame, cur.NsPerFrame)
+		// Goodput is the one lower-is-worse metric: a drop past the
+		// tolerance means the link delivers less data, however fast the
+		// decode loop runs.
+		if b, c := base.GoodputBps, cur.GoodputBps; b > 0 && c < b*(1-tolerance) {
+			out = append(out, BenchRegression{
+				Entry: name, Metric: "goodput_bps",
+				Baseline: b, Current: c, Ratio: c / b,
+			})
+		}
 		if c, b := float64(cur.BytesPerOp), float64(base.BytesPerOp); b > 0 && c > b*(1+tolerance)+bytesAbsSlack {
 			out = append(out, BenchRegression{
 				Entry: name, Metric: "bytes_per_op",

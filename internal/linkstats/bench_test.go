@@ -156,6 +156,25 @@ func TestCompareBenchEdges(t *testing.T) {
 		t.Errorf("alloc growth: %v", regs)
 	}
 
+	// Goodput is lower-is-worse: growth passes, a drop past the
+	// tolerance fails.
+	baseG := sampleReport("2026-08-01")
+	eg := baseG.Entries["decode/csk8"]
+	eg.GoodputBps = 1000
+	baseG.Entries["decode/csk8"] = eg
+	curG := sampleReport("2026-08-09")
+	eg.GoodputBps = 1500
+	curG.Entries["decode/csk8"] = eg
+	if regs, _ := CompareBench(baseG, curG, 0.10); len(regs) != 0 {
+		t.Errorf("goodput growth flagged: %v", regs)
+	}
+	eg.GoodputBps = 500
+	curG.Entries["decode/csk8"] = eg
+	regs, _ = CompareBench(baseG, curG, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "goodput_bps" {
+		t.Errorf("goodput drop: %v", regs)
+	}
+
 	// Schema mismatch is an error, not a silent pass.
 	cur = sampleReport("2026-08-09")
 	cur.Schema = BenchSchemaVersion + 1

@@ -82,6 +82,12 @@ type LinkHealth struct {
 	StaleEpisodes int64 `json:"stale_episodes"`
 	Degraded      bool  `json:"degraded"`
 
+	// Link-adaptation state (meaningful only when HasRung: fixed-rate
+	// links never report a rung).
+	HasRung  bool   `json:"has_rung,omitempty"`
+	Rung     int    `json:"rung,omitempty"`
+	RungName string `json:"rung_name,omitempty"`
+
 	// Calibration state.
 	Calibrated             bool    `json:"calibrated"`
 	CalibrationsApplied    int64   `json:"calibrations_applied"`
@@ -119,6 +125,9 @@ func (c *Collector) healthLocked() LinkHealth {
 		Resyncs:                c.resyncs,
 		StaleEpisodes:          c.staleEpisodes,
 		Degraded:               c.degraded,
+		HasRung:                c.rungEver,
+		Rung:                   c.curRung,
+		RungName:               c.rungName,
 		Calibrated:             c.calEver,
 		CalibrationsApplied:    c.calApplied,
 		FramesSinceCalibration: c.framesSinceCal,

@@ -176,6 +176,15 @@ type Collector struct {
 	marginPerPoint []hist
 	rsLoad         hist
 
+	// Link-adaptation state: the current modulation-ladder rung (set
+	// by the adaptive receiver, absent on fixed-rate links) and a small
+	// ring of recent rung changes for reports and /debug/link.
+	rungEver  bool
+	curRung   int
+	rungName  string
+	rungHist  [RungHistorySize]RungSample
+	rungHistN int
+
 	// Sliding window of completed frames plus the in-progress frame.
 	win       []frameRec
 	winNext   int
@@ -329,6 +338,61 @@ func (c *Collector) NoteDegradedBlock() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.degradedBlocks++
+}
+
+// RungHistorySize is the depth of the rung-change ring buffer kept
+// for reports.
+const RungHistorySize = 16
+
+// RungSample is one rung change: the frame count at which the
+// receiver started operating at Rung.
+type RungSample struct {
+	Frame int64  `json:"frame"`
+	Rung  int    `json:"rung"`
+	Name  string `json:"name,omitempty"`
+}
+
+// NoteRung records the receiver's current modulation-ladder rung.
+// Call it once at attach time and again after every applied ladder
+// switch; repeated calls with an unchanged rung are no-ops, so callers
+// may also invoke it per frame.
+func (c *Collector) NoteRung(rung int, name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rungEver && rung == c.curRung && name == c.rungName {
+		return
+	}
+	c.rungEver = true
+	c.curRung = rung
+	c.rungName = name
+	c.rungHist[c.rungHistN%RungHistorySize] = RungSample{Frame: c.frames, Rung: rung, Name: name}
+	c.rungHistN++
+}
+
+// RungHistory returns the most recent rung changes, oldest first (at
+// most RungHistorySize; empty on fixed-rate links).
+func (c *Collector) RungHistory() []RungSample {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rungHistoryLocked()
+}
+
+func (c *Collector) rungHistoryLocked() []RungSample {
+	n := c.rungHistN
+	if n > RungHistorySize {
+		n = RungHistorySize
+	}
+	out := make([]RungSample, 0, n)
+	for i := c.rungHistN - n; i < c.rungHistN; i++ {
+		out = append(out, c.rungHist[i%RungHistorySize])
+	}
+	return out
 }
 
 // EndFrame closes out one processed frame: dataSymbols is the frame's

@@ -44,6 +44,9 @@ type Report struct {
 	// RSLoad is the per-block parity-consumption histogram
 	// (fraction of the parity budget, recovered blocks only).
 	RSLoad HistSummary `json:"rs_load"`
+	// RungHistory lists recent modulation-ladder rung changes (empty
+	// on fixed-rate links; the current rung is in Health).
+	RungHistory []RungSample `json:"rung_history,omitempty"`
 }
 
 // Report captures the collector's current report.
@@ -62,6 +65,7 @@ func (c *Collector) Report(name string) Report {
 	for i := range c.marginPerPoint {
 		r.MarginPerPoint = append(r.MarginPerPoint, summarize(&c.marginPerPoint[i]))
 	}
+	r.RungHistory = c.rungHistoryLocked()
 	return r
 }
 
@@ -94,6 +98,16 @@ func (r Report) Text() string {
 		h.CalibrationsApplied, h.CalibrationDrift, h.FramesSinceCalibration)
 	fmt.Fprintf(&b, "self-heal       %d resyncs, %d stale episodes\n",
 		h.Resyncs, h.StaleEpisodes)
+	if h.HasRung {
+		fmt.Fprintf(&b, "rung            %d (%s)\n", h.Rung, h.RungName)
+		if len(r.RungHistory) > 0 {
+			b.WriteString("rung history   ")
+			for _, s := range r.RungHistory {
+				fmt.Fprintf(&b, " %d@%d", s.Rung, s.Frame)
+			}
+			b.WriteString("\n")
+		}
+	}
 	if len(r.MarginPerPoint) > 0 {
 		b.WriteString("per-point margin mean (ΔE00):\n")
 		for i, p := range r.MarginPerPoint {

@@ -26,6 +26,7 @@ import (
 	"colorbars/internal/coding"
 	"colorbars/internal/csk"
 	"colorbars/internal/fault"
+	"colorbars/internal/linkadapt"
 	"colorbars/internal/linkstats"
 	"colorbars/internal/modem"
 	"colorbars/internal/packet"
@@ -135,6 +136,14 @@ type LinkParams struct {
 	// transmitted symbol stream as SER/BER ground truth and the
 	// result carries the end-of-run LinkHealth and Report.
 	LinkStats *linkstats.Collector
+	// Adaptive replaces the fixed Order/SymbolRate/WhiteFraction link
+	// with the closed-loop link-adaptation session (internal/linkadapt,
+	// DESIGN.md §13): the controller walks the default modulation
+	// ladder in response to live link health, so those three fields are
+	// ignored. Only GoodputBps, Stats, Health, LinkReport and Telemetry
+	// are populated — SER and throughput need a fixed ground-truth
+	// symbol stream, which a link that retunes mid-run does not have.
+	Adaptive bool
 }
 
 // LinkResult holds the measured quantities.
@@ -172,6 +181,9 @@ type LinkResult struct {
 func Run(p LinkParams) (LinkResult, error) {
 	if p.Duration <= 0 {
 		return LinkResult{}, fmt.Errorf("metrics: duration %v must be positive", p.Duration)
+	}
+	if p.Adaptive {
+		return runAdaptive(p)
 	}
 	tel := p.Telemetry
 	if tel == nil {
@@ -321,6 +333,37 @@ func Run(p LinkParams) (LinkResult, error) {
 	res.Health = ls.Health()
 	res.LinkReport = ls.Report("")
 	return res, nil
+}
+
+// runAdaptive measures the closed-loop adaptive link: the linkadapt
+// session owns the whole modem loop (it must — the operating point
+// changes mid-run), and its result maps onto the subset of LinkResult
+// that is well-defined without a fixed ground-truth stream.
+func runAdaptive(p LinkParams) (LinkResult, error) {
+	tel := p.Telemetry
+	if tel == nil {
+		tel = telemetry.Process().NewChild()
+	}
+	if p.Trace != nil {
+		tel.SetSink(p.Trace)
+	}
+	sr, err := linkadapt.RunSession(linkadapt.SessionParams{
+		Seed:      p.Seed,
+		Duration:  p.Duration,
+		Profile:   p.Profile,
+		Channel:   p.Channel,
+		Schedule:  p.Fault,
+		Telemetry: tel,
+	})
+	if err != nil {
+		return LinkResult{}, err
+	}
+	return LinkResult{
+		GoodputBps: sr.GoodputBPS,
+		Telemetry:  sr.Snapshot,
+		Health:     sr.Health,
+		LinkReport: sr.Report,
+	}, nil
 }
 
 // pipelineDecode runs the capture through the concurrent pipeline and

@@ -1,0 +1,141 @@
+package modem
+
+import (
+	"testing"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/cie"
+	"colorbars/internal/coding"
+	"colorbars/internal/csk"
+	"colorbars/internal/packet"
+)
+
+// TestCalMetaOverTheAir: a transmitter announcing link-adaptation
+// metadata in its calibration packets must get the announcement
+// through the full camera channel, and the receiver must expose it.
+func TestCalMetaOverTheAir(t *testing.T) {
+	l := newLink(t, csk.CSK8, 2000, camera.Ideal(), 1)
+	want := packet.CalMeta{
+		Rung: 2, HasRung: true,
+		Epoch: 7, HasEpoch: true,
+	}
+	l.tx.SetCalMeta(packet.EncodeCalMeta(want))
+	l.run(t, []byte("adaptive announcement payload"), 2.0)
+	got, ok := l.rx.CalMeta()
+	if !ok {
+		t.Fatalf("no calibration metadata decoded (stats %+v)", l.rx.Stats())
+	}
+	if got != want {
+		t.Fatalf("metadata %+v, want %+v", got, want)
+	}
+}
+
+// TestCalMetaDoesNotDisturbDecode: the trailing metadata region must
+// not cost the link any data blocks — the same broadcast with and
+// without metadata recovers the full message either way.
+func TestCalMetaDoesNotDisturbDecode(t *testing.T) {
+	msg := []byte("metadata must ride along without breaking the data path")
+	for _, withMeta := range []bool{false, true} {
+		l := newLink(t, csk.CSK8, 2000, camera.Nexus5(), 7)
+		if withMeta {
+			l.tx.SetCalMeta(packet.EncodeCalMeta(packet.CalMeta{
+				Rung: 1, HasRung: true,
+				NextRung: 2, HasNextRung: true,
+				SwitchFrame: 300, HasSwitchFrame: true,
+			}))
+		}
+		blocks := l.run(t, msg, 3.0)
+		verifyMessageRecovered(t, l.tx.Config().Code, msg, blocks, l.rx.Stats())
+		_ = blocks
+	}
+}
+
+// TestCalMetaBackwardCompatibleReceiver: an un-upgraded receiver —
+// modeled by a v1 deframer consumer that ignores RxPacket.Meta — must
+// still decode a metadata-bearing broadcast. Since the current
+// receiver only reads Meta additively, it suffices that the data path
+// recovers everything (covered above) and that a receiver never errors
+// on metadata-bearing calibration packets; here we pin that the
+// calibration itself still applies.
+func TestCalMetaBackwardCompatibleReceiver(t *testing.T) {
+	l := newLink(t, csk.CSK8, 2000, camera.Ideal(), 1)
+	l.tx.SetCalMeta(packet.EncodeCalMeta(packet.CalMeta{Rung: 1, HasRung: true}))
+	l.run(t, []byte("calibration still applies"), 1.0)
+	if !l.rx.Calibrated() {
+		t.Fatal("metadata region broke calibration")
+	}
+	if l.rx.Stats().RejectedCalibrations > 0 {
+		t.Fatalf("metadata-bearing calibrations rejected: %+v", l.rx.Stats())
+	}
+}
+
+// TestSetOperatingPoint drives a full in-band rung switch: decode at
+// one operating point, retune both ends, decode at the next. The
+// receiver must recover data on both sides of the switch and re-enter
+// acquiring (uncalibrated) state in between.
+func TestSetOperatingPoint(t *testing.T) {
+	prof := camera.Ideal()
+	cam := camera.New(prof, 3)
+	msgA := []byte("payload at the low rung before the switch")
+	msgB := []byte("payload at the high rung after the switch")
+
+	mkCode := func(order csk.Order, rate float64) *coding.Params {
+		return &coding.Params{
+			SymbolRate: rate, FrameRate: prof.FrameRate, LossRatio: prof.LossRatio(),
+			Order: order, DataFraction: 0.8,
+		}
+	}
+	lowParams, highParams := mkCode(csk.CSK4, 1500), mkCode(csk.CSK8, 2000)
+	lowCode, err := lowParams.LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	highCode, err := highParams.LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l := newLink(t, csk.CSK4, 1500, prof, 3)
+	l.cam = cam
+	blocksA := l.run(t, msgA, 2.0)
+	verifyMessageRecovered(t, lowCode, msgA, blocksA, l.rx.Stats())
+
+	flushed, err := l.rx.SetOperatingPoint(OperatingPoint{
+		Order: csk.CSK8, SymbolRate: 2000, WhiteFraction: 0.2, Code: highCode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = flushed
+	if l.rx.Calibrated() {
+		t.Fatal("references survived the constellation switch")
+	}
+	if _, ok := l.rx.CalMeta(); ok {
+		t.Fatal("stale calibration metadata survived the switch")
+	}
+
+	tx2, err := NewTransmitter(TxConfig{
+		Order: csk.CSK8, SymbolRate: 2000, WhiteFraction: 0.2, Power: 1,
+		Triangle: cie.SRGBTriangle, CalibrationEvery: 3, Code: highCode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.tx = tx2
+	blocksB := l.run(t, msgB, 2.0)
+	verifyMessageRecovered(t, highCode, msgB, blocksB, l.rx.Stats())
+}
+
+// TestSetOperatingPointRejectsBadPoint: invalid points must leave an
+// error, not a half-retuned receiver.
+func TestSetOperatingPointRejectsBadPoint(t *testing.T) {
+	l := newLink(t, csk.CSK8, 2000, camera.Ideal(), 1)
+	if _, err := l.rx.SetOperatingPoint(OperatingPoint{Order: csk.CSK8, SymbolRate: 0}); err == nil {
+		t.Fatal("zero symbol rate accepted")
+	}
+	if _, err := l.rx.SetOperatingPoint(OperatingPoint{
+		Order: csk.Order(9), SymbolRate: 2000, WhiteFraction: 0.2, Code: l.tx.Config().Code,
+	}); err == nil {
+		t.Fatal("invalid order accepted")
+	}
+}

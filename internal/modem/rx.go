@@ -57,6 +57,13 @@ type RxConfig struct {
 	// block outcomes — and serves LinkHealth snapshots (DESIGN.md
 	// §11). Nil disables the instrumentation with no hot-path cost.
 	LinkStats *linkstats.Collector
+	// TrackAnnouncedRung records modulation-ladder rungs announced by
+	// transmitter calibration metadata into LinkStats, so link reports
+	// and /debug/link show the operating rung even on receivers that
+	// never retune (the rx tool's -adapt flag). Receivers driven by the
+	// linkadapt session leave this off — the session records ground
+	// truth itself at each committed switch.
+	TrackAnnouncedRung bool
 }
 
 // SelfHealConfig tunes the receiver's recovery state machine. All
@@ -223,6 +230,8 @@ type rxCounters struct {
 	resyncs             *telemetry.Counter // rx.resyncs
 	staleCalibrations   *telemetry.Counter // rx.stale_calibrations
 	degradedBlocks      *telemetry.Counter // rx.degraded_blocks
+	calMetaSeen         *telemetry.Counter // rx.cal_meta_seen
+	rungSwitches        *telemetry.Counter // rx.rung_switches
 }
 
 func newRxCounters(t *telemetry.Registry) rxCounters {
@@ -245,6 +254,8 @@ func newRxCounters(t *telemetry.Registry) rxCounters {
 		resyncs:             t.Counter("rx.resyncs"),
 		staleCalibrations:   t.Counter("rx.stale_calibrations"),
 		degradedBlocks:      t.Counter("rx.degraded_blocks"),
+		calMetaSeen:         t.Counter("rx.cal_meta_seen"),
+		rungSwitches:        t.Counter("rx.rung_switches"),
 	}
 }
 
@@ -258,6 +269,11 @@ type Receiver struct {
 	refs     []colorspace.AB // current demodulation references
 	haveRefs bool
 	started  bool
+
+	// Calibration-metadata state: the last announcement decoded from a
+	// calibration packet's trailing TLV region (DESIGN.md §13).
+	lastCalMeta packet.CalMeta
+	haveCalMeta bool
 
 	tel *telemetry.Registry
 	c   rxCounters
@@ -453,6 +469,127 @@ func (r *Receiver) validCalibration(colors []colorspace.AB) bool {
 // References returns a copy of the current demodulation references.
 func (r *Receiver) References() []colorspace.AB {
 	return append([]colorspace.AB(nil), r.refs...)
+}
+
+// CalMeta returns the last calibration-metadata announcement decoded
+// from a calibration packet's trailing TLV region, and whether one has
+// been seen since the receiver was built (or since the last operating
+// point switch).
+func (r *Receiver) CalMeta() (packet.CalMeta, bool) {
+	return r.lastCalMeta, r.haveCalMeta
+}
+
+// consumeCalMeta decodes a calibration packet's trailing metadata
+// region: the classified colors are matched against the freshly
+// applied references, unpacked to bytes and CRC-checked
+// (packet.DecodeCalMeta). Any damage — misclassified symbols, a
+// truncated region, an unknown version — silently drops the metadata;
+// the calibration itself has already been applied.
+func (r *Receiver) consumeCalMeta(meta []colorspace.AB) {
+	if len(meta) == 0 || !r.haveRefs {
+		return
+	}
+	bps := r.cfg.Order.BitsPerSymbol()
+	nBytes := len(meta) * bps / 8
+	if nBytes < 3 {
+		return // below the ver+crc16 minimum: cannot be a valid blob
+	}
+	ds := &r.ds
+	idx := ds.sizeIdx[:0]
+	for _, c := range meta {
+		idx = append(idx, csk.NearestAB(c, r.refs))
+	}
+	ds.sizeIdx = idx
+	raw, err := r.cfg.Order.AppendUnpack(ds.cw[:0], idx, nBytes)
+	if err != nil {
+		return
+	}
+	ds.cw = raw
+	packet.ScrambleInPlace(raw) // undo the region's whitening
+	m, ok := packet.DecodeCalMeta(raw)
+	if !ok {
+		return
+	}
+	r.lastCalMeta = m
+	r.haveCalMeta = true
+	r.c.calMetaSeen.Inc()
+	// Surface announced rungs in the link report (rung history ring,
+	// /debug/link) when the consumer opted in. The name is left empty:
+	// ladder tables are out-of-band profile data the receiver does not
+	// hold; in-band metadata carries indexes only.
+	if r.cfg.TrackAnnouncedRung && m.HasRung {
+		r.ls.NoteRung(m.Rung, "")
+	}
+}
+
+// OperatingPoint is the per-rung subset of the link configuration: the
+// parameters a modulation-ladder switch replaces while everything else
+// (triangle, ablation flags, telemetry, self-heal tuning) carries over.
+type OperatingPoint struct {
+	Order         csk.Order
+	SymbolRate    float64
+	WhiteFraction float64
+	Code          *rs.Code
+}
+
+// SetOperatingPoint retunes the receiver to a new modulation ladder
+// rung at a packet boundary: any packet still buffered under the old
+// parameters is flushed first (and returned, decoded with the old
+// configuration), then the constellation, framing, deframer and RS
+// decoder are rebuilt for the new point. The references are cleared —
+// the old constellation's colors mean nothing on the new one — so the
+// receiver re-enters the acquiring state until the first calibration
+// packet at the new rung lands (transmitters always lead an epoch with
+// one). Must run on the sequential decode path, between frames.
+func (r *Receiver) SetOperatingPoint(p OperatingPoint) ([]Block, error) {
+	cfg := r.cfg
+	cfg.Order, cfg.SymbolRate, cfg.WhiteFraction, cfg.Code = p.Order, p.SymbolRate, p.WhiteFraction, p.Code
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cons, err := buildConstellation(p.Order, cfg.triangle(), cfg.ReceiverOptimized)
+	if err != nil {
+		return nil, err
+	}
+	pktCfg := packet.Config{Order: p.Order, WhiteFraction: p.WhiteFraction}
+	if p.Code.N() > pktCfg.MaxPayloadBytes() {
+		return nil, fmt.Errorf("modem: codeword %d bytes exceeds packet capacity %d",
+			p.Code.N(), pktCfg.MaxPayloadBytes())
+	}
+	flushed := r.Flush()
+
+	r.cfg = cfg
+	r.cons = cons
+	r.pktCfg = pktCfg
+	r.deframer = packet.NewDeframer(pktCfg)
+	r.seenDiscards = 0
+	r.dec = p.Code.NewDecoder()
+	r.started = false
+	r.haveCalMeta = false
+
+	// References are per-constellation; start over from the factory
+	// geometry exactly as NewReceiver does.
+	r.refs = r.refs[:0]
+	r.haveRefs = false
+	r.cls.setDataRefs(cons.ReferenceABs())
+	if cfg.UseFactoryReferences {
+		r.refs = append(r.refs, cons.ReferenceABs()...)
+		r.haveRefs = true
+		r.ls.RecordCalibration(0)
+	}
+
+	// The self-heal machine's streaks and calibration age refer to the
+	// old rung's references; restart it clean so a switch never
+	// inherits a half-accumulated collapse streak or stale episode.
+	r.heal.collapseStreak, r.heal.distStreak = 0, 0
+	r.heal.framesSinceCal = 0
+	r.heal.calEver = false
+	if r.heal.stale {
+		r.heal.stale = false
+		r.syncGauge.Set(0)
+	}
+	r.c.rungSwitches.Inc()
+	return flushed, nil
 }
 
 // ProcessFrame runs the full receive pipeline on one frame and returns
@@ -808,6 +945,7 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket, blk *Block) bool {
 				r.syncGauge.Set(0)
 			}
 		}
+		r.consumeCalMeta(pkt.Meta)
 		return false
 	case packet.PacketData:
 		r.c.packetsData.Inc()

@@ -56,6 +56,15 @@ type TxConfig struct {
 	// instead of the standard xy-optimized layout. Both link ends must
 	// agree.
 	ReceiverOptimized bool
+	// CalMeta, when non-empty, is an encoded calibration-metadata blob
+	// (packet.EncodeCalMeta) appended to every calibration packet as a
+	// versioned trailing region. Un-upgraded receivers parse the
+	// calibration body and skip the region as inter-packet garbage; the
+	// link-adaptation layer uses it to announce the current ladder rung
+	// and pending switches in-band. Leave empty on fixed-rate links —
+	// and on rungs too slow for the region to fit between inter-frame
+	// gaps (see packet.Config.MetaRegionSlots).
+	CalMeta []byte
 	// Telemetry receives the transmitter's tx.* spans and counters
 	// (see DESIGN.md, "Observability"). Nil gives the transmitter a
 	// private registry.
@@ -165,6 +174,12 @@ func (t *Transmitter) Telemetry() *telemetry.Registry { return t.tel }
 // Config returns the transmitter configuration.
 func (t *Transmitter) Config() TxConfig { return t.cfg }
 
+// SetCalMeta replaces the calibration-metadata blob appended to
+// subsequent calibration packets (nil stops emission). The
+// link-adaptation layer calls it between waveform builds to announce
+// rung changes without reconstructing the transmitter.
+func (t *Transmitter) SetCalMeta(meta []byte) { t.cfg.CalMeta = meta }
+
 // Constellation returns the transmitter's constellation.
 func (t *Transmitter) Constellation() *csk.Constellation { return t.cons }
 
@@ -188,7 +203,7 @@ func (t *Transmitter) EncodeMessage(msg []byte) ([]packet.TxSymbol, error) {
 	var out []packet.TxSymbol
 	sinceCal := 0
 	appendCal := func() error {
-		cal, err := t.pktCfg.BuildCalibration(t.cons.CalibrationOrder())
+		cal, err := t.pktCfg.BuildCalibrationMeta(t.cons.CalibrationOrder(), t.cfg.CalMeta)
 		if err != nil {
 			return err
 		}

@@ -51,6 +51,15 @@ type RxPacket struct {
 	// Calibration packets: the observed constellation colors in index
 	// order.
 	Colors []colorspace.AB
+
+	// Calibration packets: the observed colors of the trailing
+	// metadata region's symbols (empty when the packet carried none or
+	// the region was damaged). The consumer matches them against the
+	// freshly applied calibration references, unpacks the indices to
+	// bytes and hands them to DecodeCalMeta; the region's own CRC is
+	// the integrity check, so a partially captured region costs
+	// nothing but the metadata itself.
+	Meta []colorspace.AB
 }
 
 // MaxGapsPerPacket bounds how many inter-frame gaps one data packet
@@ -84,6 +93,7 @@ type Deframer struct {
 	slotArena  []RxSlot
 	gapArena   []int
 	colorArena []colorspace.AB
+	metaArena  []colorspace.AB
 	// Per-parse scratch (never escapes into returned packets).
 	runBuf  []headerRun
 	sizeBuf []colorspace.AB
@@ -145,6 +155,7 @@ func (d *Deframer) resetArenas() {
 	d.slotArena = d.slotArena[:0]
 	d.gapArena = d.gapArena[:0]
 	d.colorArena = d.colorArena[:0]
+	d.metaArena = d.metaArena[:0]
 }
 
 // copyOutPackets rewrites arena-backed packet slices into owned
@@ -160,6 +171,9 @@ func copyOutPackets(pkts []RxPacket) {
 		}
 		if p.Colors != nil {
 			p.Colors = append([]colorspace.AB(nil), p.Colors...)
+		}
+		if p.Meta != nil {
+			p.Meta = append([]colorspace.AB(nil), p.Meta...)
 		}
 	}
 }
@@ -352,7 +366,40 @@ func (d *Deframer) parseCalibration(bodyStart int, eof bool) (*RxPacket, int, bo
 		d.colorArena = append(d.colorArena, s.AB)
 	}
 	d.pkt = RxPacket{Kind: PacketCalibration, Colors: d.colorArena[calStart:len(d.colorArena):len(d.colorArena)]}
-	return &d.pkt, bodyStart + m, true
+	consumed := bodyStart + m
+	// Optional trailing metadata region (BuildCalibrationMeta): a white
+	// symbol directly after the body opens `W m0 m1 …`, running to
+	// the next OFF (the following delimiter), gap marker or stream end.
+	// The region is consumed only when its terminator is already
+	// buffered — waiting for it would delay calibration delivery
+	// relative to a v1 stream, and the metadata is best-effort by
+	// design: a region arriving in a later push is skipped as
+	// inter-packet garbage (one Discarded count, exactly what a
+	// receiver that predates the format does with every region).
+	if consumed < len(d.buf) && d.buf[consumed].Kind == KindWhite {
+		j := consumed
+		for j < len(d.buf) && d.buf[j].Kind != KindOff && d.buf[j].Kind != KindGap {
+			j++
+		}
+		if j < len(d.buf) || eof {
+			metaStart := len(d.metaArena)
+			// Everything between the white marker and the terminator is
+			// meta symbols, packed contiguously; parse positionally and
+			// ignore the classified kinds (a low-saturation meta symbol
+			// may legitimately read as white — its observed color is
+			// still what the consumer matches). The region's CRC catches
+			// any misparse.
+			for k := consumed + 1; k < j; k++ {
+				d.metaArena = append(d.metaArena, d.buf[k].AB)
+			}
+			d.pkt.Meta = d.metaArena[metaStart:len(d.metaArena):len(d.metaArena)]
+			consumed = j
+			if j < len(d.buf) && d.buf[j].Kind == KindGap {
+				consumed++ // gaps are markers; consume them
+			}
+		}
+	}
+	return &d.pkt, consumed, true
 }
 
 // parseData parses a data packet: size field, then payload slots until

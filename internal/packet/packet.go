@@ -347,6 +347,45 @@ func (c Config) BuildCalibration(perm []int) ([]TxSymbol, error) {
 	return out, nil
 }
 
+// BuildCalibrationMeta is BuildCalibration with a trailing metadata
+// region (see tlv.go for the byte format). The meta bytes are
+// scrambled (whitening long same-symbol runs, exactly like payload),
+// packed into constellation symbols and appended after the M body
+// colors as
+//
+//	… c(M−1) | W m0 m1 … m(k−1)
+//
+// — one white marker, then the meta symbols packed contiguously. The
+// marker is what distinguishes the region from a following packet (a
+// v1 calibration packet is always followed by an OFF delimiter);
+// contiguous packing keeps the region small enough to fit inside one
+// rolling-shutter visibility window next to the calibration body — a
+// region interrupted by the inter-frame gap never decodes. The region
+// is protected by its own CRC, and a receiver that predates it sees
+// the symbols as inter-packet garbage: one extra Discarded count,
+// calibration unharmed. An empty meta is exactly BuildCalibration.
+func (c Config) BuildCalibrationMeta(perm []int, meta []byte) ([]TxSymbol, error) {
+	out, err := c.BuildCalibration(perm)
+	if err != nil || len(meta) == 0 {
+		return out, err
+	}
+	out = append(out, White())
+	for _, sym := range c.Order.Pack(Scramble(meta)) {
+		out = append(out, Data(sym))
+	}
+	return out, nil
+}
+
+// MetaRegionSlots returns how many on-air symbol slots the metadata
+// region for a blob of metaBytes occupies (the white marker included).
+// The transmitter uses it to skip the region entirely when, together
+// with the calibration packet, it could not fit the rolling-shutter
+// visibility window — a region interrupted by an inter-frame gap never
+// decodes, so emitting it would only burn airtime.
+func (c Config) MetaRegionSlots(metaBytes int) int {
+	return 1 + c.Order.SymbolsPerBytes(metaBytes)
+}
+
 // encodeSize encodes a slot count into the size field's data symbols,
 // MSB first.
 func (c Config) encodeSize(slots int) []TxSymbol {

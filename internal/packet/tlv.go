@@ -1,0 +1,147 @@
+package packet
+
+// Calibration-packet metadata: a small versioned TLV blob appended to
+// calibration packets (wire layout in deframe.go / BuildCalibrationMeta).
+// The link-adaptation layer uses it to announce the transmitter's
+// current ladder rung and pending rung switches in-band, so a receiver
+// joining mid-stream — or one whose out-of-band feedback was lost —
+// can confirm the operating point from the light itself.
+//
+// Byte layout (before symbol packing):
+//
+//	ver(1) | { type(1) len(1) value(len) }* | crc16(2, big-endian)
+//
+// The CRC covers everything before it. Unknown TLV types are skipped,
+// never an error, so new metadata can ship without a version bump; the
+// version byte is bumped only for incompatible layout changes. The
+// whole blob is best-effort: any truncation, CRC mismatch or unknown
+// version makes DecodeCalMeta report !ok and the receiver simply
+// ignores the metadata — the calibration colors it rode along with are
+// applied regardless.
+
+// CalMetaVersion is the current metadata layout version.
+const CalMetaVersion = 1
+
+// TLV types carried in calibration metadata.
+const (
+	// tlvRung announces the transmitter's current ladder rung (1 byte).
+	tlvRung = 0x01
+	// tlvEpoch is the transmitter's rung-switch generation counter,
+	// modulo 256 (1 byte). It increments on every committed switch, so
+	// a receiver can tell a re-announcement from a new epoch.
+	tlvEpoch = 0x02
+	// tlvNextRung announces a pending switch target (1 byte).
+	tlvNextRung = 0x03
+	// tlvSwitchFrame is the frame counter, modulo 65536, at which the
+	// pending switch commits (2 bytes, big-endian).
+	tlvSwitchFrame = 0x04
+)
+
+// CalMeta is the decoded calibration metadata. Has* flags distinguish
+// an absent TLV from a zero value.
+type CalMeta struct {
+	Rung           int
+	HasRung        bool
+	Epoch          int
+	HasEpoch       bool
+	NextRung       int
+	HasNextRung    bool
+	SwitchFrame    int
+	HasSwitchFrame bool
+}
+
+// EncodeCalMeta serializes m. Fields whose Has* flag is false are
+// omitted.
+func EncodeCalMeta(m CalMeta) []byte {
+	out := make([]byte, 0, 16)
+	out = append(out, CalMetaVersion)
+	if m.HasRung {
+		out = append(out, tlvRung, 1, byte(m.Rung))
+	}
+	if m.HasEpoch {
+		out = append(out, tlvEpoch, 1, byte(m.Epoch))
+	}
+	if m.HasNextRung {
+		out = append(out, tlvNextRung, 1, byte(m.NextRung))
+	}
+	if m.HasSwitchFrame {
+		out = append(out, tlvSwitchFrame, 2,
+			byte(m.SwitchFrame>>8), byte(m.SwitchFrame))
+	}
+	crc := crc16(out)
+	return append(out, byte(crc>>8), byte(crc))
+}
+
+// DecodeCalMeta parses a metadata blob. ok is false when the blob is
+// truncated, fails its CRC, or carries an unknown version — all of
+// which mean "no metadata", never a hard error. Unknown TLV types are
+// skipped; a duplicated TLV's last occurrence wins.
+func DecodeCalMeta(raw []byte) (m CalMeta, ok bool) {
+	if len(raw) < 3 {
+		return CalMeta{}, false
+	}
+	body, tail := raw[:len(raw)-2], raw[len(raw)-2:]
+	if crc16(body) != uint16(tail[0])<<8|uint16(tail[1]) {
+		return CalMeta{}, false
+	}
+	if body[0] != CalMetaVersion {
+		return CalMeta{}, false
+	}
+	i := 1
+	for i < len(body) {
+		if i+2 > len(body) {
+			return CalMeta{}, false // dangling type byte
+		}
+		typ, n := body[i], int(body[i+1])
+		i += 2
+		if i+n > len(body) {
+			return CalMeta{}, false // value truncated
+		}
+		v := body[i : i+n]
+		i += n
+		switch typ {
+		case tlvRung:
+			if n != 1 {
+				return CalMeta{}, false
+			}
+			m.Rung, m.HasRung = int(v[0]), true
+		case tlvEpoch:
+			if n != 1 {
+				return CalMeta{}, false
+			}
+			m.Epoch, m.HasEpoch = int(v[0]), true
+		case tlvNextRung:
+			if n != 1 {
+				return CalMeta{}, false
+			}
+			m.NextRung, m.HasNextRung = int(v[0]), true
+		case tlvSwitchFrame:
+			if n != 2 {
+				return CalMeta{}, false
+			}
+			m.SwitchFrame, m.HasSwitchFrame = int(v[0])<<8|int(v[1]), true
+		default:
+			// Unknown type: skip. Future metadata must coexist with
+			// receivers that predate it.
+		}
+	}
+	return m, true
+}
+
+// crc16 is CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — the same
+// polynomial the application-layer block header uses, reimplemented
+// here because the packet layer sits below the facade.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

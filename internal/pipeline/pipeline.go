@@ -133,7 +133,10 @@ type Pipeline struct {
 
 	mu      sync.Mutex
 	streams map[string]*Stream
-	closed  bool
+	// gens counts recycles per stream id: a recycled id may be
+	// re-registered, and its replacement starts at the next generation.
+	gens   map[string]uint64
+	closed bool
 }
 
 // Stream is one LED stream's lane through the pipeline: a bounded
@@ -152,6 +155,10 @@ type Stream struct {
 	// touching its siblings.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// gen is this stream's recycle generation under its id: 0 for a
+	// first registration, n after the id was recycled n times.
+	gen uint64
 
 	depth *telemetry.Gauge
 
@@ -209,6 +216,7 @@ func New(cfg Config) *Pipeline {
 		ctx:       ctx,
 		cancel:    cancel,
 		streams:   map[string]*Stream{},
+		gens:      map[string]uint64{},
 		busy:      cfg.Telemetry.Gauge("pipeline.workers_busy"),
 		framesIn:  cfg.Telemetry.Counter("pipeline.frames_in"),
 		dropped:   cfg.Telemetry.Counter("pipeline.frames_dropped"),
@@ -282,7 +290,8 @@ func (s *Stream) checkStall(elapsed, timeout time.Duration) {
 // recycle tears down one wedged stream: input closes (Submit returns
 // ErrClosed), the lane goroutines exit at their next channel
 // operation, undelivered output is dropped, and Blocks() closes. The
-// rest of the pipeline is untouched.
+// rest of the pipeline is untouched, and the stream's id is released
+// at the next recycle generation so a replacement can re-register.
 func (s *Stream) recycle() {
 	if !s.recycling.CompareAndSwap(false, true) {
 		return
@@ -293,6 +302,12 @@ func (s *Stream) recycle() {
 	// that mutex.
 	s.cancel()
 	s.CloseInput()
+	s.p.mu.Lock()
+	if s.p.streams[s.id] == s {
+		delete(s.p.streams, s.id)
+	}
+	s.p.gens[s.id] = s.gen + 1
+	s.p.mu.Unlock()
 }
 
 // Workers reports the pool size.
@@ -300,8 +315,11 @@ func (p *Pipeline) Workers() int { return p.cfg.Workers }
 
 // AddStream registers a stream decoding through rx and returns its
 // lane. The id names the stream in telemetry
-// (pipeline.queue_depth.<id>) and must be unique. The receiver must
-// not be used outside the pipeline afterwards.
+// (pipeline.queue_depth.<id>) and must be unique among live streams;
+// an id whose stream the watchdog recycled may be re-registered, and
+// the replacement starts at the next recycle generation (see
+// Generation). The receiver must not be used outside the pipeline
+// afterwards.
 func (p *Pipeline) AddStream(id string, rx *modem.Receiver) (*Stream, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -315,6 +333,7 @@ func (p *Pipeline) AddStream(id string, rx *modem.Receiver) (*Stream, error) {
 		p:      p,
 		id:     id,
 		rx:     rx,
+		gen:    p.gens[id],
 		in:     make(chan job, p.cfg.QueueDepth),
 		done:   make(chan result, p.cfg.QueueDepth+p.cfg.Workers),
 		out:    make(chan modem.Block, p.cfg.OutputDepth),
@@ -514,6 +533,15 @@ func (s *Stream) Telemetry() *telemetry.Registry { return s.rx.Telemetry() }
 // internally synchronized — and returns a no-traffic snapshot when
 // the stream's receiver has no linkstats collector attached.
 func (s *Stream) Health() linkstats.LinkHealth { return s.rx.LinkStats().Health() }
+
+// Generation reports the stream's recycle generation: 0 for a first
+// registration of its id, n when the id has been recycled n times
+// before this stream registered. Per-stream seeds for stochastic
+// layers wrapped around a stream (fault injection above all) must
+// incorporate the generation — a replacement stream that reuses the
+// original seed replays the original random phase from zero, which is
+// exactly the nondeterminism recycling must not introduce.
+func (s *Stream) Generation() uint64 { return s.gen }
 
 // Submitted reports how many frames Submit has admitted (including
 // ones DropOldest later discarded).

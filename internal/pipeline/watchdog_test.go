@@ -159,6 +159,88 @@ func TestWatchdogRecyclesStalledStream(t *testing.T) {
 	})
 }
 
+// TestRecycledStreamIdReusableAtNextGeneration: after the watchdog
+// recycles a stream, its id must be re-registrable, the replacement
+// must carry the next recycle generation (so per-stream fault seeds
+// derived from it cannot replay the original stream's random phase),
+// and the replacement must decode byte-identically to the serial
+// reference.
+func TestRecycledStreamIdReusableAtNextGeneration(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 3, 4)
+	tel := telemetry.NewRegistry()
+	p := New(Config{
+		Workers:      2,
+		QueueDepth:   len(sess.frames) + 1,
+		OutputDepth:  1,
+		StallTimeout: 500 * time.Millisecond,
+		Telemetry:    tel,
+	})
+	first, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Generation() != 0 {
+		t.Fatalf("fresh stream generation = %d, want 0", first.Generation())
+	}
+	if _, err := p.AddStream("led0", sess.newRx(t)); err == nil {
+		t.Fatal("duplicate id accepted while the stream is live")
+	}
+	// Wedge the stream: submit everything, never drain Blocks.
+	for _, f := range sess.frames {
+		if err := first.Submit(context.Background(), f); err != nil {
+			break // recycled mid-loop: expected
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !first.recycling.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never recycled the wedged stream")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	watchdog(t, 5*time.Second, "Blocks close after recycle", func() {
+		<-collect(first)
+	})
+
+	// The id is free again; the replacement rides generation 1.
+	var second *Stream
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		second, err = p.AddStream("led0", sess.newRx(t))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recycled id never became re-registrable: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if second.Generation() != 1 {
+		t.Fatalf("replacement generation = %d, want 1", second.Generation())
+	}
+	if first.Generation() != 0 {
+		t.Fatalf("recycle mutated the old stream's generation to %d", first.Generation())
+	}
+	got := collect(second)
+	for _, f := range sess.frames {
+		if err := second.Submit(context.Background(), f); err != nil {
+			t.Fatalf("Submit on replacement stream: %v", err)
+		}
+	}
+	second.CloseInput()
+	want := serialDecode(sess.newRx(t), sess.frames)
+	watchdog(t, 30*time.Second, "replacement stream completion", func() {
+		if blocks := <-got; !reflect.DeepEqual(blocks, want) {
+			t.Errorf("replacement decode diverged from serial (%d vs %d blocks)", len(blocks), len(want))
+		}
+	})
+	watchdog(t, 5*time.Second, "Close", func() {
+		if err := p.Close(context.Background()); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+}
+
 // TestWatchdogLeavesIdleAndHealthyStreamsAlone: an armed watchdog must
 // not recycle a stream that is merely idle (no input) or one that is
 // decoding normally.

@@ -71,12 +71,13 @@ func (p *Pipeline) AddStream(id string, cfg Config) (*PipelineStream, error) {
 		Telemetry:     tel,
 	})
 	rx, err := modem.NewReceiver(modem.RxConfig{
-		Order:         cfg.Order,
-		SymbolRate:    cfg.SymbolRate,
-		WhiteFraction: cfg.WhiteFraction,
-		Code:          code,
-		Telemetry:     tel,
-		LinkStats:     ls,
+		Order:              cfg.Order,
+		SymbolRate:         cfg.SymbolRate,
+		WhiteFraction:      cfg.WhiteFraction,
+		Code:               code,
+		Telemetry:          tel,
+		LinkStats:          ls,
+		TrackAnnouncedRung: cfg.TrackAnnouncedRung,
 	})
 	if err != nil {
 		return nil, err
@@ -128,6 +129,13 @@ func (s *PipelineStream) Messages() <-chan Message { return s.out }
 
 // Stats exposes the stream's low-level receiver counters.
 func (s *PipelineStream) Stats() modem.RxStats { return s.s.Stats() }
+
+// Generation reports the stream's recycle generation: 0 for a first
+// registration of its id, n when the watchdog recycled the id n times
+// before this stream registered. Seeds for stochastic layers wrapped
+// around the stream — the fault injector above all — must incorporate
+// it, or a replacement stream replays the original's random phase.
+func (s *PipelineStream) Generation() uint64 { return s.s.Generation() }
 
 // Telemetry returns the stream receiver's metric registry; attach a
 // trace sink with SetSink to record the stream's per-stage events.
