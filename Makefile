@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-pipeline fault-soak adapt-soak fuzz-smoke bench bench-json bench-gate golden cover
+.PHONY: ci vet build test race race-pipeline fault-soak adapt-soak ingest-soak fuzz-smoke bench bench-json bench-gate golden cover
 
 # ci is the full gate: static checks, build, the test suite, a short
 # fuzz smoke over every fuzz target, the race-enabled pass over the
@@ -14,7 +14,7 @@ GO ?= go
 # laptop (adapt-soak simulates 32 multi-second sessions and dominates).
 # The full-suite race run stays available as `make race` but is too
 # slow for the default gate.
-ci: vet build test fuzz-smoke race-pipeline fault-soak adapt-soak bench bench-gate
+ci: vet build test fuzz-smoke race-pipeline fault-soak adapt-soak ingest-soak bench bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +60,15 @@ fault-soak:
 adapt-soak:
 	$(GO) test -count=1 -run TestAdaptSoak -v ./internal/fault/soak/
 
+# ingest-soak runs the multi-tenant ingest service's concurrency gate
+# under the race detector: the reconnecting-fleet soak (every session's
+# wire block stream must digest-equal a serial re-decode of exactly the
+# admitted frames, second-round sessions must ride the calibration
+# cache, and Close must leave no goroutines behind), the shedding
+# paths, and the loadgen fleet harness with full verification.
+ingest-soak:
+	$(GO) test -race -count=1 -run 'TestIngestSoak|TestServer|TestLoadgen' ./internal/ingest/...
+
 # fuzz-smoke gives each fuzz target a few seconds of coverage-guided
 # input generation on top of the checked-in seed corpus. Panics found
 # here reproduce with `go test -run=Fuzz<Name>/<file>`.
@@ -97,12 +106,13 @@ bench:
 	$(GO) test -run=- -bench=BenchmarkProcessFrame -benchtime=1x ./...
 
 # bench-json measures the receiver decode trajectory (ns/frame, B/op,
-# allocs/op, ground-truth SER per operating point, and the adaptive
-# link's goodput under chaos) and writes the dated point
+# allocs/op, ground-truth SER per operating point, the adaptive link's
+# goodput under chaos, and the ingest service's p99 submit-to-decode
+# latency at saturation) and writes the dated point
 # bench/BENCH_<today>.json. Commit the file to extend the trajectory;
 # bench-gate diffs against the newest committed point.
 bench-json:
-	$(GO) run ./cmd/colorbars-bench -exp perf -duration 1 -adapt -bench-out bench
+	$(GO) run ./cmd/colorbars-bench -exp perf -duration 1 -adapt -ingest -bench-out bench
 
 # bench-gate fails (exit 1) when any trajectory metric regresses more
 # than 10% against the newest bench/BENCH_*.json — including the
@@ -110,4 +120,4 @@ bench-json:
 # check the gate itself with:  go run ./cmd/colorbars-bench -exp perf \
 #   -duration 1 -adapt -bench-gate bench -handicap 2   (must fail).
 bench-gate:
-	$(GO) run ./cmd/colorbars-bench -exp perf -duration 1 -adapt -bench-gate bench
+	$(GO) run ./cmd/colorbars-bench -exp perf -duration 1 -adapt -ingest -bench-gate bench

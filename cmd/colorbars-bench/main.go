@@ -24,7 +24,10 @@
 // -handicap multiplies the measured costs to prove the gate trips.
 // With -adapt, the perf experiment also runs the closed-loop adaptive
 // link through the soak chaos geometry and records its goodput as the
-// goodput_chaos trajectory cell (lower-is-worse in the gate).
+// goodput_chaos trajectory cell (lower-is-worse in the gate). With
+// -ingest, it drives a loadgen fleet against an in-process ingest
+// service and records the p99 submit-to-decode latency at saturation
+// as the ingest_p99_us cell (higher-is-worse).
 package main
 
 import (
@@ -43,7 +46,17 @@ import (
 	"colorbars/internal/telemetry"
 )
 
+// main delegates to run so deferred cleanup — the debug listener and
+// the trace sink — executes on error exits too; os.Exit mid-main
+// would skip those defers.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3b, fig3c, fig6, fig8b, grid, baseline, ablations, distance, pipeline, fault, perf")
 	duration := flag.Float64("duration", 3, "simulated seconds per measured cell")
 	seed := flag.Int64("seed", 1, "deterministic seed")
@@ -55,6 +68,7 @@ func main() {
 	benchGate := flag.String("bench-gate", "", "with -exp perf: gate against the newest BENCH_*.json in this directory, exiting non-zero on regression")
 	handicap := flag.Float64("handicap", 1, "with -exp perf: multiply measured costs by this factor (gate self-test)")
 	adapt := flag.Bool("adapt", false, "with -exp perf: also measure the adaptive link's goodput under chaos (the goodput_chaos trajectory cell)")
+	ingestBench := flag.Bool("ingest", false, "with -exp perf: also measure the ingest service's p99 submit-to-decode latency at saturation (the ingest_p99_us trajectory cell)")
 	flag.Parse()
 	csvOutDir = *csvDir
 	decodeWorkers = *workers
@@ -62,39 +76,7 @@ func main() {
 	benchGateDir = *benchGate
 	benchHandicap = *handicap
 	benchAdapt = *adapt
-
-	if *tracePath != "" {
-		// A sink on the process registry sees every span and counter:
-		// each experiment's run registry is a child of the process one,
-		// and events propagate to every ancestor with a sink attached.
-		tf, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		trace := telemetry.NewJSONLSink(tf)
-		telemetry.Process().SetSink(trace)
-		defer func() {
-			if err := trace.Err(); err != nil {
-				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			}
-			tf.Close()
-			fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
-		}()
-	}
-	if *telemetryAddr != "" {
-		// Every metrics.Run rolls its counters up into the process
-		// registry, so the expvar endpoint shows live aggregate progress
-		// across all experiment cells.
-		telemetry.PublishExpvar("colorbars", telemetry.Process())
-		l, err := telemetry.ServeDebug(*telemetryAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer l.Close()
-		fmt.Fprintf(os.Stderr, "telemetry: expvar and pprof on http://%s/debug/\n", l.Addr())
-	}
+	benchIngest = *ingestBench
 
 	runners := map[string]func(float64, int64) error{
 		"table1":    runTable1,
@@ -120,20 +102,54 @@ func main() {
 	} else if _, ok := runners[*exp]; ok {
 		names = []string{*exp}
 	} else {
+		// Validated before any defers are registered, so exiting directly
+		// is safe; keep the distinct usage-error exit code.
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+
+	if *tracePath != "" {
+		// A sink on the process registry sees every span and counter:
+		// each experiment's run registry is a child of the process one,
+		// and events propagate to every ancestor with a sink attached.
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		trace := telemetry.NewJSONLSink(tf)
+		telemetry.Process().SetSink(trace)
+		defer func() {
+			if err := trace.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			}
+			tf.Close()
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
+		}()
+	}
+	if *telemetryAddr != "" {
+		// Every metrics.Run rolls its counters up into the process
+		// registry, so the expvar endpoint shows live aggregate progress
+		// across all experiment cells.
+		telemetry.PublishExpvar("colorbars", telemetry.Process())
+		l, err := telemetry.ServeDebug(*telemetryAddr)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: expvar and pprof on http://%s/debug/\n", l.Addr())
+	}
+
 	// Every stochastic component below derives its own stream from this
 	// one root seed (fault.DeriveSeed), so any cell can be re-run in
 	// isolation with identical results.
 	fmt.Printf("root seed: %d\n\n", *seed)
 	for _, name := range names {
 		if err := runners[name](*duration, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Println()
 	}
+	return nil
 }
 
 // csvOutDir, when non-empty, receives CSV copies of the plottable

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -11,6 +12,8 @@ import (
 	"colorbars/internal/coding"
 	"colorbars/internal/fault"
 	"colorbars/internal/fault/soak"
+	"colorbars/internal/ingest"
+	"colorbars/internal/ingest/loadgen"
 	"colorbars/internal/linkstats"
 	"colorbars/internal/metrics"
 	"colorbars/internal/modem"
@@ -28,6 +31,7 @@ var (
 	benchGateDir  string
 	benchHandicap float64 = 1
 	benchAdapt    bool
+	benchIngest   bool
 )
 
 // benchGateTolerance is the relative regression budget per metric:
@@ -83,6 +87,15 @@ func runPerf(duration float64, seed int64) error {
 		}
 		report.Entries["goodput_chaos"] = e
 		fmt.Printf("  %-20s %14.0f bps goodput under chaos (adaptive)\n", "goodput_chaos", e.GoodputBps)
+	}
+	if benchIngest {
+		e, err := benchIngestP99(seed)
+		if err != nil {
+			return fmt.Errorf("ingest_p99_us: %w", err)
+		}
+		report.Entries["ingest_p99_us"] = e
+		fmt.Printf("  %-20s %14.0f µs p99 submit-to-decode, %.1f%% shed at saturation\n",
+			"ingest_p99_us", e.IngestP99Us, e.ShedRate*100)
 	}
 	if benchOutDir != "" {
 		path, err := linkstats.WriteBenchReport(benchOutDir, report)
@@ -206,6 +219,47 @@ func benchCell(order colorbars.Order, rate, duration float64, seed int64) (links
 		e.FramesPerSec = 1e9 / ns
 	}
 	return e, nil
+}
+
+// benchIngestP99 measures the ingest service's p99 submit-to-decode
+// latency under a small saturating loadgen fleet — enough concurrent
+// sessions that the decode shards run behind and admission control
+// engages. The p99 is the ingest_p99_us trajectory cell (higher is
+// worse): it catches regressions in the service's queueing, sharding
+// or shed policy that per-frame decode cost cannot see. The companion
+// shed rate is recorded for context but never gated — shedding is the
+// mechanism that keeps the p99 bounded. A digest mismatch in the
+// verified sessions is a hard error: the cell must never trade
+// correctness for latency.
+func benchIngestP99(seed int64) (linkstats.BenchEntry, error) {
+	srv, err := ingest.New(ingest.Config{
+		Shards:    2,
+		Telemetry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		return linkstats.BenchEntry{}, err
+	}
+	defer srv.Close(context.Background())
+	res, err := loadgen.Run(loadgen.Params{
+		Addr:        srv.Addr().String(),
+		Devices:     12,
+		Rounds:      2,
+		Seconds:     0.5,
+		Seed:        seed,
+		Concurrency: 8,
+		Verify:      2,
+	})
+	if err != nil {
+		return linkstats.BenchEntry{}, err
+	}
+	if res.DigestMismatches > 0 {
+		return linkstats.BenchEntry{}, fmt.Errorf("%d of %d verified sessions decoded differently over the wire",
+			res.DigestMismatches, res.Verified)
+	}
+	return linkstats.BenchEntry{
+		IngestP99Us: res.P99Us * benchHandicap,
+		ShedRate:    res.ShedRate,
+	}, nil
 }
 
 // benchChaosGoodput measures the adaptive link's delivered goodput

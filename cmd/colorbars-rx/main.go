@@ -49,7 +49,17 @@ import (
 	"colorbars/internal/telemetry"
 )
 
+// main delegates to run so deferred cleanup — the debug listener, the
+// trace file, the input file — executes on error exits too; a bare
+// os.Exit mid-main would leak the telemetry listener's port.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	device := flag.String("device", "nexus5", "receiver device: nexus5, iphone5s, ideal")
 	order := flag.Int("order", 16, "CSK order: 4, 8, 16, 32")
 	rate := flag.Float64("rate", 4000, "symbol rate in Hz")
@@ -66,18 +76,18 @@ func main() {
 	reportJSON := flag.String("report-json", "", "write every stream's link-quality report as one JSON document to this file")
 	flag.Parse()
 	if *streams < 1 {
-		fatal(fmt.Errorf("-streams %d: need at least one stream", *streams))
+		return fmt.Errorf("-streams %d: need at least one stream", *streams)
 	}
 
 	prof, ok := camera.Profiles()[*device]
 	if !ok {
-		fatal(fmt.Errorf("unknown device %q", *device))
+		return fmt.Errorf("unknown device %q", *device)
 	}
 	if *telemetryAddr != "" {
 		telemetry.PublishExpvar("colorbars", telemetry.Process())
 		l, err := telemetry.ServeDebug(*telemetryAddr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer l.Close()
 		fmt.Fprintf(os.Stderr, "telemetry: expvar and pprof on http://%s/debug/\n", l.Addr())
@@ -87,18 +97,18 @@ func main() {
 	if flag.NArg() > 0 && flag.Arg(0) != "-" {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		in = f
 	}
 	drives, err := readWaveform(in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	wave, err := led.NewWaveform(led.Config{SymbolRate: *rate, Power: 1}, drives)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	cfg := colorbars.Config{
@@ -111,7 +121,7 @@ func main() {
 	if *tracePath != "" {
 		tf, err := os.Create(*tracePath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer tf.Close()
 		trace = telemetry.NewJSONLSink(tf)
@@ -123,7 +133,7 @@ func main() {
 	}
 	chaosClasses, err := parseChaos(*chaos)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	// One pipeline, one stream per simulated camera: each stream gets
@@ -142,7 +152,7 @@ func main() {
 		id := fmt.Sprintf("led%d", i)
 		s, err := p.AddStream(id, cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if trace != nil {
 			s.Telemetry().SetSink(trace) // JSONL sink is concurrency-safe
@@ -194,22 +204,32 @@ func main() {
 	// ballooning memory.
 	ctx := context.Background()
 	var producers sync.WaitGroup
+	var submitMu sync.Mutex
+	var submitErr error // first Submit failure across all producer goroutines
 	for _, l := range lanes {
 		producers.Add(1)
 		go func(l *lane) {
 			defer producers.Done()
 			for _, f := range l.frames {
 				if err := l.s.Submit(ctx, f); err != nil {
-					fatal(err)
+					submitMu.Lock()
+					if submitErr == nil {
+						submitErr = fmt.Errorf("stream %s: %w", l.id, err)
+					}
+					submitMu.Unlock()
+					return
 				}
 			}
 		}(l)
 	}
 	producers.Wait()
 	if err := p.Close(ctx); err != nil {
-		fatal(err)
+		return err
 	}
 	consumers.Wait()
+	if submitErr != nil {
+		return submitErr
+	}
 
 	for _, l := range lanes {
 		if *streams > 1 {
@@ -229,23 +249,23 @@ func main() {
 		}
 		raw, err := json.MarshalIndent(reports, "", "  ")
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*reportJSON, append(raw, '\n'), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "link reports written to %s\n", *reportJSON)
 	}
 	if trace != nil {
 		if err := trace.Err(); err != nil {
-			fatal(fmt.Errorf("trace: %w", err))
+			return fmt.Errorf("trace: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
 	}
 	if found == 0 {
-		fmt.Fprintln(os.Stderr, "no message recovered")
-		os.Exit(1)
+		return fmt.Errorf("no message recovered")
 	}
+	return nil
 }
 
 // parseChaos resolves the -chaos flag into fault classes: empty means
@@ -302,9 +322,4 @@ func readWaveform(f *os.File) ([]colorspace.RGB, error) {
 		return nil, fmt.Errorf("empty waveform")
 	}
 	return drives, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -33,7 +33,17 @@ import (
 	"colorbars/internal/telemetry"
 )
 
+// main delegates to run so deferred cleanup — the debug listener and
+// the trace sink — executes on error exits too; os.Exit mid-main
+// would skip those defers.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	device := flag.String("device", "nexus5", "receiver device: nexus5, iphone5s, ideal")
 	order := flag.Int("order", 16, "CSK order: 4, 8, 16, 32")
 	rate := flag.Float64("rate", 4000, "symbol rate in Hz")
@@ -51,6 +61,8 @@ func main() {
 
 	prof, ok := camera.Profiles()[*device]
 	if !ok {
+		// No defers are registered yet, so exiting directly is safe; keep
+		// the distinct usage-error exit code.
 		fmt.Fprintf(os.Stderr, "unknown device %q (want nexus5, iphone5s, ideal)\n", *device)
 		os.Exit(2)
 	}
@@ -60,7 +72,7 @@ func main() {
 		// whole link end to end.
 		tf, err := os.Create(*tracePath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		trace := telemetry.NewJSONLSink(tf)
 		telemetry.Process().SetSink(trace)
@@ -76,16 +88,13 @@ func main() {
 		telemetry.PublishExpvar("colorbars", telemetry.Process())
 		l, err := telemetry.ServeDebug(*telemetryAddr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer l.Close()
 		fmt.Fprintf(os.Stderr, "telemetry: expvar and pprof on http://%s/debug/\n", l.Addr())
 	}
 	if *adapt {
-		if err := runAdaptive(prof, *duration, *seed, *chaos); err != nil {
-			fatal(err)
-		}
-		return
+		return runAdaptive(prof, *duration, *seed, *chaos)
 	}
 	cfg := colorbars.Config{
 		Order:         colorbars.Order(*order),
@@ -94,15 +103,15 @@ func main() {
 	}
 	tx, err := colorbars.NewTransmitter(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	rx, err := colorbars.NewReceiver(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	wave, err := tx.Broadcast([]byte(*message), *duration)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	resolved := tx.Config()
@@ -111,7 +120,7 @@ func main() {
 
 	if *dumpWave != "" {
 		if err := dumpWaveformPNG(wave, *dumpWave); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("waveform stripe written to %s\n", *dumpWave)
 	}
@@ -126,7 +135,7 @@ func main() {
 		f := cam.CaptureVideo(wave, float64(i)*prof.FramePeriod(), 1)[0]
 		if i == 0 && *dumpFrame != "" {
 			if err := dumpFramePNG(f, *dumpFrame); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("frame written to %s\n", *dumpFrame)
 		}
@@ -152,16 +161,11 @@ func main() {
 	h := rx.Health()
 	fmt.Printf("link health: %.3f (%s), mean margin %.1f\n", h.Score, h.Reason, h.MeanMargin)
 	if received == nil {
-		fmt.Println("message: NOT recovered within the capture window")
-		os.Exit(1)
+		return fmt.Errorf("message NOT recovered within the capture window")
 	}
 	fmt.Printf("message recovered after %.2f s (%d blocks): %q\n",
 		firstAt, received.Blocks, received.Data)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return nil
 }
 
 // runAdaptive executes the closed-loop adaptive session and prints

@@ -30,7 +30,17 @@ import (
 	"colorbars/internal/telemetry"
 )
 
+// main delegates to run so that every deferred cleanup — the debug
+// listener, the trace sink, the output file — executes on error paths
+// too; os.Exit in the middle of main would skip them all.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	order := flag.Int("order", 16, "CSK order: 4, 8, 16, 32")
 	rate := flag.Float64("rate", 4000, "symbol rate in Hz")
 	white := flag.Float64("white", 0, "white illumination fraction (0 = auto)")
@@ -44,7 +54,7 @@ func main() {
 	if *tracePath != "" {
 		tf, err := os.Create(*tracePath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		trace := telemetry.NewJSONLSink(tf)
 		telemetry.Process().SetSink(trace)
@@ -60,7 +70,7 @@ func main() {
 		telemetry.PublishExpvar("colorbars", telemetry.Process())
 		l, err := telemetry.ServeDebug(*telemetryAddr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer l.Close()
 		fmt.Fprintf(os.Stderr, "telemetry: expvar and pprof on http://%s/debug/\n", l.Addr())
@@ -78,7 +88,7 @@ func main() {
 	}
 	tx, err := colorbars.NewTransmitter(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *adapt >= 0 {
 		if tx.AnnounceRung(*adapt, 0) {
@@ -94,14 +104,14 @@ func main() {
 		wave, err = tx.Encode([]byte(message))
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	w := os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -115,9 +125,5 @@ func main() {
 		d := wave.Drive(i)
 		fmt.Fprintf(bw, "%d,%.6f,%.6f,%.6f\n", i, d.R, d.G, d.B)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,129 @@
+package soak
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/channel"
+	"colorbars/internal/cie"
+	"colorbars/internal/coding"
+	"colorbars/internal/csk"
+	"colorbars/internal/fault"
+	"colorbars/internal/modem"
+	"colorbars/internal/pipeline"
+	"colorbars/internal/telemetry"
+)
+
+// buildAbortLink constructs the same paper-sized chaos link Run does —
+// erasure-aware code, seeded payload, fault-injected capture — but
+// hands the frames and a fresh receiver back to the caller so the test
+// controls the pipeline teardown path.
+func buildAbortLink(t *testing.T, seed int64, duration float64) ([]*camera.Frame, *modem.Receiver) {
+	t.Helper()
+	const (
+		order = csk.CSK8
+		rate  = 2000.0
+	)
+	prof := camera.Nexus5()
+	params := coding.Params{
+		SymbolRate:   rate,
+		FrameRate:    prof.FrameRate,
+		LossRatio:    prof.LossRatio(),
+		Order:        order,
+		DataFraction: 0.8,
+	}
+	code, err := params.LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := modem.NewTransmitter(modem.TxConfig{
+		Order: order, SymbolRate: rate, WhiteFraction: 0.2, Power: 1,
+		Triangle: cie.SRGBTriangle, CalibrationEvery: 6, Code: code, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(fault.DeriveSeed(seed, "soak.abort.payload")))
+	block := make([]byte, code.K())
+	rng.Read(block)
+	w, err := tx.BuildWaveformRepeating(bytes.Repeat(block, 4), duration+0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.New(channel.DefaultConfig(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := fault.RandomSchedule(fault.DeriveSeed(seed, "soak.abort.schedule"), duration)
+	inj := fault.New(fault.Config{Seed: seed, Schedule: schedule})
+	frames := camera.New(prof, seed).CaptureVideo(inj.WrapSource(ch), 0, int(duration*prof.FrameRate))
+	frames = inj.FilterFrames(frames)
+	if len(frames) < 8 {
+		t.Fatalf("capture too short: %d frames", len(frames))
+	}
+	rx, err := modem.NewReceiver(modem.RxConfig{
+		Order: order, SymbolRate: rate, WhiteFraction: 0.2, Code: code,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frames, rx
+}
+
+// TestSoakAbortNoGoroutineLeak is the Abort-path counterpart of the
+// leak check in TestSoakPipelineMatchesSerial: a pipeline torn down
+// with Abort mid-decode — frames still queued, workers mid-Analyze,
+// the consumer never draining Blocks() — must leave no goroutine
+// behind. The old Abort skipped close(jobs) and the worker-pool join,
+// so pool workers idled on <-p.jobs (or raced to exit after Abort
+// returned) and this check failed; the fixed Abort joins the pool
+// before returning.
+func TestSoakAbortNoGoroutineLeak(t *testing.T) {
+	frames, rx := buildAbortLink(t, 17, 2)
+
+	baseline := runtime.NumGoroutine()
+	pl := pipeline.New(pipeline.Config{
+		Workers:      4,
+		QueueDepth:   4,
+		StallTimeout: 30 * time.Second,
+		Telemetry:    telemetry.NewRegistry(),
+	})
+	s, err := pl.AddStream("soak-abort", rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submit half the capture, leaving work queued and in flight; no
+	// consumer ever drains Blocks(), so the decode lane may be blocked
+	// mid-emit when the teardown lands.
+	for _, f := range frames[:len(frames)/2] {
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl.Abort()
+
+	// Abort's contract after the fix: every pipeline goroutine —
+	// feeders, decode lanes, the watchdog, AND the worker pool — is
+	// gone once it returns. The tiny settle loop only absorbs runtime
+	// bookkeeping goroutines, not pipeline ones.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after Abort: %d live, baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Abort is terminal: the stream rejects new frames and a second
+	// Abort (or a Close) is a no-op, not a hang.
+	if err := s.Submit(context.Background(), frames[0]); err != pipeline.ErrClosed {
+		t.Errorf("Submit after Abort = %v, want ErrClosed", err)
+	}
+	pl.Abort()
+}

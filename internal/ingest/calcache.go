@@ -1,0 +1,121 @@
+package ingest
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"colorbars/internal/telemetry"
+)
+
+// calCache keeps recently departed devices' serialized calibration
+// snapshots (packet.CalSnapshot bytes) keyed by device id, so a
+// device that reconnects within the TTL resumes decoding immediately
+// instead of waiting for its next over-the-air calibration packet.
+//
+// Entries age out two ways: a TTL (calibration drifts with the
+// device's auto-exposure state, so an old snapshot is worse than a
+// fresh acquisition) and LRU eviction at a capacity bound (the cache
+// must not grow with the all-time device population). Counters
+// ingest.cal_cache_{hits,misses,evictions} expose its behavior;
+// TTL expiries count as misses, not evictions — eviction measures
+// capacity pressure only.
+type calCache struct {
+	ttl time.Duration
+	cap int
+	now func() int64 // registry-clock ns, injectable in tests
+
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type calEntry struct {
+	deviceID string
+	snap     []byte
+	storedNs int64
+}
+
+// newCalCache builds a cache of at most capacity snapshots with the
+// given TTL. capacity < 1 defaults to 1024; ttl <= 0 defaults to 10
+// minutes. The registry provides the clock and the counters.
+func newCalCache(capacity int, ttl time.Duration, tel *telemetry.Registry) *calCache {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	return &calCache{
+		ttl:       ttl,
+		cap:       capacity,
+		now:       tel.Now,
+		hits:      tel.Counter("ingest.cal_cache_hits"),
+		misses:    tel.Counter("ingest.cal_cache_misses"),
+		evictions: tel.Counter("ingest.cal_cache_evictions"),
+		entries:   map[string]*list.Element{},
+		lru:       list.New(),
+	}
+}
+
+// put stores (or refreshes) a device's snapshot, evicting the least
+// recently used entry when the capacity bound is hit.
+func (c *calCache) put(deviceID string, snap []byte) {
+	if len(snap) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[deviceID]; ok {
+		e := el.Value.(*calEntry)
+		e.snap = append(e.snap[:0], snap...)
+		e.storedNs = c.now()
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		delete(c.entries, oldest.Value.(*calEntry).deviceID)
+		c.lru.Remove(oldest)
+		c.evictions.Inc()
+	}
+	c.entries[deviceID] = c.lru.PushFront(&calEntry{
+		deviceID: deviceID,
+		snap:     append([]byte(nil), snap...),
+		storedNs: c.now(),
+	})
+}
+
+// get returns a copy of the device's snapshot if one is cached and
+// inside the TTL. An expired entry is removed and counts as a miss.
+func (c *calCache) get(deviceID string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[deviceID]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*calEntry)
+	if c.now()-e.storedNs > c.ttl.Nanoseconds() {
+		delete(c.entries, deviceID)
+		c.lru.Remove(el)
+		c.misses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Inc()
+	return append([]byte(nil), e.snap...), true
+}
+
+// len reports the live entry count (expired entries linger until
+// their next get).
+func (c *calCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

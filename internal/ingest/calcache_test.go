@@ -1,0 +1,135 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"colorbars/internal/telemetry"
+)
+
+// fakeClock drives a registry clock by hand.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() int64              { return c.ns }
+func (c *fakeClock) advance(d time.Duration) { c.ns += d.Nanoseconds() }
+
+func newTestCache(capacity int, ttl time.Duration) (*calCache, *fakeClock, *telemetry.Registry) {
+	clk := &fakeClock{}
+	tel := telemetry.NewRegistry()
+	tel.SetClock(clk.now)
+	return newCalCache(capacity, ttl, tel), clk, tel
+}
+
+func cacheCounters(tel *telemetry.Registry) (hits, misses, evictions int64) {
+	s := tel.Snapshot()
+	return s.Counters["ingest.cal_cache_hits"],
+		s.Counters["ingest.cal_cache_misses"],
+		s.Counters["ingest.cal_cache_evictions"]
+}
+
+// TestCalCacheTTL: a snapshot inside the TTL is served (hit); past
+// the TTL it is gone (miss), forcing the reconnecting device through
+// full over-the-air calibration.
+func TestCalCacheTTL(t *testing.T) {
+	c, clk, tel := newTestCache(8, time.Minute)
+	c.put("dev-a", []byte("snap-a"))
+
+	clk.advance(59 * time.Second)
+	if got, ok := c.get("dev-a"); !ok || !bytes.Equal(got, []byte("snap-a")) {
+		t.Fatalf("in-TTL get = (%q, %v), want snap-a", got, ok)
+	}
+	clk.advance(2 * time.Second) // 61s since put: expired
+	if _, ok := c.get("dev-a"); ok {
+		t.Fatal("expired snapshot served")
+	}
+	if _, ok := c.get("dev-a"); ok { // stays gone, not resurrected
+		t.Fatal("expired snapshot served on second get")
+	}
+	if c.len() != 0 {
+		t.Errorf("expired entry still resident: len %d", c.len())
+	}
+	hits, misses, evictions := cacheCounters(tel)
+	if hits != 1 || misses != 2 || evictions != 0 {
+		t.Errorf("counters hits=%d misses=%d evictions=%d, want 1/2/0", hits, misses, evictions)
+	}
+
+	// A put refreshes the clock: the entry's TTL restarts.
+	c.put("dev-a", []byte("snap-a2"))
+	clk.advance(59 * time.Second)
+	c.put("dev-a", []byte("snap-a3"))
+	clk.advance(59 * time.Second)
+	if got, ok := c.get("dev-a"); !ok || !bytes.Equal(got, []byte("snap-a3")) {
+		t.Fatalf("refreshed entry = (%q, %v), want snap-a3", got, ok)
+	}
+}
+
+// TestCalCacheLRUEviction: at capacity, the least recently used
+// device's snapshot is evicted — and an evicted or foreign key is
+// never answered with another device's bytes (cross-tenant
+// isolation is per-key by construction; this pins it).
+func TestCalCacheLRUEviction(t *testing.T) {
+	c, _, tel := newTestCache(2, time.Hour)
+	c.put("dev-a", []byte("snap-a"))
+	c.put("dev-b", []byte("snap-b"))
+	if _, ok := c.get("dev-a"); !ok { // a is now most recently used
+		t.Fatal("dev-a missing before eviction")
+	}
+	c.put("dev-c", []byte("snap-c")) // capacity 2: evicts b (LRU), not a
+
+	if _, ok := c.get("dev-b"); ok {
+		t.Fatal("LRU entry dev-b survived eviction")
+	}
+	for dev, want := range map[string][]byte{"dev-a": []byte("snap-a"), "dev-c": []byte("snap-c")} {
+		got, ok := c.get(dev)
+		if !ok {
+			t.Fatalf("%s evicted out of LRU order", dev)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s served %q — another device's calibration", dev, got)
+		}
+	}
+	if _, _, evictions := cacheCounters(tel); evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+// TestCalCacheIsolationUnderChurn: hammer a small cache with many
+// devices; every hit must return exactly the bytes that device
+// stored, never a neighbor's.
+func TestCalCacheIsolationUnderChurn(t *testing.T) {
+	c, _, _ := newTestCache(4, time.Hour)
+	snapFor := func(i int) []byte { return []byte(fmt.Sprintf("snapshot-of-device-%03d", i)) }
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 16; i++ {
+			c.put(fmt.Sprintf("dev-%03d", i), snapFor(i))
+			// Probe a stride of devices each insert.
+			for j := 0; j < 16; j += 3 {
+				if got, ok := c.get(fmt.Sprintf("dev-%03d", j)); ok && !bytes.Equal(got, snapFor(j)) {
+					t.Fatalf("dev-%03d served %q", j, got)
+				}
+			}
+		}
+	}
+	if c.len() > 4 {
+		t.Errorf("cache grew past capacity: %d", c.len())
+	}
+}
+
+// TestCalCacheReturnsCopies: mutating a returned snapshot must not
+// corrupt the cached bytes (the server hands them to WELCOME encoding
+// and to UnmarshalCalSnapshot on different goroutines).
+func TestCalCacheReturnsCopies(t *testing.T) {
+	c, _, _ := newTestCache(2, time.Hour)
+	c.put("dev-a", []byte("snap-a"))
+	got, _ := c.get("dev-a")
+	got[0] = 'X'
+	again, _ := c.get("dev-a")
+	if !bytes.Equal(again, []byte("snap-a")) {
+		t.Fatalf("cached bytes corrupted through a returned slice: %q", again)
+	}
+}

@@ -1,0 +1,71 @@
+package ingest
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring consistent-hashes session keys onto pipeline shards. Each
+// shard owns replicas virtual nodes on a 64-bit hash circle; a key
+// maps to the first virtual node at or clockwise of its own hash.
+// Virtual nodes keep the assignment balanced (a handful of real nodes
+// hashed directly would split the circle into wildly uneven arcs) and
+// keep it stable: reconfiguring from N to N+1 shards moves only the
+// keys that land on the new shard's arcs, which matters because a
+// device id's shard determines which receiver holds its decode state
+// mid-session.
+type ring struct {
+	vnodes []vnode // sorted by hash
+}
+
+type vnode struct {
+	hash  uint64
+	shard int
+}
+
+// newRing builds a ring of shards×replicas virtual nodes.
+func newRing(shards, replicas int) *ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if replicas < 1 {
+		replicas = 256
+	}
+	r := &ring{vnodes: make([]vnode, 0, shards*replicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			r.vnodes = append(r.vnodes, vnode{
+				hash:  ringHash("shard-" + strconv.Itoa(s) + "#" + strconv.Itoa(v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+	return r
+}
+
+// shard maps one key to its owning shard.
+func (r *ring) shard(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0 // wrapped past the highest virtual node
+	}
+	return r.vnodes[i].shard
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV's avalanche is weak on short, similar keys (sequential device
+	// ids hash to clustered points, starving some arcs); a splitmix64
+	// finalizer spreads them over the full circle.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,70 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingBalance: with virtual nodes, a large device population
+// spreads across shards without any shard starving or hogging.
+func TestRingBalance(t *testing.T) {
+	const shards, devices = 4, 4000
+	r := newRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < devices; i++ {
+		s := r.shard(fmt.Sprintf("device-%04d", i))
+		if s < 0 || s >= shards {
+			t.Fatalf("shard %d out of range", s)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		// Perfect balance is devices/shards; virtual-node hashing lands
+		// within a factor of two of it comfortably at 64 vnodes/shard.
+		if n < devices/shards/2 || n > devices/shards*2 {
+			t.Errorf("shard %d owns %d of %d devices (counts %v)", s, n, devices, counts)
+		}
+	}
+}
+
+// TestRingStability: growing the ring moves only the keys the new
+// shard takes over — every key that stays put keeps its shard. This
+// is the property that makes the ring worth its complexity over
+// hash-mod-N (which reshuffles nearly everything).
+func TestRingStability(t *testing.T) {
+	const devices = 2000
+	small, big := newRing(4, 0), newRing(5, 0)
+	moved := 0
+	for i := 0; i < devices; i++ {
+		key := fmt.Sprintf("device-%04d", i)
+		before, after := small.shard(key), big.shard(key)
+		if before != after {
+			if after != 4 {
+				t.Fatalf("%s moved %d -> %d, not to the new shard", key, before, after)
+			}
+			moved++
+		}
+	}
+	// The new shard should take roughly 1/5 of the keys; far more
+	// means the ring reshuffled keys it had no reason to touch.
+	if moved == 0 || moved > 2*devices/5 {
+		t.Errorf("%d of %d keys moved adding one shard", moved, devices)
+	}
+}
+
+// TestRingDeterministic: the same key always lands on the same shard
+// across independently built rings (the property the calibration
+// cache's usefulness rests on: a reconnecting device must reach a
+// deterministic shard).
+func TestRingDeterministic(t *testing.T) {
+	a, b := newRing(3, 0), newRing(3, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("dev-%d", i)
+		if a.shard(key) != b.shard(key) {
+			t.Fatalf("key %s: shard differs across identical rings", key)
+		}
+	}
+	if newRing(1, 0).shard("anything") != 0 {
+		t.Error("single-shard ring must map everything to shard 0")
+	}
+}

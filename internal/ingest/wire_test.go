@@ -1,0 +1,190 @@
+package ingest
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/cie"
+	"colorbars/internal/coding"
+	"colorbars/internal/csk"
+	"colorbars/internal/modem"
+)
+
+// captureFrames images a short CSK8 transmission through prof and
+// returns the frames (the realistic pixel distribution for codec
+// tests: saturated whites, dark OFF rows, noise on every level).
+func captureFrames(t testing.TB, prof camera.Profile, seed int64, seconds float64) []*camera.Frame {
+	t.Helper()
+	const (
+		order = csk.CSK8
+		rate  = 2000.0
+	)
+	params := coding.Params{
+		SymbolRate:   rate,
+		FrameRate:    prof.FrameRate,
+		LossRatio:    prof.LossRatio(),
+		Order:        order,
+		DataFraction: 0.8,
+	}
+	code, err := params.LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := modem.NewTransmitter(modem.TxConfig{
+		Order: order, SymbolRate: rate, WhiteFraction: 0.2, Power: 1,
+		Triangle: cie.SRGBTriangle, CalibrationEvery: 3, Code: code,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, code.K())
+	for i := range msg {
+		msg[i] = byte(int(seed) + 31*i)
+	}
+	w, err := tx.BuildWaveformRepeating(msg, seconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := camera.New(prof, seed).CaptureVideo(w, 0, int(seconds*prof.FrameRate))
+	if len(frames) == 0 {
+		t.Fatal("no frames captured")
+	}
+	return frames
+}
+
+// TestFrameCodecLossless: a captured frame survives the wire
+// bit-exactly at both pixel widths — the 8-bit phone path (1 byte per
+// component) and the 16-bit ideal path (2 bytes) — because the codec
+// transports the sensor's integer quantization level and re-runs the
+// sensor's own division.
+func TestFrameCodecLossless(t *testing.T) {
+	for _, tc := range []struct {
+		prof camera.Profile
+		want int // bytes per pixel component
+	}{
+		{camera.Nexus5(), 1},
+		{camera.Ideal(), 2},
+	} {
+		frames := captureFrames(t, tc.prof, 3, 0.2)
+		for fi, f := range frames {
+			raw, err := encodeFrame(nil, 7, uint64(fi), f, tc.prof.QuantBits)
+			if err != nil {
+				t.Fatalf("%s frame %d: %v", tc.prof.Name, fi, err)
+			}
+			wantLen := 16 + frameHeaderSize + len(f.Pix)*3*tc.want
+			if len(raw) != wantLen {
+				t.Fatalf("%s: encoded %d bytes, want %d", tc.prof.Name, len(raw), wantLen)
+			}
+			sid, seq, got, err := decodeFrame(raw)
+			if err != nil {
+				t.Fatalf("%s frame %d: %v", tc.prof.Name, fi, err)
+			}
+			if sid != 7 || seq != uint64(fi) {
+				t.Fatalf("%s: stamp (%d,%d), want (7,%d)", tc.prof.Name, sid, seq, fi)
+			}
+			if got.Rows != f.Rows || got.Cols != f.Cols ||
+				math.Float64bits(got.Start) != math.Float64bits(f.Start) ||
+				math.Float64bits(got.Exposure) != math.Float64bits(f.Exposure) ||
+				math.Float64bits(got.ISO) != math.Float64bits(f.ISO) ||
+				math.Float64bits(got.RowTime) != math.Float64bits(f.RowTime) {
+				t.Fatalf("%s: frame metadata mutated: %+v vs %+v", tc.prof.Name, got, f)
+			}
+			for i := range f.Pix {
+				if math.Float64bits(got.Pix[i].R) != math.Float64bits(f.Pix[i].R) ||
+					math.Float64bits(got.Pix[i].G) != math.Float64bits(f.Pix[i].G) ||
+					math.Float64bits(got.Pix[i].B) != math.Float64bits(f.Pix[i].B) {
+					t.Fatalf("%s frame %d pixel %d: %v != %v (bits differ)",
+						tc.prof.Name, fi, i, got.Pix[i], f.Pix[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFrameCodecRejectsOffGrid: a pixel value the declared
+// quantization could not have produced is an encode error, not a
+// silent re-round — re-rounding would break decode-digest equality
+// between the wire path and the in-process path.
+func TestFrameCodecRejectsOffGrid(t *testing.T) {
+	f := captureFrames(t, camera.Nexus5(), 4, 0.1)[0]
+	if _, err := encodeFrame(nil, 1, 0, f, 12); err == nil {
+		t.Error("8-bit capture accepted at quantBits 12")
+	}
+	if _, err := encodeFrame(nil, 1, 0, f, 0); err == nil {
+		t.Error("quantBits 0 accepted")
+	}
+	if _, err := encodeFrame(nil, 1, 0, f, 17); err == nil {
+		t.Error("quantBits 17 accepted")
+	}
+}
+
+// TestMessageRoundTrips covers every control message codec plus the
+// framing layer itself.
+func TestMessageRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	hello := Hello{
+		DeviceID: "nexus5-042", Order: 16, SymbolRate: 3000,
+		WhiteFraction: 0.2, DataFraction: 0.8, FrameRate: 30, LossRatio: 0.31,
+	}
+	hb, err := hello.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMessage(&buf, msgHello, hb); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := readMessage(&buf)
+	if err != nil || typ != msgHello {
+		t.Fatalf("framing: typ %d err %v", typ, err)
+	}
+	gotHello, err := decodeHello(body)
+	if err != nil || gotHello != hello {
+		t.Fatalf("hello round trip: %+v err %v", gotHello, err)
+	}
+
+	w := Welcome{SessionID: 9, Shard: 3, CalSnapshot: []byte{1, 2, 3}}
+	gw, err := decodeWelcome(w.encode())
+	if err != nil || gw.SessionID != 9 || gw.Shard != 3 || !bytes.Equal(gw.CalSnapshot, w.CalSnapshot) {
+		t.Fatalf("welcome round trip: %+v err %v", gw, err)
+	}
+	gw, err = decodeWelcome(Welcome{SessionID: 1}.encode())
+	if err != nil || gw.CalSnapshot != nil {
+		t.Fatalf("empty-snapshot welcome: %+v err %v", gw, err)
+	}
+
+	ga, err := decodeAck(Ack{Seq: 1 << 40, LatencyUs: 1234}.encode())
+	if err != nil || ga.Seq != 1<<40 || ga.LatencyUs != 1234 {
+		t.Fatalf("ack round trip: %+v err %v", ga, err)
+	}
+	gs, err := decodeShed(Shed{Seq: 77, Reason: ShedQueue}.encode())
+	if err != nil || gs.Seq != 77 || gs.Reason != ShedQueue {
+		t.Fatalf("shed round trip: %+v err %v", gs, err)
+	}
+	gb, err := decodeBlock(Block{Recovered: true, Data: []byte("abc")}.encode())
+	if err != nil || !gb.Recovered || string(gb.Data) != "abc" {
+		t.Fatalf("block round trip: %+v err %v", gb, err)
+	}
+	st := Stats{FramesIn: 10, Admitted: 8, ShedTokens: 1, ShedQueue: 1, Blocks: 4, BlocksOK: 3, CalCached: true}
+	gst, err := decodeStats(st.encode())
+	if err != nil || gst != st {
+		t.Fatalf("stats round trip: %+v err %v", gst, err)
+	}
+
+	// Framing rejects version skew and hostile lengths.
+	if err := writeMessage(&buf, msgAck, Ack{}.encode()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99 // version byte
+	if _, _, err := readMessage(bytes.NewReader(raw)); err == nil {
+		t.Error("version skew accepted")
+	}
+	if _, _, err := readMessage(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 1})); err == nil {
+		t.Error("hostile length prefix accepted")
+	}
+	if _, err := (Hello{DeviceID: "", Order: 8}).encode(); err == nil {
+		t.Error("empty device id accepted")
+	}
+}

@@ -33,6 +33,16 @@ type BenchEntry struct {
 	// Unlike every other metric, LOWER is worse: the gate fails when
 	// goodput falls below baseline*(1-tolerance).
 	GoodputBps float64 `json:"goodput_bps,omitempty"`
+	// IngestP99Us is the ingest service's p99 submit-to-decode latency
+	// in microseconds, measured by a loadgen fleet driving the service
+	// at saturation. Higher is worse; the gate grants it an absolute
+	// slack on top of the relative tolerance because tail latency under
+	// load rides scheduler noise.
+	IngestP99Us float64 `json:"ingest_p99_us,omitempty"`
+	// ShedRate is the fraction of frames the ingest service shed during
+	// that measurement. Recorded for context, never gated: shedding is
+	// the mechanism that bounds IngestP99Us, not a quality metric.
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 // BenchReport is one dated point on the repository's benchmark
@@ -139,6 +149,12 @@ func (r BenchRegression) String() string {
 // noise, not quality regression.
 const serAbsSlack = 0.005
 
+// ingestP99AbsSlackUs is the absolute ingest-p99 movement (µs) always
+// tolerated on top of the relative tolerance: the p99 of a saturated
+// queueing system moves tens of milliseconds with host scheduling
+// jitter, where a purely relative band would flap.
+const ingestP99AbsSlackUs = 25_000
+
 // bytesAbsSlack is the absolute B/op movement always tolerated. A
 // zero-alloc steady-state path still reports a few residual bytes per
 // op (benchmark-harness amortization of pool warm-up), where a
@@ -200,6 +216,12 @@ func CompareBench(baseline, current *BenchReport, tolerance float64) ([]BenchReg
 			})
 		}
 		check("allocs_per_op", float64(base.AllocsPerOp), float64(cur.AllocsPerOp))
+		if b, c := base.IngestP99Us, cur.IngestP99Us; b > 0 && c > b*(1+tolerance)+ingestP99AbsSlackUs {
+			out = append(out, BenchRegression{
+				Entry: name, Metric: "ingest_p99_us",
+				Baseline: b, Current: c, Ratio: c / b,
+			})
+		}
 		if base.HasSER && cur.HasSER {
 			limit := base.SER*(1+tolerance) + serAbsSlack
 			if cur.SER > limit {

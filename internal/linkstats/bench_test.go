@@ -175,6 +175,31 @@ func TestCompareBenchEdges(t *testing.T) {
 		t.Errorf("goodput drop: %v", regs)
 	}
 
+	// Ingest p99 is higher-is-worse with an absolute slack: jitter
+	// inside the slack passes even when relatively large, a real tail
+	// blow-up fails, and improvement never trips.
+	baseI := sampleReport("2026-08-01")
+	ei := baseI.Entries["decode/csk8"]
+	ei.IngestP99Us = 40_000
+	baseI.Entries["decode/csk8"] = ei
+	curI := sampleReport("2026-08-09")
+	ei.IngestP99Us = 40_000 + ingestP99AbsSlackUs // inside slack despite >tolerance relative growth
+	curI.Entries["decode/csk8"] = ei
+	if regs, _ := CompareBench(baseI, curI, 0.10); len(regs) != 0 {
+		t.Errorf("ingest p99 jitter flagged: %v", regs)
+	}
+	ei.IngestP99Us = 120_000
+	curI.Entries["decode/csk8"] = ei
+	regs, _ = CompareBench(baseI, curI, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "ingest_p99_us" {
+		t.Errorf("ingest p99 blow-up: %v", regs)
+	}
+	ei.IngestP99Us = 10_000
+	curI.Entries["decode/csk8"] = ei
+	if regs, _ := CompareBench(baseI, curI, 0.10); len(regs) != 0 {
+		t.Errorf("ingest p99 improvement flagged: %v", regs)
+	}
+
 	// Schema mismatch is an error, not a silent pass.
 	cur = sampleReport("2026-08-09")
 	cur.Schema = BenchSchemaVersion + 1

@@ -1,0 +1,187 @@
+package modem
+
+import (
+	"math"
+	"testing"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/cie"
+	"colorbars/internal/coding"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+	"colorbars/internal/packet"
+	"colorbars/internal/telemetry"
+)
+
+// calSeedLink builds a CSK8@2kHz Nexus 5 link whose waveform carries
+// NO calibration packets (CalibrationEvery 0): an unseeded receiver
+// can never acquire references from it, so any block it fails to
+// decode and a seeded receiver recovers is attributable to the seed
+// alone.
+func calSeedLink(t *testing.T, seed int64) (calFree []*camera.Frame, calibrated []*camera.Frame, newRx func(t *testing.T) *Receiver) {
+	t.Helper()
+	const (
+		order = csk.CSK8
+		rate  = 2000.0
+	)
+	prof := camera.Nexus5()
+	params := coding.Params{
+		SymbolRate:   rate,
+		FrameRate:    prof.FrameRate,
+		LossRatio:    prof.LossRatio(),
+		Order:        order,
+		DataFraction: 0.8,
+	}
+	code, err := params.LinkCodeErasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(calEvery int, camSeed int64) []*camera.Frame {
+		tx, err := NewTransmitter(TxConfig{
+			Order: order, SymbolRate: rate, WhiteFraction: 0.2, Power: 1,
+			Triangle: cie.SRGBTriangle, CalibrationEvery: calEvery, Code: code,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]byte, code.K())
+		for i := range msg {
+			msg[i] = byte(int(seed) + 7*i)
+		}
+		w, err := tx.BuildWaveformRepeating(msg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := camera.New(prof, camSeed).CaptureVideo(w, 0, int(2*prof.FrameRate))
+		if len(frames) == 0 {
+			t.Fatal("no frames captured")
+		}
+		return frames
+	}
+	newRx = func(t *testing.T) *Receiver {
+		t.Helper()
+		rx, err := NewReceiver(RxConfig{
+			Order: order, SymbolRate: rate, WhiteFraction: 0.2, Code: code,
+			Telemetry: telemetry.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rx
+	}
+	return build(0, seed), build(3, seed), newRx
+}
+
+// TestSeedCalibrationSkipsRecalibration is the device-reconnect story
+// end to end: a first session acquires calibration over the air and
+// exports a snapshot; a second session over a calibration-free
+// waveform decodes nothing unseeded, but — seeded with the serialized
+// snapshot round-tripped through its cache form — recovers blocks
+// immediately with zero uncalibrated drops.
+func TestSeedCalibrationSkipsRecalibration(t *testing.T) {
+	calFree, calibrated, newRx := calSeedLink(t, 5)
+
+	// Session one: acquire calibration from the air, export it.
+	first := newRx(t)
+	for _, f := range calibrated {
+		first.Recycle(first.ProcessFrame(f))
+	}
+	first.Recycle(first.Flush())
+	snap, ok := first.CalibrationSnapshot()
+	if !ok {
+		t.Fatal("calibrated receiver exported no snapshot")
+	}
+	if len(snap.Colors) != int(snap.Order) || snap.Order != csk.CSK8 {
+		t.Fatalf("malformed snapshot: %+v", snap)
+	}
+
+	// The cache stores bytes, not structs: round-trip the serialization.
+	raw, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := packet.UnmarshalCalSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unseeded reconnect over the calibration-free waveform: no refs,
+	// no blocks, every data packet dropped uncalibrated.
+	cold := newRx(t)
+	for _, f := range calFree {
+		cold.Recycle(cold.ProcessFrame(f))
+	}
+	cold.Recycle(cold.Flush())
+	if s := cold.Stats(); s.BlocksOK > 0 {
+		t.Fatalf("unseeded receiver decoded %d blocks from a calibration-free waveform; test is vacuous", s.BlocksOK)
+	}
+	if drops := cold.Snapshot().Counters["rx.uncalibrated_drops"]; drops == 0 {
+		t.Error("unseeded receiver recorded no uncalibrated drops")
+	}
+
+	// Seeded reconnect: references land bit-exactly, and the same
+	// frames now decode.
+	warm := newRx(t)
+	if err := warm.SeedCalibration(cached); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Calibrated() {
+		t.Fatal("seeded receiver reports uncalibrated")
+	}
+	refs := warm.References()
+	for i := range snap.Colors {
+		if math.Float64bits(refs[i].A) != math.Float64bits(snap.Colors[i].A) ||
+			math.Float64bits(refs[i].B) != math.Float64bits(snap.Colors[i].B) {
+			t.Fatalf("seeded reference %d not bit-exact: %v != %v", i, refs[i], snap.Colors[i])
+		}
+	}
+	for _, f := range calFree {
+		warm.Recycle(warm.ProcessFrame(f))
+	}
+	warm.Recycle(warm.Flush())
+	ws := warm.Stats()
+	if ws.BlocksOK == 0 {
+		t.Errorf("seeded receiver decoded no blocks: %+v", ws)
+	}
+	wsnap := warm.Snapshot()
+	if drops := wsnap.Counters["rx.uncalibrated_drops"]; drops != 0 {
+		t.Errorf("seeded receiver dropped %d packets uncalibrated", drops)
+	}
+	if seeded := wsnap.Counters["rx.calibration_seeded"]; seeded != 1 {
+		t.Errorf("rx.calibration_seeded = %d, want 1", seeded)
+	}
+}
+
+// TestSeedCalibrationRejections pins the seed guards: wrong order,
+// collapsed constellations, and seeding after demodulation started
+// are all errors, and a rejected seed leaves the receiver unchanged.
+func TestSeedCalibrationRejections(t *testing.T) {
+	calFree, calibrated, newRx := calSeedLink(t, 6)
+
+	rx := newRx(t)
+	good := packet.CalSnapshot{Order: csk.CSK8, Colors: make([]colorspace.AB, 8)}
+	for i := range good.Colors {
+		good.Colors[i] = colorspace.AB{A: float64(20 * i), B: float64(-10 * i)}
+	}
+	if err := rx.SeedCalibration(packet.CalSnapshot{Order: csk.CSK16, Colors: make([]colorspace.AB, 16)}); err == nil {
+		t.Error("order-mismatched snapshot accepted")
+	}
+	collapsed := packet.CalSnapshot{Order: csk.CSK8, Colors: make([]colorspace.AB, 8)}
+	if err := rx.SeedCalibration(collapsed); err == nil {
+		t.Error("collapsed (all-identical) snapshot accepted")
+	}
+	if rx.Calibrated() {
+		t.Fatal("rejected seeds still calibrated the receiver")
+	}
+	if err := rx.SeedCalibration(good); err != nil {
+		t.Fatalf("valid seed rejected: %v", err)
+	}
+
+	// A receiver that has processed frames refuses late seeding.
+	late := newRx(t)
+	late.Recycle(late.ProcessFrame(calibrated[0]))
+	if err := late.SeedCalibration(good); err == nil {
+		t.Error("seed accepted after a frame was processed")
+	}
+	_ = calFree
+}

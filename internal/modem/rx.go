@@ -222,6 +222,7 @@ type rxCounters struct {
 	deframeDiscards     *telemetry.Counter // rx.deframe_discards
 	calibrationRejected *telemetry.Counter // rx.calibration_rejected
 	calibrationApplied  *telemetry.Counter // rx.calibration_applied
+	calibrationSeeded   *telemetry.Counter // rx.calibration_seeded
 	uncalibratedDrops   *telemetry.Counter // rx.uncalibrated_drops
 	sizeFieldBad        *telemetry.Counter // rx.size_field_bad
 	rsAttempts          *telemetry.Counter // rx.rs_attempts
@@ -246,6 +247,7 @@ func newRxCounters(t *telemetry.Registry) rxCounters {
 		deframeDiscards:     t.Counter("rx.deframe_discards"),
 		calibrationRejected: t.Counter("rx.calibration_rejected"),
 		calibrationApplied:  t.Counter("rx.calibration_applied"),
+		calibrationSeeded:   t.Counter("rx.calibration_seeded"),
 		uncalibratedDrops:   t.Counter("rx.uncalibrated_drops"),
 		sizeFieldBad:        t.Counter("rx.size_field_bad"),
 		rsAttempts:          t.Counter("rx.rs_attempts"),
@@ -469,6 +471,55 @@ func (r *Receiver) validCalibration(colors []colorspace.AB) bool {
 // References returns a copy of the current demodulation references.
 func (r *Receiver) References() []colorspace.AB {
 	return append([]colorspace.AB(nil), r.refs...)
+}
+
+// CalibrationSnapshot exports the receiver's applied calibration — the
+// current demodulation references — as a serializable snapshot, for a
+// per-device calibration cache to carry across sessions. ok is false
+// while the receiver is uncalibrated. Call it from the decode
+// goroutine, or after the stream has drained; it reads the same state
+// the sequential tail mutates.
+func (r *Receiver) CalibrationSnapshot() (packet.CalSnapshot, bool) {
+	if !r.haveRefs || len(r.refs) != int(r.cfg.Order) {
+		return packet.CalSnapshot{}, false
+	}
+	return packet.CalSnapshot{
+		Order:  r.cfg.Order,
+		Colors: append([]colorspace.AB(nil), r.refs...),
+	}, true
+}
+
+// SeedCalibration applies a previously exported snapshot as if its
+// calibration packet had just decoded: the references snap in whole
+// (no smoothing — there is no prior state to smooth against), the
+// classifier retrains, and the self-heal machine starts a fresh
+// calibration age, so seeded references go stale on the same schedule
+// an over-the-air calibration would. Seed before the first frame is
+// processed; a receiver that has started demodulating rejects the
+// seed rather than tear up references mid-stream.
+func (r *Receiver) SeedCalibration(snap packet.CalSnapshot) error {
+	if r.started || r.c.frames.Value() > 0 {
+		return fmt.Errorf("modem: SeedCalibration after frames were processed")
+	}
+	if snap.Order != r.cfg.Order {
+		return fmt.Errorf("modem: calibration snapshot order %d, receiver order %d",
+			snap.Order, r.cfg.Order)
+	}
+	if !r.validCalibration(snap.Colors) {
+		return fmt.Errorf("modem: calibration snapshot fails validity (collapsed or wrong-size constellation)")
+	}
+	r.refs = append(r.refs[:0], snap.Colors...)
+	r.haveRefs = true
+	r.cls.setDataRefs(r.refs)
+	r.heal.calEver = true
+	r.heal.framesSinceCal = 0
+	if r.heal.stale {
+		r.heal.stale = false
+		r.syncGauge.Set(0)
+	}
+	r.ls.RecordCalibration(0)
+	r.c.calibrationSeeded.Inc()
+	return nil
 }
 
 // CalMeta returns the last calibration-metadata announcement decoded

@@ -1,0 +1,91 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+)
+
+// CalSnapshot is a receiver's applied calibration state — the
+// per-device demodulation references a calibration packet established
+// — in a form that survives the session: the ingest service's
+// calibration cache stores the serialized snapshot keyed by device id,
+// so a reconnecting device resumes decoding data packets immediately
+// instead of waiting for its next calibration packet.
+//
+// Wire layout (MarshalBinary):
+//
+//	ver(1) | order(1) | order × { A f64be(8) | B f64be(8) } | crc16(2, big-endian)
+//
+// The CRC (CRC-16/CCITT-FALSE, the calibration-metadata polynomial)
+// covers everything before it. Float components travel as IEEE-754
+// bits, so a decode round-trip is bit-exact — seeding a receiver from
+// a snapshot reproduces the exact references the exporting receiver
+// held.
+type CalSnapshot struct {
+	// Order is the CSK constellation the references belong to. A
+	// snapshot only seeds a receiver configured for the same order.
+	Order csk.Order
+	// Colors are the demodulation references, one {a,b} chromaticity
+	// per constellation point, in constellation index order.
+	Colors []colorspace.AB
+}
+
+// calSnapshotVersion is the current snapshot layout version.
+const calSnapshotVersion = 1
+
+// MarshalBinary serializes the snapshot.
+func (s CalSnapshot) MarshalBinary() ([]byte, error) {
+	if s.Order < 1 || int(s.Order) > 255 {
+		return nil, fmt.Errorf("packet: calibration snapshot order %d out of range", s.Order)
+	}
+	if len(s.Colors) != int(s.Order) {
+		return nil, fmt.Errorf("packet: calibration snapshot has %d colors for order %d",
+			len(s.Colors), s.Order)
+	}
+	out := make([]byte, 0, 2+16*len(s.Colors)+2)
+	out = append(out, calSnapshotVersion, byte(s.Order))
+	for _, c := range s.Colors {
+		out = binary.BigEndian.AppendUint64(out, math.Float64bits(c.A))
+		out = binary.BigEndian.AppendUint64(out, math.Float64bits(c.B))
+	}
+	crc := crc16(out)
+	return append(out, byte(crc>>8), byte(crc)), nil
+}
+
+// UnmarshalCalSnapshot parses a serialized snapshot. Unlike the
+// best-effort calibration metadata, a damaged snapshot is a hard
+// error: it comes from the service's own cache, not off the air, so
+// corruption means a bug (or version skew), never channel noise.
+func UnmarshalCalSnapshot(raw []byte) (CalSnapshot, error) {
+	if len(raw) < 4 {
+		return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot truncated (%d bytes)", len(raw))
+	}
+	body, tail := raw[:len(raw)-2], raw[len(raw)-2:]
+	if got, want := crc16(body), uint16(tail[0])<<8|uint16(tail[1]); got != want {
+		return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot CRC mismatch (%04x != %04x)", got, want)
+	}
+	if body[0] != calSnapshotVersion {
+		return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot version %d unsupported", body[0])
+	}
+	order := int(body[1])
+	if order < 1 {
+		return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot order %d out of range", order)
+	}
+	if want := 2 + 16*order; len(body) != want {
+		return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot length %d, want %d for order %d",
+			len(body), want, order)
+	}
+	s := CalSnapshot{Order: csk.Order(order), Colors: make([]colorspace.AB, order)}
+	for i := 0; i < order; i++ {
+		off := 2 + 16*i
+		s.Colors[i] = colorspace.AB{
+			A: math.Float64frombits(binary.BigEndian.Uint64(body[off:])),
+			B: math.Float64frombits(binary.BigEndian.Uint64(body[off+8:])),
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,100 @@
+package packet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+)
+
+func randomSnapshot(rng *rand.Rand, order csk.Order) CalSnapshot {
+	s := CalSnapshot{Order: order, Colors: make([]colorspace.AB, order)}
+	for i := range s.Colors {
+		s.Colors[i] = colorspace.AB{A: rng.NormFloat64() * 40, B: rng.NormFloat64() * 40}
+	}
+	return s
+}
+
+// TestCalSnapshotRoundTrip: decode(encode(s)) must be bit-exact for
+// every constellation order, including non-finite and denormal
+// component values (the floats travel as IEEE-754 bits).
+func TestCalSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, order := range []csk.Order{csk.CSK4, csk.CSK8, csk.CSK16, csk.CSK32} {
+		for trial := 0; trial < 50; trial++ {
+			want := randomSnapshot(rng, order)
+			raw, err := want.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := UnmarshalCalSnapshot(raw)
+			if err != nil {
+				t.Fatalf("order %d: %v", order, err)
+			}
+			if got.Order != want.Order || len(got.Colors) != len(want.Colors) {
+				t.Fatalf("order %d: round-trip shape mismatch: %+v", order, got)
+			}
+			for i := range want.Colors {
+				if math.Float64bits(got.Colors[i].A) != math.Float64bits(want.Colors[i].A) ||
+					math.Float64bits(got.Colors[i].B) != math.Float64bits(want.Colors[i].B) {
+					t.Fatalf("order %d color %d: %v != %v (bits differ)", order, i, got.Colors[i], want.Colors[i])
+				}
+			}
+		}
+	}
+	// Edge component values survive bit-exactly too.
+	s := CalSnapshot{Order: csk.CSK4, Colors: []colorspace.AB{
+		{A: 0, B: math.Copysign(0, -1)},
+		{A: math.MaxFloat64, B: -math.SmallestNonzeroFloat64},
+		{A: math.Inf(1), B: math.Inf(-1)},
+		{A: 1e-310, B: -127.999999999999},
+	}}
+	raw, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCalSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Colors {
+		if math.Float64bits(got.Colors[i].A) != math.Float64bits(s.Colors[i].A) ||
+			math.Float64bits(got.Colors[i].B) != math.Float64bits(s.Colors[i].B) {
+			t.Fatalf("edge color %d not bit-exact: %v != %v", i, got.Colors[i], s.Colors[i])
+		}
+	}
+}
+
+// TestCalSnapshotRejectsDamage: every corruption a cache could hand
+// back — truncation, bit flips, version skew, shape mismatches — is a
+// hard error, never a silently wrong calibration.
+func TestCalSnapshotRejectsDamage(t *testing.T) {
+	s := randomSnapshot(rand.New(rand.NewSource(2)), csk.CSK8)
+	raw, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalCalSnapshot(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := UnmarshalCalSnapshot(raw[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if _, err := UnmarshalCalSnapshot(bad); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+	if _, err := (CalSnapshot{Order: csk.CSK8, Colors: make([]colorspace.AB, 4)}).MarshalBinary(); err == nil {
+		t.Error("marshal accepted a color count that disagrees with the order")
+	}
+	if _, err := (CalSnapshot{Order: 0}).MarshalBinary(); err == nil {
+		t.Error("marshal accepted order 0")
+	}
+}

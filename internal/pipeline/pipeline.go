@@ -95,6 +95,11 @@ type Config struct {
 // ErrClosed is returned by Submit after CloseInput or Close.
 var ErrClosed = errors.New("pipeline: stream closed")
 
+// ErrQueueFull is returned by TrySubmit when the stream's input queue
+// has no space. The frame was not admitted; the caller decides whether
+// to retry, drop, or shed.
+var ErrQueueFull = errors.New("pipeline: stream queue full")
+
 // job is one frame traveling through the worker pool.
 type job struct {
 	s       *Stream
@@ -159,6 +164,9 @@ type Stream struct {
 	// gen is this stream's recycle generation under its id: 0 for a
 	// first registration, n after the id was recycled n times.
 	gen uint64
+
+	// hooks holds the stream's optional callbacks (AddStreamHooked).
+	hooks StreamHooks
 
 	depth *telemetry.Gauge
 
@@ -313,6 +321,19 @@ func (s *Stream) recycle() {
 // Workers reports the pool size.
 func (p *Pipeline) Workers() int { return p.cfg.Workers }
 
+// StreamHooks carries a stream's optional callbacks. The zero value
+// disables them all.
+type StreamHooks struct {
+	// OnDecoded fires on the stream's decode goroutine after frame seq
+	// has fully decoded — its blocks delivered to Blocks() — with the
+	// submit-to-decode latency in registry-clock nanoseconds. It runs
+	// inline in the decode lane, so a slow callback stalls that
+	// stream's decoding exactly like a slow Blocks() consumer; keep it
+	// to a channel send or a counter bump. It is never called for the
+	// final deframer flush (which has no originating frame).
+	OnDecoded func(seq uint64, latencyNs int64)
+}
+
 // AddStream registers a stream decoding through rx and returns its
 // lane. The id names the stream in telemetry
 // (pipeline.queue_depth.<id>) and must be unique among live streams;
@@ -321,6 +342,13 @@ func (p *Pipeline) Workers() int { return p.cfg.Workers }
 // Generation). The receiver must not be used outside the pipeline
 // afterwards.
 func (p *Pipeline) AddStream(id string, rx *modem.Receiver) (*Stream, error) {
+	return p.AddStreamHooked(id, rx, StreamHooks{})
+}
+
+// AddStreamHooked is AddStream with per-stream callbacks attached
+// (the ingest service uses OnDecoded for per-frame acknowledgements
+// and latency accounting).
+func (p *Pipeline) AddStreamHooked(id string, rx *modem.Receiver, hooks StreamHooks) (*Stream, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -334,6 +362,7 @@ func (p *Pipeline) AddStream(id string, rx *modem.Receiver) (*Stream, error) {
 		id:     id,
 		rx:     rx,
 		gen:    p.gens[id],
+		hooks:  hooks,
 		in:     make(chan job, p.cfg.QueueDepth),
 		done:   make(chan result, p.cfg.QueueDepth+p.cfg.Workers),
 		out:    make(chan modem.Block, p.cfg.OutputDepth),
@@ -419,6 +448,33 @@ func (s *Stream) Submit(ctx context.Context, f *camera.Frame) error {
 	}
 }
 
+// TrySubmit is Submit without blocking: a full input queue returns
+// ErrQueueFull immediately, regardless of the pipeline's overload
+// policy, and the frame is not admitted. Admission-control layers
+// (the ingest service's load shedding) use it to turn queue pressure
+// into an explicit signal instead of latency.
+func (s *Stream) TrySubmit(f *camera.Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.in <- job{s: s, f: f, tSubmit: s.p.tel.Now()}:
+		s.submitted++
+		s.p.framesIn.Inc()
+		s.depth.Set(float64(len(s.in)))
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth reports how many admitted frames are waiting in the
+// stream's input queue right now (capacity is Config.QueueDepth).
+// Racy by nature — a snapshot for shed decisions and telemetry.
+func (s *Stream) QueueDepth() int { return len(s.in) }
+
 // feed moves frames from the stream queue into the shared pool,
 // stamping each with its decode sequence number. Sequence numbers are
 // assigned here — after any DropOldest discards — so the decoder's
@@ -495,7 +551,11 @@ func (s *Stream) decode() {
 				// so a lane blocked mid-emit still shows pending work
 				// to the watchdog.
 				s.decoded.Add(1)
-				s.p.latency.Observe(float64(s.p.tel.Now()-r.tSubmit) / 1e9)
+				lat := s.p.tel.Now() - r.tSubmit
+				s.p.latency.Observe(float64(lat) / 1e9)
+				if s.hooks.OnDecoded != nil {
+					s.hooks.OnDecoded(r.seq, lat)
+				}
 			}
 		}
 	}
@@ -633,9 +693,11 @@ func (p *Pipeline) Close(ctx context.Context) error {
 // Abort tears the pipeline down immediately: feeders and decode lanes
 // exit at the next channel operation, in-flight frames are dropped,
 // Blocks() channels close without flushing. Workers already inside an
-// Analyze call are not interrupted — each goroutine exits as soon as
-// its current frame finishes, without Abort waiting on it. Safe to
-// call more than once, and after Close.
+// Analyze call are not interrupted — Abort waits for each to finish
+// its current frame and exit, so no pool goroutine outlives the call
+// (mirroring Close's teardown tail: cancel, close the job channel,
+// join the worker pool). Safe to call more than once, and after
+// Close.
 func (p *Pipeline) Abort() {
 	p.mu.Lock()
 	p.closed = true
@@ -646,4 +708,6 @@ func (p *Pipeline) Abort() {
 	p.cancel()
 	p.streamWG.Wait()
 	p.watchdogWG.Wait()
+	p.jobsOnce.Do(func() { close(p.jobs) })
+	p.workerWG.Wait()
 }

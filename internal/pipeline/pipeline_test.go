@@ -270,8 +270,11 @@ func TestCloseMidStreamDeliversPrefix(t *testing.T) {
 }
 
 // TestAbortMidStreamNoDeadlock tears the pipeline down while a worker
-// is wedged: Abort must return within the watchdog and close the
-// output channel even though the stalled frame never finishes.
+// is wedged: once the worker's current frame finishes, Abort must
+// return within the watchdog and close the output channel without the
+// queued frames ever decoding. (Abort deliberately waits out the
+// in-flight Analyze — see TestAbortWaitsForInflightAnalyze — so the
+// gate opens after Abort starts.)
 func TestAbortMidStreamNoDeadlock(t *testing.T) {
 	sess := newSession(t, csk.CSK8, 2000, 1, 1)
 
@@ -279,7 +282,7 @@ func TestAbortMidStreamNoDeadlock(t *testing.T) {
 	cfg := Config{Workers: 1, QueueDepth: 2}
 	cfg.analyzeHook = func(r *modem.Receiver, f *camera.Frame) *modem.Analysis {
 		select {
-		case <-gate: // held shut for the whole test
+		case <-gate: // held shut until Abort is underway
 		case <-time.After(10 * time.Second):
 		}
 		return r.Analyze(f)
@@ -295,7 +298,13 @@ func TestAbortMidStreamNoDeadlock(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	watchdog(t, time.Second, "Abort with a wedged worker", func() { p.Abort() })
+	aborted := make(chan struct{})
+	go func() {
+		p.Abort()
+		close(aborted)
+	}()
+	close(gate) // release the wedged worker; Abort can now join the pool
+	watchdog(t, time.Second, "Abort with a wedged worker", func() { <-aborted })
 	watchdog(t, time.Second, "Blocks() close after Abort", func() { <-got })
 	if err := s.Submit(context.Background(), sess.frames[0]); err != ErrClosed {
 		t.Errorf("Submit after Abort = %v, want ErrClosed", err)

@@ -1,0 +1,284 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/csk"
+	"colorbars/internal/modem"
+	"colorbars/internal/telemetry"
+)
+
+// TestAbortWaitsForInflightAnalyze pins the Abort teardown contract:
+// Abort must not return while a pool worker is still inside an Analyze
+// call. The old Abort skipped the worker join entirely (no close(jobs),
+// no workerWG.Wait), so it returned immediately here and this test
+// failed; the fixed Abort blocks until the wedged worker finishes its
+// frame and exits.
+func TestAbortWaitsForInflightAnalyze(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 1)
+
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	cfg := Config{Workers: 1, QueueDepth: 2}
+	cfg.analyzeHook = func(r *modem.Receiver, f *camera.Frame) *modem.Analysis {
+		entered <- struct{}{}
+		<-release
+		return r.Analyze(f)
+	}
+	p := New(cfg)
+	s, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(s)
+	if err := s.Submit(context.Background(), sess.frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the frame")
+	}
+
+	aborted := make(chan struct{})
+	go func() {
+		p.Abort()
+		close(aborted)
+	}()
+	select {
+	case <-aborted:
+		t.Fatal("Abort returned while a worker was still inside Analyze")
+	case <-time.After(100 * time.Millisecond):
+		// Abort is correctly blocked on the worker join.
+	}
+	close(release)
+	select {
+	case <-aborted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort never returned after the worker was released")
+	}
+	<-got
+}
+
+// TestAbortIdempotentAndAfterClose: the worker join added to Abort
+// must survive repeated Aborts and an Abort after a graceful Close
+// (both share jobsOnce, so the job channel closes exactly once).
+func TestAbortIdempotentAndAfterClose(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 1)
+	p := New(Config{Workers: 2})
+	s, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(s)
+	for _, f := range sess.frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+	watchdog(t, time.Second, "Abort after Close", func() { p.Abort() })
+	watchdog(t, time.Second, "second Abort", func() { p.Abort() })
+}
+
+// TestDrainRecycleCloseOrdering is the regression test for the
+// Drain→recycle→Close sequence: a consumer Drains a stream the
+// watchdog has already recycled (both paths run CloseInput, which the
+// closed guard must make idempotent), the id is re-registered at the
+// next generation, and a graceful Close — which iterates CloseInput
+// over every live stream once more — must neither panic on the
+// doubly-closed input channel nor deadlock on the recycled lane.
+func TestDrainRecycleCloseOrdering(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 3, 4)
+	tel := telemetry.NewRegistry()
+	p := New(Config{
+		Workers:      2,
+		QueueDepth:   len(sess.frames) + 1,
+		OutputDepth:  1,
+		StallTimeout: 500 * time.Millisecond,
+		Telemetry:    tel,
+	})
+	wedged, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the lane: submit everything, never drain Blocks().
+	for _, f := range sess.frames {
+		if err := wedged.Submit(context.Background(), f); err != nil {
+			break // recycled mid-loop: expected
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !wedged.recycling.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never recycled the wedged stream")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Drain the already-recycled stream: CloseInput must hit the closed
+	// guard (not close(in) twice), and Drain must return once the
+	// recycled lane's output channel closes.
+	watchdog(t, 5*time.Second, "Drain on a recycled stream", func() {
+		if err := wedged.Drain(context.Background()); err != nil {
+			t.Errorf("Drain on recycled stream: %v", err)
+		}
+	})
+	if gen := wedged.Generation(); gen != 0 {
+		t.Errorf("recycled stream generation = %d, want 0", gen)
+	}
+
+	// The id is free again at generation 1; the replacement decodes
+	// normally and a full graceful Close completes.
+	var fresh *Stream
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		fresh, err = p.AddStream("led0", sess.newRx(t))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recycled id never became re-registrable: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if fresh.Generation() != 1 {
+		t.Fatalf("replacement generation = %d, want 1", fresh.Generation())
+	}
+	got := collect(fresh)
+	for _, f := range sess.frames {
+		if err := fresh.Submit(context.Background(), f); err != nil {
+			t.Fatalf("Submit on replacement: %v", err)
+		}
+	}
+	// Drain→Close on the healthy replacement: the second CloseInput
+	// (Close's sweep) must again be a no-op, not a panic.
+	watchdog(t, 30*time.Second, "Drain then Close", func() {
+		if err := fresh.Drain(context.Background()); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+		if err := p.Close(context.Background()); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	<-got
+}
+
+// TestTrySubmitShedsWhenFull: TrySubmit must admit frames while the
+// queue has room, return ErrQueueFull (without blocking) once it
+// fills behind a wedged pool, and the admitted prefix must decode
+// byte-identically to a serial run over exactly those frames.
+func TestTrySubmitShedsWhenFull(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 2)
+	gate := make(chan struct{})
+	cfg := Config{Workers: 1, QueueDepth: 2}
+	cfg.analyzeHook = func(r *modem.Receiver, f *camera.Frame) *modem.Analysis {
+		<-gate
+		return r.Analyze(f)
+	}
+	p := New(cfg)
+	defer p.Abort()
+	s, err := p.AddStream("led0", sess.newRx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(s)
+
+	var admitted []*camera.Frame
+	sheds := 0
+	watchdog(t, 5*time.Second, "TrySubmit against a wedged pool", func() {
+		for _, f := range sess.frames {
+			switch err := s.TrySubmit(f); {
+			case err == nil:
+				admitted = append(admitted, f)
+			case errors.Is(err, ErrQueueFull):
+				sheds++
+			default:
+				t.Errorf("TrySubmit: %v", err)
+				return
+			}
+		}
+	})
+	if sheds == 0 {
+		t.Fatal("queue never filled: TrySubmit shed nothing")
+	}
+	if len(admitted) == 0 {
+		t.Fatal("TrySubmit admitted nothing")
+	}
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	blocks := <-got
+	want := serialDecode(sess.newRx(t), admitted)
+	if !reflect.DeepEqual(blocks, want) {
+		t.Errorf("admitted-prefix decode diverged from serial (%d vs %d blocks)", len(blocks), len(want))
+	}
+	if s.Submitted() != uint64(len(admitted)) {
+		t.Errorf("Submitted() = %d, want %d admitted", s.Submitted(), len(admitted))
+	}
+	if err := s.TrySubmit(sess.frames[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("TrySubmit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestOnDecodedHookOrdering: the OnDecoded hook must fire exactly once
+// per admitted frame, in strict capture order, with a non-negative
+// latency, and never for the final deframer flush.
+func TestOnDecodedHookOrdering(t *testing.T) {
+	sess := newSession(t, csk.CSK8, 2000, 1, 2)
+	tel := telemetry.NewRegistry()
+	p := New(Config{Workers: 4, Telemetry: tel})
+	defer p.Abort()
+
+	type decodeEvent struct {
+		seq uint64
+		lat int64
+	}
+	var events []decodeEvent
+	s, err := p.AddStreamHooked("led0", sess.newRx(t), StreamHooks{
+		OnDecoded: func(seq uint64, latencyNs int64) {
+			events = append(events, decodeEvent{seq, latencyNs})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(s)
+	for _, f := range sess.frames {
+		if err := s.Submit(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+
+	// Close returns only after the decode goroutine exits, so reading
+	// events here is race-free.
+	if len(events) != len(sess.frames) {
+		t.Fatalf("OnDecoded fired %d times for %d frames", len(events), len(sess.frames))
+	}
+	for i, e := range events {
+		if e.seq != uint64(i) {
+			t.Fatalf("event %d carries seq %d; hook order must match capture order", i, e.seq)
+		}
+		if e.lat <= 0 {
+			t.Errorf("event %d latency %d ns, want > 0 on a real registry clock", i, e.lat)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -84,7 +85,7 @@ func ServeDebug(addr string) (net.Listener, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("telemetry: cannot serve debug endpoints on %q (is the port already in use by another tool?): %w", addr, err)
 	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(l)
