@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations|distance|pipeline|fault|perf]
+//	colorbars-bench [-exp all|table1|fig3b|fig3c|fig6|fig8b|grid|baseline|ablations|distance|pipeline|fault|perf|density]
 //	                [-duration seconds] [-seed n] [-workers n]
 //	                [-telemetry-addr host:port] [-trace file.jsonl]
-//	                [-bench-out dir] [-bench-gate dir] [-handicap x] [-adapt]
+//	                [-bench-out dir] [-bench-gate dir] [-handicap x]
+//	                [-adapt] [-ingest] [-dense]
 //
 // The pipeline experiment (not part of "all") compares serial decode
 // time against the concurrent pipeline at several worker counts on
@@ -27,7 +28,10 @@
 // goodput_chaos trajectory cell (lower-is-worse in the gate). With
 // -ingest, it drives a loadgen fleet against an in-process ingest
 // service and records the p99 submit-to-decode latency at saturation
-// as the ingest_p99_us cell (higher-is-worse).
+// as the ingest_p99_us cell (higher-is-worse). With -dense, it runs
+// the dense-ladder adaptive link (64-CSK top rung, equalizer-gated)
+// through an occlusion burst and records the goodput_dense cell
+// (lower-is-worse) plus the never-gated eq_confidence context cell.
 package main
 
 import (
@@ -57,7 +61,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3b, fig3c, fig6, fig8b, grid, baseline, ablations, distance, pipeline, fault, perf")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig3b, fig3c, fig6, fig8b, grid, baseline, ablations, distance, pipeline, fault, perf, density")
 	duration := flag.Float64("duration", 3, "simulated seconds per measured cell")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	workers := flag.Int("workers", 0, "decode with the concurrent pipeline using this many workers (0 = serial decode)")
@@ -69,6 +73,7 @@ func run() error {
 	handicap := flag.Float64("handicap", 1, "with -exp perf: multiply measured costs by this factor (gate self-test)")
 	adapt := flag.Bool("adapt", false, "with -exp perf: also measure the adaptive link's goodput under chaos (the goodput_chaos trajectory cell)")
 	ingestBench := flag.Bool("ingest", false, "with -exp perf: also measure the ingest service's p99 submit-to-decode latency at saturation (the ingest_p99_us trajectory cell)")
+	denseBench := flag.Bool("dense", false, "with -exp perf: also measure the dense-ladder adaptive link's goodput under chaos (the goodput_dense and eq_confidence trajectory cells)")
 	flag.Parse()
 	csvOutDir = *csvDir
 	decodeWorkers = *workers
@@ -77,6 +82,7 @@ func run() error {
 	benchHandicap = *handicap
 	benchAdapt = *adapt
 	benchIngest = *ingestBench
+	benchDense = *denseBench
 
 	runners := map[string]func(float64, int64) error{
 		"table1":    runTable1,
@@ -91,6 +97,7 @@ func run() error {
 		"pipeline":  runPipeline,
 		"fault":     runFault,
 		"perf":      runPerf,
+		"density":   runDensity,
 	}
 	// The pipeline scaling sweep is a performance measurement, not a
 	// paper figure, so "all" (the reproduction run) excludes it.
@@ -410,6 +417,38 @@ func runFault(duration float64, seed int64) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runDensity sweeps constellation density from 4-CSK to 256-CSK on an
+// ideal sensor, equalized vs. unequalized, clean vs. the dense drift
+// chaos, with the calibration interval stretched to ~3x the paper's —
+// the regime where drift tracking between calibrations decides what a
+// dense constellation actually delivers. Not part of "all": it
+// measures the repo's dense extension, not a paper figure.
+func runDensity(duration float64, seed int64) error {
+	fmt.Println("== Density sweep: SER / goodput vs constellation order (ideal sensor, 4 kHz, cal every 18) ==")
+	cells, err := experiments.DensitySweep(duration, seed)
+	if err != nil {
+		return err
+	}
+	if err := writeCSV("density.csv", func(w *os.File) error {
+		return experiments.WriteDensityCSV(w, cells)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("  %-9s %-6s %-6s %10s %9s %14s %8s\n",
+		"Order", "Eq", "Chaos", "SER", "Symbols", "Goodput (bps)", "EqConf")
+	for _, c := range cells {
+		if c.Err != nil {
+			fmt.Printf("  %-9v %-6v %-6v %10s  (%v)\n", c.Order, c.Equalized, c.Chaos, "-", c.Err)
+			continue
+		}
+		fmt.Printf("  %-9v %-6v %-6v %10.4f %9d %14.0f %8.2f\n",
+			c.Order, c.Equalized, c.Chaos,
+			c.Result.SER, c.Result.SymbolsCompared, c.Result.GoodputBps, c.Result.EqConfidence)
+	}
+	fmt.Println("  (256-CSK rows: the 256-color calibration body no longer fits a 30 fps frame, so the link never calibrates — the honest ceiling of this camera generation.)")
 	return nil
 }
 

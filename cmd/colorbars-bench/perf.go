@@ -14,6 +14,7 @@ import (
 	"colorbars/internal/fault/soak"
 	"colorbars/internal/ingest"
 	"colorbars/internal/ingest/loadgen"
+	"colorbars/internal/linkadapt"
 	"colorbars/internal/linkstats"
 	"colorbars/internal/metrics"
 	"colorbars/internal/modem"
@@ -32,6 +33,7 @@ var (
 	benchHandicap float64 = 1
 	benchAdapt    bool
 	benchIngest   bool
+	benchDense    bool
 )
 
 // benchGateTolerance is the relative regression budget per metric:
@@ -96,6 +98,18 @@ func runPerf(duration float64, seed int64) error {
 		report.Entries["ingest_p99_us"] = e
 		fmt.Printf("  %-20s %14.0f µs p99 submit-to-decode, %.1f%% shed at saturation\n",
 			"ingest_p99_us", e.IngestP99Us, e.ShedRate*100)
+	}
+	if benchDense {
+		gp, conf, err := benchDenseGoodput(seed)
+		if err != nil {
+			return fmt.Errorf("goodput_dense: %w", err)
+		}
+		report.Entries["goodput_dense"] = gp
+		report.Entries["eq_confidence"] = conf
+		fmt.Printf("  %-20s %14.0f bps goodput on the dense ladder under chaos\n",
+			"goodput_dense", gp.GoodputBps)
+		fmt.Printf("  %-20s %14.3f mean equalizer confidence (context, never gated)\n",
+			"eq_confidence", conf.EqConfidence)
 	}
 	if benchOutDir != "" {
 		path, err := linkstats.WriteBenchReport(benchOutDir, report)
@@ -287,4 +301,43 @@ func benchChaosGoodput(seed int64) (linkstats.BenchEntry, error) {
 		return linkstats.BenchEntry{}, err
 	}
 	return linkstats.BenchEntry{GoodputBps: m.GoodputBps / benchHandicap}, nil
+}
+
+// benchDenseGoodput measures the dense-ladder adaptive link's goodput
+// under the dense soak gate's chaos geometry: an occlusion burst that
+// knocks the link off the equalizer-gated 64-CSK rung and forces a
+// confidence-backed reclimb. Two trajectory cells come out of one run:
+// goodput_dense is capacity on the dense ladder (lower is worse in the
+// gate, like goodput_chaos — the handicap divides it), and
+// eq_confidence is the mean equalizer confidence across anchored
+// frames — recorded for context, never gated (ShedRate's model),
+// because confidence is the signal that protects goodput_dense, not a
+// quality metric of its own.
+func benchDenseGoodput(seed int64) (goodput, conf linkstats.BenchEntry, err error) {
+	r, err := linkadapt.RunSession(linkadapt.SessionParams{
+		Seed:       seed,
+		Duration:   20,
+		Profile:    camera.Ideal(),
+		Controller: linkadapt.Config{Ladder: linkadapt.DenseLadder(), StartRung: 1},
+		Schedule: fault.Schedule{Events: []fault.Event{{
+			Class: fault.Occlusion, Start: 8, Duration: 1.5, Magnitude: 0.95,
+		}}},
+	})
+	if err != nil {
+		return linkstats.BenchEntry{}, linkstats.BenchEntry{}, err
+	}
+	var sum float64
+	var n int
+	for _, c := range r.EqConfByFrame {
+		if c > 0 { // zero = unanchored; only anchored frames carry signal
+			sum += c
+			n++
+		}
+	}
+	mean := 0.0
+	if n > 0 {
+		mean = sum / float64(n)
+	}
+	return linkstats.BenchEntry{GoodputBps: r.GoodputBPS / benchHandicap},
+		linkstats.BenchEntry{EqConfidence: mean}, nil
 }

@@ -51,7 +51,8 @@ import (
 // Re-exported building blocks. These aliases make the internal types
 // part of the public API without duplicating them.
 type (
-	// Order is a CSK constellation order (4, 8, 16 or 32).
+	// Order is a CSK constellation order (4, 8, 16 or 32 from the
+	// paper, plus the dense 64 and 256 extensions).
 	Order = csk.Order
 	// Profile describes a receiving camera device.
 	Profile = camera.Profile
@@ -69,12 +70,18 @@ type (
 	LinkReport = linkstats.Report
 )
 
-// Supported CSK constellation orders.
+// Supported CSK constellation orders. CSK64 and CSK256 are the dense
+// extensions beyond the paper's alphabet: their points are packed
+// tightly enough that a practical link needs the receiver's online
+// channel equalizer tracking drift between calibrations (see
+// internal/equalize and the linkadapt dense ladder).
 const (
-	CSK4  = csk.CSK4
-	CSK8  = csk.CSK8
-	CSK16 = csk.CSK16
-	CSK32 = csk.CSK32
+	CSK4   = csk.CSK4
+	CSK8   = csk.CSK8
+	CSK16  = csk.CSK16
+	CSK32  = csk.CSK32
+	CSK64  = csk.CSK64
+	CSK256 = csk.CSK256
 )
 
 // Device profiles from the paper's evaluation.

@@ -3,20 +3,24 @@
 // chromaticities inside the tri-LED's CIE 1931 constellation triangle
 // (paper §2.2, Figs. 1(d)–1(f)).
 //
-// Constellations of order 4, 8, 16 and 32 are supported. The 4-CSK
-// design is the classic vertices-plus-centroid layout from IEEE
-// 802.15.7. Higher orders are produced by a deterministic max-min
+// Constellations of order 4, 8, 16, 32, 64 and 256 are supported.
+// The 4-CSK design is the classic vertices-plus-centroid layout from
+// IEEE 802.15.7. Orders 8–32 are produced by a deterministic max-min
 // distance optimizer that implements the standard's stated design
 // rule — "constellation symbols are chosen inside the triangle such
 // that inter-symbol distance is maximized" — via repulsion dynamics
 // from a triangular-lattice seed. The resulting layouts match the
 // qualitative structure of the standard's 8/16-CSK figures (vertices
-// occupied, symbols spread evenly through the triangle).
+// occupied, symbols spread evenly through the triangle). The dense
+// orders (64, 256) are designed directly in the received {a,b} plane
+// (see received.go) and are only decodable with the online channel
+// equalizer engaged.
 package csk
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"colorbars/internal/cie"
 	"colorbars/internal/colorspace"
@@ -27,23 +31,33 @@ type Order int
 
 // Supported constellation orders.
 const (
-	CSK4  Order = 4
-	CSK8  Order = 8
-	CSK16 Order = 16
-	CSK32 Order = 32
+	CSK4   Order = 4
+	CSK8   Order = 8
+	CSK16  Order = 16
+	CSK32  Order = 32
+	CSK64  Order = 64
+	CSK256 Order = 256
 )
 
 // Orders lists all supported orders in ascending order.
-var Orders = []Order{CSK4, CSK8, CSK16, CSK32}
+var Orders = []Order{CSK4, CSK8, CSK16, CSK32, CSK64, CSK256}
 
 // Valid reports whether o is a supported order.
 func (o Order) Valid() bool {
 	switch o {
-	case CSK4, CSK8, CSK16, CSK32:
+	case CSK4, CSK8, CSK16, CSK32, CSK64, CSK256:
 		return true
 	}
 	return false
 }
+
+// Dense reports whether o is a dense constellation (beyond the
+// paper's 16-CSK ceiling and the 32-CSK stretch point): the orders
+// that are only decodable with the online channel equalizer engaged.
+// Dense layouts are designed directly in the received {a,b} plane —
+// at these densities the xy→{a,b} nonlinearity costs more margin than
+// any xy-plane layout can recover.
+func (o Order) Dense() bool { return o > CSK32 }
 
 // BitsPerSymbol returns log2(order): the number of data bits each
 // color symbol carries (the paper's C).
@@ -57,6 +71,10 @@ func (o Order) BitsPerSymbol() int {
 		return 4
 	case CSK32:
 		return 5
+	case CSK64:
+		return 6
+	case CSK256:
+		return 8
 	}
 	return 0
 }
@@ -268,20 +286,54 @@ func (c *Constellation) Demodulate(symbols []int, byteLen int) ([]byte, error) {
 
 // --- constellation design ---
 
+// designCache memoizes finished point layouts per (size, triangle,
+// design plane). The dense optimizers cost whole seconds at 256
+// points, and every NewReceiver/NewTransmitter/test rebuilds its
+// constellation from scratch; the cached slice is immutable after
+// design (Constellation never mutates points, Points() copies).
+var designCache sync.Map // designKey -> []colorspace.XY
+
+type designKey struct {
+	m     int
+	tri   cie.Triangle
+	rxOpt bool
+}
+
+func cachedDesign(m int, tri cie.Triangle, rxOpt bool, build func() []colorspace.XY) []colorspace.XY {
+	key := designKey{m: m, tri: tri, rxOpt: rxOpt}
+	if v, ok := designCache.Load(key); ok {
+		return v.([]colorspace.XY)
+	}
+	pts := build()
+	v, _ := designCache.LoadOrStore(key, pts)
+	return v.([]colorspace.XY)
+}
+
 // designPoints returns m well-spread chromaticity points inside tri.
 func designPoints(m int, tri cie.Triangle) []colorspace.XY {
 	if m == 4 {
 		// IEEE 802.15.7 4-CSK: the three vertices plus the centroid.
 		return []colorspace.XY{tri.R, tri.G, tri.B, tri.Centroid()}
 	}
-	pts := latticeSeed(m, tri)
-	// Annealed repulsion: a few cycles with decreasing starting step
-	// escape poor local layouts from the truncated lattice seed.
-	for _, step := range []float64{0.02, 0.01, 0.004} {
-		relax(pts, tri, 600, step)
+	if Order(m).Dense() {
+		// Dense constellations are designed in the received {a,b}
+		// plane (see denseDesignPoints); there is no separate xy
+		// design at these densities.
+		return cachedDesign(m, tri, false, func() []colorspace.XY {
+			return denseDesignPoints(m, tri)
+		})
 	}
-	maxMinAscent(pts, tri, 200)
-	return pts
+	return cachedDesign(m, tri, false, func() []colorspace.XY {
+		pts := latticeSeed(m, tri)
+		// Annealed repulsion: a few cycles with decreasing starting
+		// step escape poor local layouts from the truncated lattice
+		// seed.
+		for _, step := range []float64{0.02, 0.01, 0.004} {
+			relax(pts, tri, 600, step)
+		}
+		maxMinAscent(pts, tri, 200)
+		return pts
+	})
 }
 
 // latticeSeed produces m deterministic starting points: the vertices

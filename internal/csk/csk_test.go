@@ -5,13 +5,14 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"colorbars/internal/cie"
 	"colorbars/internal/colorspace"
 )
 
 func TestOrderBitsPerSymbol(t *testing.T) {
-	cases := map[Order]int{CSK4: 2, CSK8: 3, CSK16: 4, CSK32: 5}
+	cases := map[Order]int{CSK4: 2, CSK8: 3, CSK16: 4, CSK32: 5, CSK64: 6, CSK256: 8}
 	for o, want := range cases {
 		if got := o.BitsPerSymbol(); got != want {
 			t.Errorf("%v bits = %d, want %d", o, got, want)
@@ -100,11 +101,57 @@ func TestMinDistanceQuality(t *testing.T) {
 	// triangle's area (~0.112): d* ≈ sqrt(1.155·A/n) gives ~0.09 for
 	// n=16 and ~0.064 for n=32; the optimizer should land within ~25%
 	// of the bound.
-	floors := map[Order]float64{CSK4: 0.25, CSK8: 0.15, CSK16: 0.075, CSK32: 0.042}
+	// The dense orders optimize the received-plane objective, so their
+	// xy floors only pin gross regressions; TestDenseReceivedQuality
+	// holds the metric they are designed for.
+	floors := map[Order]float64{
+		CSK4: 0.25, CSK8: 0.15, CSK16: 0.075, CSK32: 0.042,
+		CSK64: 0.02, CSK256: 0.009,
+	}
 	for o, floor := range floors {
 		c := MustNew(o, cie.SRGBTriangle)
 		if d := c.MinDistance(); d < floor {
 			t.Errorf("%v min distance %v below floor %v", o, d, floor)
+		}
+	}
+}
+
+func TestDenseReceivedQuality(t *testing.T) {
+	// The dense designs maximize min distance in the received {a,b}
+	// plane; floors sit ~10% under the values at introduction (64-CSK
+	// 17.47, 256-CSK 8.19 — 86%/80% of the hexagonal packing bound
+	// for the sRGB gamut's {a,b} image). Both must clear the 2·JND
+	// separability line by a wide margin, or the equalizer has nothing
+	// to work with.
+	floors := map[Order]float64{CSK64: 15.5, CSK256: 7.3}
+	for o, floor := range floors {
+		c := MustNew(o, cie.SRGBTriangle)
+		if d := c.MinReceivedDistance(); d < floor {
+			t.Errorf("%v received min distance %v below floor %v", o, d, floor)
+		}
+		if !o.Dense() {
+			t.Errorf("%v should report Dense", o)
+		}
+	}
+	for _, o := range []Order{CSK4, CSK8, CSK16, CSK32} {
+		if o.Dense() {
+			t.Errorf("%v should not report Dense", o)
+		}
+	}
+}
+
+func TestDenseDesignCached(t *testing.T) {
+	// Dense designs are memoized per (order, triangle): rebuilding the
+	// constellation must reuse the finished layout, not redesign it.
+	a := MustNew(CSK256, cie.SRGBTriangle)
+	start := time.Now()
+	b := MustNew(CSK256, cie.SRGBTriangle)
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Errorf("cached rebuild took %v", d)
+	}
+	for i := 0; i < a.Size(); i++ {
+		if a.Point(i) != b.Point(i) {
+			t.Fatalf("cached design differs at %d", i)
 		}
 	}
 }

@@ -32,11 +32,19 @@ func NewReceiverOptimized(order Order, tri cie.Triangle) (*Constellation, error)
 	if order == CSK4 {
 		return New(order, tri)
 	}
-	pts := latticeSeed(int(order), tri)
-	for _, step := range []float64{0.02, 0.01, 0.004} {
-		relax(pts, tri, 600, step)
+	// Dense orders are already designed in the received plane; the
+	// standard and receiver-optimized variants coincide there.
+	if order.Dense() {
+		return New(order, tri)
 	}
-	abMaxMinAscent(pts, tri, 300)
+	pts := cachedDesign(int(order), tri, true, func() []colorspace.XY {
+		p := latticeSeed(int(order), tri)
+		for _, step := range []float64{0.02, 0.01, 0.004} {
+			relax(p, tri, 600, step)
+		}
+		abMaxMinAscent(p, tri, 300)
+		return p
+	})
 
 	c := &Constellation{
 		order:    order,
@@ -146,6 +154,163 @@ func abMaxMinAscent(pts []colorspace.XY, tri cie.Triangle, passes int) {
 			return
 		}
 	}
+}
+
+// --- dense constellation design (64/256-CSK) ---
+//
+// Beyond 32 points the xy→{a,b} nonlinearity dominates the margin
+// budget: an xy-even layout lands with its red-corner symbols packed
+// several times tighter in ΔE than its green-corner ones. Dense
+// layouts are therefore designed directly in the received plane:
+// greedy farthest-point sampling in the {a,b} metric over a fine
+// in-gamut candidate grid (which lands within ~15–20% of the
+// hexagonal packing bound on its own), then a max-min ascent on the
+// {a,b} objective with incremental distance updates (the
+// full-recompute ascent above is quadratic per candidate and
+// unusable at 256 points).
+
+// denseDesignPoints returns m chromaticity points whose received
+// {a,b} positions are well spread. Deterministic; cached by the
+// designPoints layer.
+func denseDesignPoints(m int, tri cie.Triangle) []colorspace.XY {
+	pts := abFarthestPointSeed(m, tri, 200)
+	denseAscent(pts, tri, 400)
+	return pts
+}
+
+// abFarthestPointSeed greedily picks m points from a barycentric grid
+// of the given side, maximizing at every step the minimum received
+// {a,b} distance to the points already chosen. The traversal starts
+// at the red vertex so the layout (like the sparse designs) keeps the
+// primaries occupied.
+func abFarthestPointSeed(m int, tri cie.Triangle, side int) []colorspace.XY {
+	var cands []colorspace.XY
+	var cabs []colorspace.AB
+	for i := 0; i <= side; i++ {
+		for j := 0; j <= side-i; j++ {
+			p := tri.Point(float64(i)/float64(side), float64(j)/float64(side), float64(side-i-j)/float64(side))
+			ab, ok := abOf(p, tri)
+			if !ok {
+				continue
+			}
+			cands = append(cands, p)
+			cabs = append(cabs, ab)
+		}
+	}
+	chosen := make([]colorspace.XY, 0, m)
+	minD := make([]float64, len(cands))
+	for i := range minD {
+		minD[i] = math.Inf(1)
+	}
+	best := 0
+	for i, p := range cands {
+		if p.Dist(tri.R) < cands[best].Dist(tri.R) {
+			best = i
+		}
+	}
+	for len(chosen) < m {
+		chosen = append(chosen, cands[best])
+		bab := cabs[best]
+		nbest, nbestD := -1, -1.0
+		for i := range cands {
+			if d := bab.Dist(cabs[i]); d < minD[i] {
+				minD[i] = d
+			}
+			if minD[i] > nbestD {
+				nbestD, nbest = minD[i], i
+			}
+		}
+		best = nbest
+	}
+	return chosen
+}
+
+// denseAscent improves the received-plane max-min objective with
+// incremental distance bookkeeping: moving one point only changes the
+// distances involving that point, so each candidate is evaluated in
+// O(n) instead of O(n²).
+func denseAscent(pts []colorspace.XY, tri cie.Triangle, passes int) {
+	n := len(pts)
+	abs := make([]colorspace.AB, n)
+	for i, p := range pts {
+		ab, ok := abOf(p, tri)
+		if !ok {
+			return
+		}
+		abs[i] = ab
+	}
+	dirs := []colorspace.XY{
+		{X: 1, Y: 0}, {X: -1, Y: 0}, {X: 0, Y: 1}, {X: 0, Y: -1},
+		{X: 0.7, Y: 0.7}, {X: -0.7, Y: 0.7}, {X: 0.7, Y: -0.7}, {X: -0.7, Y: -0.7},
+	}
+	minDistTo := func(idx int, ab colorspace.AB) float64 {
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if i == idx {
+				continue
+			}
+			if d := ab.Dist(abs[i]); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	minPairExcluding := func(idx int) float64 {
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if i == idx {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if j == idx {
+					continue
+				}
+				if d := abs[i].Dist(abs[j]); d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+	for p := 0; p < passes; p++ {
+		ai, bi, _ := absClosestPair(abs)
+		improved := false
+		for _, idx := range []int{ai, bi} {
+			rest := minPairExcluding(idx)
+			cur := math.Min(rest, minDistTo(idx, abs[idx]))
+			for _, d := range dirs {
+				for _, s := range []float64{0.008, 0.003, 0.001} {
+					cand := projectIntoTriangle(colorspace.XY{X: pts[idx].X + d.X*s, Y: pts[idx].Y + d.Y*s}, tri)
+					candAB, ok := abOf(cand, tri)
+					if !ok {
+						continue
+					}
+					if v := math.Min(rest, minDistTo(idx, candAB)); v > cur {
+						cur = v
+						pts[idx], abs[idx] = cand, candAB
+						improved = true
+					}
+				}
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// absClosestPair finds the closest pair among precomputed {a,b}
+// positions.
+func absClosestPair(abs []colorspace.AB) (int, int, float64) {
+	ai, bi, best := 0, 1, math.Inf(1)
+	for i := range abs {
+		for j := i + 1; j < len(abs); j++ {
+			if d := abs[i].Dist(abs[j]); d < best {
+				ai, bi, best = i, j, d
+			}
+		}
+	}
+	return ai, bi, best
 }
 
 // abClosestPair finds the pair with the smallest received-plane

@@ -1,0 +1,466 @@
+// Package equalize implements an online channel equalizer for the
+// ColorBars receiver: a learned correction that maps received {a,b}
+// colors back into the demodulation-reference frame, undoing the
+// slowly varying color distortion (AWB drift, ambient shifts, driver
+// aging) that naive nearest-reference matching cannot absorb between
+// calibration packets.
+//
+// The paper stops at 16-CSK because that distortion collapses dense
+// constellations; the neural-equalization OCC literature (PAPERS.md:
+// 512-CSK demodulation, efficient multilevel demodulation) shows an
+// equalizer learned online from pilot symbols is what makes 64- and
+// 256-point layouts decodable. This package is the classical,
+// deterministic form of that idea:
+//
+//   - A global affine correction (2×2 gain + translation) fitted by
+//     ridge-regularized least squares over recent calibration clouds —
+//     every calibration packet contributes one observed position per
+//     constellation cell, and the last few observations per cell are
+//     retained as that cell's cloud.
+//   - A per-cell residual LUT on top of the affine map, seeded from
+//     the cloud residuals at each calibration and tracked between
+//     calibrations by exponentially-aged updates from high-margin
+//     decoded symbols (decision-directed drift tracking).
+//   - A k-NN fallback over the calibration clouds: a cell whose
+//     residual has gone stale borrows the inverse-distance-weighted
+//     residual of its nearest still-warm neighbors instead of trusting
+//     its own.
+//
+// The equalizer exposes a confidence score in [0,1] — an exponential
+// average of observed classification margin quality, refreshed by
+// calibration fit residuals and decayed when evidence stops arriving —
+// which the link-adaptation ladder gates dense rungs on, and a
+// versioned serializable state so a calibration cache can seed a
+// reconnecting session with a warm equalizer.
+//
+// Apply, Observe and Tick are allocation-free; they run on the
+// receiver's per-symbol decode path.
+package equalize
+
+import (
+	"fmt"
+	"math"
+
+	"colorbars/internal/colorspace"
+)
+
+// Config tunes the equalizer. Zero fields default.
+type Config struct {
+	// Points is the constellation size the equalizer corrects for.
+	// Required.
+	Points int
+	// DriftAlpha is the EMA gain of the decision-directed per-cell
+	// updates between calibrations. Default 0.08: ~12 high-margin hits
+	// to converge on a moved cell, fast enough to ride an AWB ramp,
+	// slow enough that one misclassified symbol cannot drag a cell.
+	DriftAlpha float64
+	// MarginRatio is the runner-up/winner distance ratio above which a
+	// decoded symbol counts as high-margin evidence. Default 1.8.
+	MarginRatio float64
+	// CloudDepth is how many recent calibration observations are
+	// retained per cell. Default 4.
+	CloudDepth int
+	// ConfAlpha is the EMA gain of the per-symbol confidence update.
+	// Default 0.02.
+	ConfAlpha float64
+	// ConfDecay multiplies the confidence every frame tick, so
+	// confidence falls when evidence stops arriving (blackout, desync).
+	// Default 0.995 (half-life ~140 frames).
+	ConfDecay float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DriftAlpha == 0 {
+		c.DriftAlpha = 0.08
+	}
+	if c.MarginRatio == 0 {
+		c.MarginRatio = 1.8
+	}
+	if c.CloudDepth == 0 {
+		c.CloudDepth = 4
+	}
+	if c.ConfAlpha == 0 {
+		c.ConfAlpha = 0.02
+	}
+	if c.ConfDecay == 0 {
+		c.ConfDecay = 0.995
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Points < 2 || c.Points > 4096 {
+		return fmt.Errorf("equalize: points %d outside [2, 4096]", c.Points)
+	}
+	if c.DriftAlpha < 0 || c.DriftAlpha > 1 {
+		return fmt.Errorf("equalize: drift alpha %v outside [0, 1]", c.DriftAlpha)
+	}
+	if c.MarginRatio < 1 {
+		return fmt.Errorf("equalize: margin ratio %v below 1", c.MarginRatio)
+	}
+	if c.CloudDepth < 1 || c.CloudDepth > 16 {
+		return fmt.Errorf("equalize: cloud depth %d outside [1, 16]", c.CloudDepth)
+	}
+	return nil
+}
+
+// weightFloor is the per-cell evidence weight below which a cell's own
+// residual is considered stale and the k-NN fallback takes over.
+const weightFloor = 0.25
+
+// weightDecay ages per-cell evidence every frame tick; a cell not
+// corroborated for ~1400 frames (≈47 s at 30 fps) falls under
+// weightFloor from full weight. Calibration packets re-warm every cell.
+const weightDecay = 0.999
+
+// knnK is how many warm neighbor cells the fallback borrows from.
+const knnK = 3
+
+// gainClamp bounds how far the fitted affine gain may sit from
+// identity; a fit outside it means a degenerate cloud (or a poisoned
+// calibration) and falls back to translation-only.
+const gainClamp = 0.5
+
+// Equalizer is the learned channel correction. Not safe for concurrent
+// use; the receiver drives it from its sequential decode tail.
+type Equalizer struct {
+	cfg Config
+
+	// Global affine correction: eq(p) = G·p + t + drift, fitted at
+	// each anchor; drift is the between-calibration common-mode
+	// translation tracked from high-margin symbols.
+	g11, g12, g21, g22 float64
+	t1, t2             float64
+	drift              colorspace.AB
+
+	target []colorspace.AB // reference positions at the last anchor
+	delta  []colorspace.AB // per-cell residual shift, post-affine
+	weight []float64       // per-cell evidence freshness in [0,1]
+
+	// Calibration clouds: ring buffers of the last CloudDepth observed
+	// calibration colors per cell, flattened cell-major.
+	cloud     []colorspace.AB
+	cloudN    []int
+	cloudHead []int
+
+	conf     float64
+	anchored bool
+	version  uint64
+}
+
+// New builds an equalizer.
+func New(cfg Config) (*Equalizer, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Equalizer{
+		cfg:       cfg,
+		target:    make([]colorspace.AB, cfg.Points),
+		delta:     make([]colorspace.AB, cfg.Points),
+		weight:    make([]float64, cfg.Points),
+		cloud:     make([]colorspace.AB, cfg.Points*cfg.CloudDepth),
+		cloudN:    make([]int, cfg.Points),
+		cloudHead: make([]int, cfg.Points),
+	}
+	e.setIdentity()
+	return e, nil
+}
+
+func (e *Equalizer) setIdentity() {
+	e.g11, e.g12, e.g21, e.g22 = 1, 0, 0, 1
+	e.t1, e.t2 = 0, 0
+	e.drift = colorspace.AB{}
+}
+
+// Points returns the constellation size the equalizer was built for.
+func (e *Equalizer) Points() int { return e.cfg.Points }
+
+// Ready reports whether the equalizer has been anchored (by a
+// calibration packet or a restored snapshot) and is correcting.
+func (e *Equalizer) Ready() bool { return e.anchored }
+
+// Confidence returns the current confidence score in [0,1].
+func (e *Equalizer) Confidence() float64 { return e.conf }
+
+// Version counts anchors and restores, so consumers can tell whether
+// the correction changed since they last looked.
+func (e *Equalizer) Version() uint64 { return e.version }
+
+// Reset returns the equalizer to the un-anchored identity state (a
+// rung switch: the new constellation shares nothing with the old one).
+func (e *Equalizer) Reset() {
+	e.setIdentity()
+	for i := range e.delta {
+		e.delta[i] = colorspace.AB{}
+		e.weight[i] = 0
+		e.cloudN[i] = 0
+		e.cloudHead[i] = 0
+	}
+	e.conf = 0
+	e.anchored = false
+	e.version++
+}
+
+// affine applies the global correction (gain, translation, drift).
+func (e *Equalizer) affine(p colorspace.AB) colorspace.AB {
+	return colorspace.AB{
+		A: e.g11*p.A + e.g12*p.B + e.t1 + e.drift.A,
+		B: e.g21*p.A + e.g22*p.B + e.t2 + e.drift.B,
+	}
+}
+
+// nearestTarget returns the anchor cell nearest to p.
+func (e *Equalizer) nearestTarget(p colorspace.AB) int {
+	best, bestD := 0, math.Inf(1)
+	for i, t := range e.target {
+		if d := p.DistSq(t); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Apply maps a received {a,b} color into the reference frame:
+// global affine first, then the residual of the nearest cell — its own
+// when fresh, the k-NN-over-clouds estimate when stale. Identity until
+// the first anchor. Allocation-free.
+func (e *Equalizer) Apply(ab colorspace.AB) colorspace.AB {
+	if !e.anchored {
+		return ab
+	}
+	p := e.affine(ab)
+	cell := e.nearestTarget(p)
+	if w := e.weight[cell]; w >= weightFloor {
+		p.A += e.delta[cell].A * w
+		p.B += e.delta[cell].B * w
+		return p
+	}
+	// k-NN fallback: borrow the residual field from the knnK nearest
+	// warm cells, inverse-distance weighted. With no warm cell the
+	// affine map alone stands.
+	var di [knnK]int
+	var dd [knnK]float64
+	n := 0
+	for i := range e.target {
+		if e.weight[i] < weightFloor || i == cell {
+			continue
+		}
+		d := p.DistSq(e.target[i])
+		if n < knnK {
+			di[n], dd[n] = i, d
+			n++
+			continue
+		}
+		worst := 0
+		for j := 1; j < knnK; j++ {
+			if dd[j] > dd[worst] {
+				worst = j
+			}
+		}
+		if d < dd[worst] {
+			di[worst], dd[worst] = i, d
+		}
+	}
+	if n == 0 {
+		return p
+	}
+	var sa, sb, sw float64
+	for j := 0; j < n; j++ {
+		w := 1 / (dd[j] + 1)
+		sa += e.delta[di[j]].A * e.weight[di[j]] * w
+		sb += e.delta[di[j]].B * e.weight[di[j]] * w
+		sw += w
+	}
+	p.A += sa / sw
+	p.B += sb / sw
+	return p
+}
+
+// Anchor re-fits the correction from a freshly applied calibration:
+// observed are the permutation-corrected raw calibration colors,
+// targets the receiver's (smoothed) demodulation references. Both must
+// have exactly Points entries. Allocation-free — it runs on the
+// receiver's per-calibration-packet path.
+func (e *Equalizer) Anchor(observed, targets []colorspace.AB) error {
+	if len(observed) != e.cfg.Points || len(targets) != e.cfg.Points {
+		return fmt.Errorf("equalize: anchor with %d observed / %d targets, want %d",
+			len(observed), len(targets), e.cfg.Points)
+	}
+	copy(e.target, targets)
+	for i, o := range observed {
+		h := e.cloudHead[i]
+		e.cloud[i*e.cfg.CloudDepth+h] = o
+		e.cloudHead[i] = (h + 1) % e.cfg.CloudDepth
+		if e.cloudN[i] < e.cfg.CloudDepth {
+			e.cloudN[i]++
+		}
+	}
+	e.fitAffine()
+	// Seed per-cell residuals from the cloud means under the fresh
+	// affine map, and mark every cell warm: a calibration packet is
+	// ground truth for all cells at once.
+	var rss float64
+	var rn int
+	for i := 0; i < e.cfg.Points; i++ {
+		var ra, rb float64
+		for s := 0; s < e.cloudN[i]; s++ {
+			m := e.mapNoDelta(e.cloud[i*e.cfg.CloudDepth+s])
+			ra += e.target[i].A - m.A
+			rb += e.target[i].B - m.B
+		}
+		if e.cloudN[i] > 0 {
+			ra /= float64(e.cloudN[i])
+			rb /= float64(e.cloudN[i])
+		}
+		e.delta[i] = colorspace.AB{A: ra, B: rb}
+		e.weight[i] = 1
+		rss += ra*ra + rb*rb
+		rn++
+	}
+	// A calibration refreshes confidence toward the fit quality: rms
+	// residual of 0 → 1.0, 4 ΔE-ish units → 0.5.
+	rms := math.Sqrt(rss / float64(rn))
+	calConf := 1 / (1 + rms/4)
+	e.conf += 0.5 * (calConf - e.conf)
+	e.anchored = true
+	e.version++
+	return nil
+}
+
+// mapNoDelta is the affine map without the per-cell residual — the
+// frame residuals are measured in.
+func (e *Equalizer) mapNoDelta(p colorspace.AB) colorspace.AB { return e.affine(p) }
+
+// fitAffine solves the ridge-regularized least squares
+// min Σ‖G·s + t − target(s)‖² over all cloud samples, weighting newer
+// samples higher. Degenerate or wild fits fall back to a pure
+// translation (the k-NN-over-clouds regime carries the rest).
+func (e *Equalizer) fitAffine() {
+	// Normal equations for each output row over basis (a, b, 1):
+	// M = Σw·[aa ab a; ab bb b; a b 1], rhs per output component.
+	var m11, m12, m13, m22, m23, m33 float64
+	var r1a, r2a, r3a, r1b, r2b, r3b float64
+	e.drift = colorspace.AB{}
+	for i := 0; i < e.cfg.Points; i++ {
+		n := e.cloudN[i]
+		for s := 0; s < n; s++ {
+			// Ring position s steps back from the newest sample.
+			pos := ((e.cloudHead[i]-1-s)%e.cfg.CloudDepth + e.cfg.CloudDepth) % e.cfg.CloudDepth
+			smp := e.cloud[i*e.cfg.CloudDepth+pos]
+			w := 1.0 / float64(s+1) // newest sample weighted highest
+			ta, tb := e.target[i].A, e.target[i].B
+			m11 += w * smp.A * smp.A
+			m12 += w * smp.A * smp.B
+			m13 += w * smp.A
+			m22 += w * smp.B * smp.B
+			m23 += w * smp.B
+			m33 += w
+			r1a += w * smp.A * ta
+			r2a += w * smp.B * ta
+			r3a += w * ta
+			r1b += w * smp.A * tb
+			r2b += w * smp.B * tb
+			r3b += w * tb
+		}
+	}
+	if m33 == 0 {
+		e.setIdentity()
+		return
+	}
+	// Ridge toward the data scale keeps near-collinear clouds (all
+	// cells on one chroma arc) from exploding the gain.
+	lambda := 1e-4 * (m11 + m22 + 1)
+	m11 += lambda
+	m22 += lambda
+	m33 += lambda * 1e-4
+	det := m11*(m22*m33-m23*m23) - m12*(m12*m33-m23*m13) + m13*(m12*m23-m22*m13)
+	meanShift := func() {
+		e.setIdentity()
+		e.t1 = (r3a - m13) / m33 // Σw·(ta−a)/Σw
+		e.t2 = (r3b - m23) / m33
+	}
+	if math.Abs(det) < 1e-9*(m11+m22+1)*(m11+m22+1) {
+		meanShift()
+		return
+	}
+	inv := 1 / det
+	i11 := (m22*m33 - m23*m23) * inv
+	i12 := (m13*m23 - m12*m33) * inv
+	i13 := (m12*m23 - m13*m22) * inv
+	i22 := (m11*m33 - m13*m13) * inv
+	i23 := (m12*m13 - m11*m23) * inv
+	i33 := (m11*m22 - m12*m12) * inv
+	g11 := i11*r1a + i12*r2a + i13*r3a
+	g12 := i12*r1a + i22*r2a + i23*r3a
+	t1 := i13*r1a + i23*r2a + i33*r3a
+	g21 := i11*r1b + i12*r2b + i13*r3b
+	g22 := i12*r1b + i22*r2b + i23*r3b
+	t2 := i13*r1b + i23*r2b + i33*r3b
+	if math.Abs(g11-1) > gainClamp || math.Abs(g22-1) > gainClamp ||
+		math.Abs(g12) > gainClamp || math.Abs(g21) > gainClamp ||
+		!finite(g11) || !finite(g12) || !finite(g21) || !finite(g22) ||
+		!finite(t1) || !finite(t2) {
+		meanShift()
+		return
+	}
+	e.g11, e.g12, e.g21, e.g22 = g11, g12, g21, g22
+	e.t1, e.t2 = t1, t2
+}
+
+// Observe feeds one classified data symbol back into the equalizer:
+// cell is the winning reference index, ab the raw (pre-equalization)
+// observed color, win and runnerUp the equalized point's distances to
+// the winning and runner-up references. Margin quality drives the
+// confidence score; only high-margin symbols (runner-up at least
+// MarginRatio times the winner distance) update the correction.
+// Allocation-free.
+func (e *Equalizer) Observe(cell int, ab colorspace.AB, win, runnerUp float64) {
+	if !e.anchored || cell < 0 || cell >= e.cfg.Points {
+		return
+	}
+	const eps = 1e-9
+	ratio := runnerUp / (win + eps)
+	q := (ratio - 1) / (e.cfg.MarginRatio - 1)
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	e.conf += e.cfg.ConfAlpha * (q - e.conf)
+	if ratio < e.cfg.MarginRatio {
+		return
+	}
+	m := e.mapNoDelta(ab)
+	err := colorspace.AB{A: e.target[cell].A - m.A, B: e.target[cell].B - m.B}
+	// Common-mode drift first (from the error beyond the cell's own
+	// residual), then the cell residual itself.
+	kappa := e.cfg.DriftAlpha / 8
+	e.drift.A += kappa * (err.A - e.delta[cell].A)
+	e.drift.B += kappa * (err.B - e.delta[cell].B)
+	// Recompute against the updated drift so the two corrections
+	// do not double-count the same shift.
+	m = e.mapNoDelta(ab)
+	err = colorspace.AB{A: e.target[cell].A - m.A, B: e.target[cell].B - m.B}
+	e.delta[cell].A += e.cfg.DriftAlpha * (err.A - e.delta[cell].A)
+	e.delta[cell].B += e.cfg.DriftAlpha * (err.B - e.delta[cell].B)
+	if w := e.weight[cell] + 0.25*(1-e.weight[cell]); w > e.weight[cell] {
+		e.weight[cell] = w
+	}
+}
+
+// Tick ages the equalizer by one frame: confidence and per-cell
+// evidence decay so a link that stops producing evidence (blackout,
+// desync) loses its claim to dense rungs. Allocation-free.
+func (e *Equalizer) Tick() {
+	if !e.anchored {
+		return
+	}
+	e.conf *= e.cfg.ConfDecay
+	for i := range e.weight {
+		e.weight[i] *= weightDecay
+	}
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

@@ -1,0 +1,438 @@
+package equalize
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"colorbars/internal/cie"
+	"colorbars/internal/colorspace"
+	"colorbars/internal/csk"
+)
+
+// testRefs returns the 64-CSK factory references — a realistic dense
+// target set.
+func testRefs(t *testing.T) []colorspace.AB {
+	t.Helper()
+	return csk.MustNew(csk.CSK64, cie.SRGBTriangle).ReferenceABs()
+}
+
+// distort applies a synthetic channel: a mild affine warp plus a
+// translation, the shape AWB drift and ambient shifts take in the
+// {a,b} plane.
+func distort(p colorspace.AB, g11, g12, g21, g22, ta, tb float64) colorspace.AB {
+	return colorspace.AB{
+		A: g11*p.A + g12*p.B + ta,
+		B: g21*p.A + g22*p.B + tb,
+	}
+}
+
+func newTest(t *testing.T, points int) *Equalizer {
+	t.Helper()
+	e, err := New(Config{Points: points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidates(t *testing.T) {
+	for _, cfg := range []Config{
+		{Points: 0},
+		{Points: 1},
+		{Points: 5000},
+		{Points: 16, DriftAlpha: 2},
+		{Points: 16, MarginRatio: 0.5},
+		{Points: 16, CloudDepth: 99},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+	if _, err := New(Config{Points: 16}); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}
+
+func TestIdentityBeforeAnchor(t *testing.T) {
+	e := newTest(t, 64)
+	in := colorspace.AB{A: 12.5, B: -33.25}
+	if got := e.Apply(in); got != in {
+		t.Errorf("unanchored Apply(%v) = %v, want identity", in, got)
+	}
+	if e.Ready() || e.Confidence() != 0 {
+		t.Error("fresh equalizer should be unready with zero confidence")
+	}
+}
+
+func TestAnchorLearnsAffineChannel(t *testing.T) {
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	// Channel: 4% gain skew plus a 3-unit translation.
+	observed := make([]colorspace.AB, len(refs))
+	for i, r := range refs {
+		observed[i] = distort(r, 1.04, 0.02, -0.01, 0.97, 3, -2)
+	}
+	// The receiver would smooth refs toward the observation; targets
+	// here are the clean references.
+	if err := e.Anchor(observed, refs); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Ready() {
+		t.Fatal("anchored equalizer not ready")
+	}
+	// Every distorted point must map back near its reference: the
+	// worst residual bounds the classification risk.
+	var worst float64
+	for i, o := range observed {
+		if d := e.Apply(o).Dist(refs[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.5 {
+		t.Errorf("worst post-equalization residual %v, want < 0.5", worst)
+	}
+	if c := e.Confidence(); c < 0.4 {
+		t.Errorf("confidence %v after a clean anchor, want >= 0.4", c)
+	}
+}
+
+func TestAnchorRejectsShapeMismatch(t *testing.T) {
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	if err := e.Anchor(refs[:10], refs); err == nil {
+		t.Error("short observed set accepted")
+	}
+	if err := e.Anchor(refs, refs[:10]); err == nil {
+		t.Error("short target set accepted")
+	}
+	if e.Ready() {
+		t.Error("failed anchor must not mark the equalizer ready")
+	}
+}
+
+func TestDriftTracking(t *testing.T) {
+	// Anchor on a clean channel, then translate the channel without
+	// recalibrating; high-margin observations must pull the correction
+	// after the drift.
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	if err := e.Anchor(refs, refs); err != nil {
+		t.Fatal(err)
+	}
+	shift := colorspace.AB{A: 4, B: -3}
+	// Feed several rounds of every cell, drifted, with wide margins.
+	for round := 0; round < 30; round++ {
+		for i, r := range refs {
+			obs := colorspace.AB{A: r.A + shift.A, B: r.B + shift.B}
+			p := e.Apply(obs)
+			win := p.Dist(refs[i])
+			e.Observe(i, obs, win, win+20)
+		}
+	}
+	var worst float64
+	for i, r := range refs {
+		obs := colorspace.AB{A: r.A + shift.A, B: r.B + shift.B}
+		if d := e.Apply(obs).Dist(refs[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1.0 {
+		t.Errorf("worst residual %v after drift tracking, want < 1.0", worst)
+	}
+}
+
+func TestLowMarginObservationsDoNotMoveCorrection(t *testing.T) {
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	if err := e.Anchor(refs, refs); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Apply(refs[7])
+	// Ambiguous classifications (runner-up barely beyond winner) carry
+	// no drift information; a flood of them must not move the map.
+	for i := 0; i < 1000; i++ {
+		obs := colorspace.AB{A: refs[7].A + 9, B: refs[7].B - 9}
+		e.Observe(7, obs, 10, 10.5)
+	}
+	after := e.Apply(refs[7])
+	if d := before.Dist(after); d > 1e-9 {
+		t.Errorf("low-margin observations moved the correction by %v", d)
+	}
+}
+
+func TestConfidenceRisesAndDecays(t *testing.T) {
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	if err := e.Anchor(refs, refs); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		for i, r := range refs {
+			e.Observe(i, r, 0.5, 12)
+		}
+	}
+	high := e.Confidence()
+	if high < 0.8 {
+		t.Fatalf("confidence %v after sustained high margins, want >= 0.8", high)
+	}
+	// A long evidence drought (blackout) must decay confidence.
+	for i := 0; i < 600; i++ {
+		e.Tick()
+	}
+	if low := e.Confidence(); low > high/2 {
+		t.Errorf("confidence %v after 600 idle ticks (was %v), want decay below half", low, high)
+	}
+}
+
+func TestKNNFallbackCoversStaleCells(t *testing.T) {
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	// Anchor on a translated channel so the correction is non-trivial.
+	shift := colorspace.AB{A: 5, B: 4}
+	observed := make([]colorspace.AB, len(refs))
+	for i, r := range refs {
+		observed[i] = colorspace.AB{A: r.A + shift.A, B: r.B + shift.B}
+	}
+	if err := e.Anchor(observed, refs); err != nil {
+		t.Fatal(err)
+	}
+	// Age cell 0's evidence below the floor while keeping neighbors
+	// warm; its correction must survive via the k-NN fallback.
+	e.weight[0] = 0
+	got := e.Apply(observed[0])
+	if d := got.Dist(refs[0]); d > 1.5 {
+		t.Errorf("stale cell residual %v with warm neighbors, want < 1.5 via k-NN fallback", d)
+	}
+	// With every cell stale the affine map alone must still carry the
+	// translation (it was fitted at anchor).
+	for i := range e.weight {
+		e.weight[i] = 0
+	}
+	got = e.Apply(observed[0])
+	if d := got.Dist(refs[0]); d > 2.5 {
+		t.Errorf("all-stale residual %v, want the affine fit to carry most of the shift", d)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	if err := e.Anchor(refs, refs); err != nil {
+		t.Fatal(err)
+	}
+	v := e.Version()
+	e.Reset()
+	if e.Ready() || e.Confidence() != 0 {
+		t.Error("reset equalizer should be unready with zero confidence")
+	}
+	if e.Version() == v {
+		t.Error("reset must bump the version")
+	}
+	in := colorspace.AB{A: 1, B: 2}
+	if got := e.Apply(in); got != in {
+		t.Error("reset equalizer must be identity")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	observed := make([]colorspace.AB, len(refs))
+	for i, r := range refs {
+		observed[i] = distort(r, 1.02, -0.01, 0.02, 0.98, 2, 1)
+	}
+	if err := e.Anchor(observed, refs); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range refs {
+		e.Observe(i, observed[i], 0.5, 9)
+		_ = r
+	}
+	blob, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := newTest(t, len(refs))
+	if err := f.RestoreBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if f.Confidence() != e.Confidence() {
+		t.Errorf("confidence %v != %v after restore", f.Confidence(), e.Confidence())
+	}
+	if f.Ready() != e.Ready() {
+		t.Error("readiness not restored")
+	}
+	// The restored correction must be bit-identical.
+	for _, p := range observed {
+		if e.Apply(p) != f.Apply(p) {
+			t.Fatalf("restored Apply differs at %v", p)
+		}
+	}
+	// And a re-marshal must be byte-identical — the state is canonical.
+	blob2, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Error("re-marshalled state differs from original")
+	}
+}
+
+func TestRestoreRejectsDamage(t *testing.T) {
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	if err := e.Anchor(refs, refs); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *Equalizer { return newTest(t, len(refs)) }
+
+	// Every truncation must be rejected.
+	for cut := 0; cut < len(blob); cut += 97 {
+		if err := fresh().RestoreBinary(blob[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Wrong version.
+	bad := append([]byte(nil), blob...)
+	bad[0] = 99
+	if err := fresh().RestoreBinary(bad); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Wrong point count.
+	if err := newTest(t, 16).RestoreBinary(blob); err == nil {
+		t.Error("64-point state accepted by 16-point equalizer")
+	}
+	// Non-finite confidence.
+	bad = append([]byte(nil), blob...)
+	for i := 5; i < 13; i++ {
+		bad[i] = 0xFF // NaN bit pattern
+	}
+	if err := fresh().RestoreBinary(bad); err == nil {
+		t.Error("NaN confidence accepted")
+	}
+	// Trailing garbage.
+	bad = append(append([]byte(nil), blob...), 0xAB)
+	if err := fresh().RestoreBinary(bad); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+
+	// A failed restore must leave prior state untouched.
+	g := fresh()
+	if err := g.Anchor(refs, refs); err != nil {
+		t.Fatal(err)
+	}
+	before := g.Apply(colorspace.AB{A: 10, B: 10})
+	conf := g.Confidence()
+	if err := g.RestoreBinary(blob[:40]); err == nil {
+		t.Fatal("truncated restore accepted")
+	}
+	if g.Apply(colorspace.AB{A: 10, B: 10}) != before || g.Confidence() != conf {
+		t.Error("failed restore mutated equalizer state")
+	}
+}
+
+func TestRestoreNeverPanics(t *testing.T) {
+	// Arbitrary prefixes and mutations must error, not panic.
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	_ = e.Anchor(refs, refs)
+	blob, _ := e.MarshalBinary()
+	for i := 0; i < len(blob); i += 13 {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x40
+		_ = newTest(t, len(refs)).RestoreBinary(mut)
+	}
+	_ = newTest(t, 64).RestoreBinary(nil)
+	_ = newTest(t, 64).RestoreBinary([]byte{1})
+	_ = newTest(t, 64).RestoreBinary(bytes.Repeat([]byte{0xFF}, 4096))
+}
+
+func TestApplyObserveTickAllocationFree(t *testing.T) {
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	if err := e.Anchor(refs, refs); err != nil {
+		t.Fatal(err)
+	}
+	// Include a stale cell so the k-NN fallback path is covered.
+	e.weight[3] = 0
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		r := refs[i%len(refs)]
+		p := e.Apply(r)
+		e.Observe(i%len(refs), r, p.Dist(r)+0.1, 8)
+		e.Tick()
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Apply/Observe/Tick allocate %.2f/op, want 0", allocs)
+	}
+}
+
+func TestAnchorAllocationFree(t *testing.T) {
+	refs := testRefs(t)
+	e := newTest(t, len(refs))
+	observed := make([]colorspace.AB, len(refs))
+	copy(observed, refs)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := e.Anchor(observed, refs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Anchor allocates %.2f/op, want 0", allocs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	refs := testRefs(t)
+	run := func() []byte {
+		e := newTest(t, len(refs))
+		observed := make([]colorspace.AB, len(refs))
+		for i, r := range refs {
+			observed[i] = distort(r, 1.03, 0.01, -0.02, 0.99, 1.5, -0.5)
+		}
+		if err := e.Anchor(observed, refs); err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 5; round++ {
+			for i := range refs {
+				p := e.Apply(observed[i])
+				e.Observe(i, observed[i], p.Dist(refs[i]), 7)
+			}
+			e.Tick()
+		}
+		b, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("identical update sequences produced different state")
+	}
+}
+
+func TestDegenerateCloudFallsBackToTranslation(t *testing.T) {
+	// All observations collapsed onto one point: the affine fit is
+	// singular and must fall back to a translation, not explode.
+	e := newTest(t, 4)
+	targets := []colorspace.AB{{A: 10, B: 0}, {A: -10, B: 0}, {A: 0, B: 10}, {A: 0, B: -10}}
+	collapsed := []colorspace.AB{{A: 1, B: 1}, {A: 1, B: 1}, {A: 1, B: 1}, {A: 1, B: 1}}
+	if err := e.Anchor(collapsed, targets); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Apply(colorspace.AB{A: 1, B: 1})
+	if !finite(got.A) || !finite(got.B) {
+		t.Fatalf("degenerate anchor produced non-finite correction %v", got)
+	}
+	if math.Abs(got.A) > 20 || math.Abs(got.B) > 20 {
+		t.Errorf("degenerate anchor produced wild correction %v", got)
+	}
+}

@@ -1,0 +1,215 @@
+package equalize
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"colorbars/internal/colorspace"
+)
+
+// stateVersion is the serialized equalizer state format version.
+const stateVersion = 1
+
+// maxStatePoints bounds the points field a restore will accept before
+// sizing anything, so a corrupt length cannot drive allocation.
+const maxStatePoints = 4096
+
+// MarshalBinary serializes the equalizer's learned state — affine
+// correction, per-cell residuals and weights, calibration clouds,
+// confidence — as a versioned, self-describing blob. The blob carries
+// no integrity checksum of its own: the calibration-snapshot envelope
+// that transports it (packet.CalSnapshot v2) covers it with its CRC,
+// and RestoreBinary fully validates structure and value ranges before
+// touching any state.
+func (e *Equalizer) MarshalBinary() ([]byte, error) {
+	size := 1 + 2 + 1 + 1 + 8 + 8*8
+	for i := 0; i < e.cfg.Points; i++ {
+		size += 5*8 + 1 + e.cloudN[i]*16
+	}
+	out := make([]byte, 0, size)
+	out = append(out, stateVersion)
+	out = binary.BigEndian.AppendUint16(out, uint16(e.cfg.Points))
+	out = append(out, byte(e.cfg.CloudDepth))
+	var flags byte
+	if e.anchored {
+		flags |= 1
+	}
+	out = append(out, flags)
+	out = appendF64(out, e.conf)
+	for _, f := range []float64{e.g11, e.g12, e.g21, e.g22, e.t1, e.t2, e.drift.A, e.drift.B} {
+		out = appendF64(out, f)
+	}
+	for i := 0; i < e.cfg.Points; i++ {
+		out = appendF64(out, e.target[i].A)
+		out = appendF64(out, e.target[i].B)
+		out = appendF64(out, e.delta[i].A)
+		out = appendF64(out, e.delta[i].B)
+		out = appendF64(out, e.weight[i])
+		n := e.cloudN[i]
+		out = append(out, byte(n))
+		// Oldest → newest, so restore replays the ring in insert order.
+		for s := n - 1; s >= 0; s-- {
+			pos := ((e.cloudHead[i]-1-s)%e.cfg.CloudDepth + e.cfg.CloudDepth) % e.cfg.CloudDepth
+			smp := e.cloud[i*e.cfg.CloudDepth+pos]
+			out = appendF64(out, smp.A)
+			out = appendF64(out, smp.B)
+		}
+	}
+	return out, nil
+}
+
+// RestoreBinary replaces the equalizer's state with a previously
+// marshalled blob. The blob is parsed and validated in full — version,
+// points match, structural lengths, finite floats, in-range weights
+// and gains — before any field is mutated; a damaged blob leaves the
+// equalizer exactly as it was. Clouds deeper than this equalizer's
+// CloudDepth are clipped to the newest samples. The version counter
+// bumps so consumers see the correction changed.
+func (e *Equalizer) RestoreBinary(data []byte) error {
+	p := &stateParser{buf: data}
+	ver := p.u8()
+	if p.err == nil && ver != stateVersion {
+		return fmt.Errorf("equalize: unsupported state version %d", ver)
+	}
+	points := int(p.u16())
+	if p.err == nil && (points < 2 || points > maxStatePoints) {
+		return fmt.Errorf("equalize: state points %d out of range", points)
+	}
+	if p.err == nil && points != e.cfg.Points {
+		return fmt.Errorf("equalize: state for %d points, equalizer has %d", points, e.cfg.Points)
+	}
+	depth := int(p.u8())
+	if p.err == nil && (depth < 1 || depth > 16) {
+		return fmt.Errorf("equalize: state cloud depth %d out of range", depth)
+	}
+	flags := p.u8()
+	if p.err == nil && flags&^byte(1) != 0 {
+		return fmt.Errorf("equalize: unknown state flags %#x", flags)
+	}
+	conf := p.f64()
+	if p.err == nil && (!finite(conf) || conf < 0 || conf > 1) {
+		return fmt.Errorf("equalize: state confidence %v out of range", conf)
+	}
+	var aff [8]float64
+	for i := range aff {
+		aff[i] = p.f64()
+		if p.err == nil && !finite(aff[i]) {
+			return fmt.Errorf("equalize: non-finite affine state")
+		}
+	}
+	if p.err == nil {
+		if math.Abs(aff[0]-1) > gainClamp || math.Abs(aff[3]-1) > gainClamp ||
+			math.Abs(aff[1]) > gainClamp || math.Abs(aff[2]) > gainClamp {
+			return fmt.Errorf("equalize: state gain outside clamp")
+		}
+	}
+	target := make([]colorspace.AB, points)
+	delta := make([]colorspace.AB, points)
+	weight := make([]float64, points)
+	cloud := make([]colorspace.AB, points*e.cfg.CloudDepth)
+	cloudN := make([]int, points)
+	for i := 0; i < points && p.err == nil; i++ {
+		target[i] = colorspace.AB{A: p.f64(), B: p.f64()}
+		delta[i] = colorspace.AB{A: p.f64(), B: p.f64()}
+		weight[i] = p.f64()
+		if p.err == nil && (!finite(target[i].A) || !finite(target[i].B) ||
+			!finite(delta[i].A) || !finite(delta[i].B)) {
+			return fmt.Errorf("equalize: non-finite cell state at %d", i)
+		}
+		if p.err == nil && (!finite(weight[i]) || weight[i] < 0 || weight[i] > 1) {
+			return fmt.Errorf("equalize: cell %d weight %v out of range", i, weight[i])
+		}
+		n := int(p.u8())
+		if p.err == nil && n > depth {
+			return fmt.Errorf("equalize: cell %d cloud count %d exceeds depth %d", i, n, depth)
+		}
+		keep := n
+		if keep > e.cfg.CloudDepth {
+			keep = e.cfg.CloudDepth
+		}
+		cloudN[i] = keep
+		for s := 0; s < n && p.err == nil; s++ {
+			smp := colorspace.AB{A: p.f64(), B: p.f64()}
+			if p.err == nil && (!finite(smp.A) || !finite(smp.B)) {
+				return fmt.Errorf("equalize: non-finite cloud sample at cell %d", i)
+			}
+			// Samples arrive oldest → newest; keep the newest `keep`.
+			if drop := n - keep; s >= drop {
+				cloud[i*e.cfg.CloudDepth+(s-drop)] = smp
+			}
+		}
+	}
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.buf) != p.off {
+		return fmt.Errorf("equalize: %d trailing bytes after state", len(p.buf)-p.off)
+	}
+
+	// Fully validated: commit.
+	e.conf = conf
+	e.anchored = flags&1 != 0
+	e.g11, e.g12, e.g21, e.g22 = aff[0], aff[1], aff[2], aff[3]
+	e.t1, e.t2 = aff[4], aff[5]
+	e.drift = colorspace.AB{A: aff[6], B: aff[7]}
+	copy(e.target, target)
+	copy(e.delta, delta)
+	copy(e.weight, weight)
+	copy(e.cloud, cloud)
+	copy(e.cloudN, cloudN)
+	for i := range cloudN {
+		e.cloudHead[i] = cloudN[i] % e.cfg.CloudDepth
+	}
+	e.version++
+	return nil
+}
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// stateParser reads the state wire format with sticky error handling.
+type stateParser struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (p *stateParser) need(n int) bool {
+	if p.err != nil {
+		return false
+	}
+	if p.off+n > len(p.buf) {
+		p.err = fmt.Errorf("equalize: truncated state at byte %d", p.off)
+		return false
+	}
+	return true
+}
+
+func (p *stateParser) u8() byte {
+	if !p.need(1) {
+		return 0
+	}
+	v := p.buf[p.off]
+	p.off++
+	return v
+}
+
+func (p *stateParser) u16() uint16 {
+	if !p.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(p.buf[p.off:])
+	p.off += 2
+	return v
+}
+
+func (p *stateParser) f64() float64 {
+	if !p.need(8) {
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(p.buf[p.off:]))
+	p.off += 8
+	return v
+}

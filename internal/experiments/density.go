@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/csk"
+	"colorbars/internal/fault"
+	"colorbars/internal/metrics"
+)
+
+// DensityCell is one (order, equalized, chaos) point of the
+// SER-vs-constellation-density sweep.
+type DensityCell struct {
+	Order     csk.Order
+	Equalized bool
+	Chaos     bool
+	Result    metrics.LinkResult
+	// Err records a cell whose link could not be built at all (256-CSK
+	// at camera frame rates: the calibration body no longer fits any
+	// frame). The sweep reports it as a dead cell instead of failing.
+	Err error
+}
+
+// DensityChaosSchedule is the drift chaos the sweep (and the dense
+// soak gate) runs dense constellations under: an AWB tilt ramping
+// over 2 s and holding, then an ambient pedestal ramping over 4 s and
+// holding. Both doses stay below the physical collapse point of the
+// 64-point constellation — a held tilt ≥ 0.15 merges distinct points
+// below noise distance and no receiver decodes it, equalized or not.
+func DensityChaosSchedule() fault.Schedule {
+	return fault.Schedule{Events: []fault.Event{
+		{Class: fault.AWBDrift, Start: 2, Duration: 2, Magnitude: 0.1},
+		{Class: fault.AmbientRamp, Start: 6, Duration: 4, Magnitude: 0.2},
+	}}
+}
+
+// DensityCalEvery is the sweep's stretched calibration interval (~3x
+// the paper's ~5/s): with calibrations this sparse, tracking drift
+// BETWEEN calibrations — the online equalizer's job — is what decides
+// how much each constellation delivers.
+const DensityCalEvery = 18
+
+// DensitySweep measures every CSK order from 4 to 256 on an ideal
+// sensor at 4 kHz, equalized and unequalized, on a clean link and
+// under DensityChaosSchedule. duration is simulated seconds per cell
+// (clamped up to 16 s so the held drift outlives both ramps). Cells
+// are independent and deterministic, so they run in parallel; the
+// returned order is fixed (order, then clean/chaos, then eq/uneq).
+//
+// Reading the table: SER alone under-reports dense-order damage —
+// it counts only symbols the receiver still aligned, and a drifted
+// unequalized receiver mostly fails to align at all. Goodput and the
+// symbols-compared sample size carry the real signal.
+func DensitySweep(duration float64, seed int64) ([]DensityCell, error) {
+	if duration < 16 {
+		duration = 16 // the chaos schedule's last hold starts at 10 s
+	}
+	var cells []DensityCell
+	for _, order := range csk.Orders {
+		for _, chaos := range []bool{false, true} {
+			for _, eq := range []bool{true, false} {
+				cells = append(cells, DensityCell{Order: order, Equalized: eq, Chaos: chaos})
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range cells {
+		wg.Add(1)
+		go func(c *DensityCell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p := metrics.LinkParams{
+				Order:      c.Order,
+				SymbolRate: 4000,
+				Profile:    camera.Ideal(),
+				// Dense layouts need the full payload slot budget and a
+				// jitter-free driver; both ends know this from the sign
+				// format, so every cell runs the same operating point.
+				WhiteFraction:    0.2,
+				Duration:         duration,
+				Seed:             seed,
+				DriveJitter:      -1,
+				CalibrationEvery: DensityCalEvery,
+				DisableEqualizer: !c.Equalized,
+			}
+			if c.Chaos {
+				p.Fault = DensityChaosSchedule()
+			}
+			c.Result, c.Err = metrics.Run(p)
+		}(&cells[i])
+	}
+	wg.Wait()
+	return cells, nil
+}
+
+// WriteDensityCSV writes the sweep as CSV.
+func WriteDensityCSV(w io.Writer, cells []DensityCell) error {
+	if _, err := fmt.Fprintln(w, "order,equalized,chaos,ser,symbols,goodput_bps,eq_confidence"); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if c.Err != nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%d,%v,%v,%.6f,%d,%.0f,%.3f\n",
+			int(c.Order), c.Equalized, c.Chaos,
+			c.Result.SER, c.Result.SymbolsCompared, c.Result.GoodputBps,
+			c.Result.EqConfidence); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package soak
+
+import (
+	"testing"
+
+	"colorbars/internal/camera"
+	"colorbars/internal/csk"
+	"colorbars/internal/fault"
+	"colorbars/internal/linkadapt"
+)
+
+// The dense-constellation chaos gate. 64-CSK packs points ~17.5 ΔE
+// apart — tight enough that the slow color drift the robust orders
+// shrug off walks symbols across decision boundaries between
+// calibrations. The schedule below holds both drift classes to doses
+// the channel itself survives (a held AWB tilt ≥ 0.15 collapses
+// distinct 64-point pairs below noise distance and NO receiver
+// decodes it, equalized or not), and stretches the calibration
+// interval so that tracking drift BETWEEN calibrations — the
+// equalizer's job — is what decides survival.
+const (
+	denseSeed     = 42
+	denseDuration = 16.0
+	denseRate     = 4000 // fastest rate whose 64-color calibration body fits one frame
+	denseCalEvery = 18   // ~3x the paper's calibration interval
+)
+
+// denseChaosSchedule is the ISSUE's drift chaos: an AWB tilt ramping
+// over 2 s and holding, then an ambient pedestal ramping over 4 s and
+// holding. The ambient ramp is deliberately slow — the dent comes from
+// chroma drift the whole way down the ramp, and a slower ramp keeps
+// the auto-exposure loop inside its tracking range so the gate
+// measures classification drift, not AE slew.
+func denseChaosSchedule() fault.Schedule {
+	return fault.Schedule{Events: []fault.Event{
+		{Class: fault.AWBDrift, Start: 2, Duration: 2, Magnitude: 0.1},
+		{Class: fault.AmbientRamp, Start: 6, Duration: 4, Magnitude: 0.2},
+	}}
+}
+
+func denseSoakParams(disableEq bool) Params {
+	return Params{
+		Seed:             denseSeed,
+		Duration:         denseDuration,
+		Order:            csk.CSK64,
+		SymbolRate:       denseRate,
+		Profile:          camera.Ideal(),
+		Schedule:         denseChaosSchedule(),
+		CalEvery:         denseCalEvery,
+		DisableEqualizer: disableEq,
+	}
+}
+
+// TestDenseSoakEqualizerGate asserts both directions of the dense
+// constellation claim: under the drift chaos schedule the equalized
+// 64-CSK receiver keeps decoding and re-acquires within the recovery
+// budget after every settle, while the unequalized ablation collapses
+// — it either busts the budget outright or never recovers at all —
+// and delivers substantially fewer blocks over the same capture.
+func TestDenseSoakEqualizerGate(t *testing.T) {
+	eq, err := Run(denseSoakParams(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := Run(denseSoakParams(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("equalized:   %v (unrecovered %d)", eq, eq.Unrecovered)
+	t.Logf("unequalized: %v (unrecovered %d)", dis, dis.Unrecovered)
+
+	// Direction 1: the equalized link survives, bounded.
+	if eq.BlocksOK == 0 {
+		t.Fatalf("equalized dense link decoded nothing: %v", eq)
+	}
+	if eq.Unrecovered != 0 {
+		t.Errorf("equalized link left %d impairments unrecovered", eq.Unrecovered)
+	}
+	if eq.WorstRecoveryFrames < 0 || eq.WorstRecoveryFrames > recoveryBudgetFrames {
+		t.Errorf("equalized recovery took %d frames, budget %d",
+			eq.WorstRecoveryFrames, recoveryBudgetFrames)
+	}
+
+	// Direction 2: the unequalized ablation collapses under the same
+	// chaos — over budget or never back at all.
+	if dis.Unrecovered == 0 && dis.WorstRecoveryFrames >= 0 &&
+		dis.WorstRecoveryFrames <= recoveryBudgetFrames {
+		t.Errorf("unequalized decoder recovered within budget (%d frames) — the chaos dose no longer separates the arms",
+			dis.WorstRecoveryFrames)
+	}
+	// And it pays in delivered blocks: the equalized link must carry at
+	// least 25%% more (measured ~1.5x; the floor leaves headroom).
+	if 4*eq.BlocksOK < 5*dis.BlocksOK {
+		t.Errorf("equalized blocks %d not ≥ 1.25x unequalized %d", eq.BlocksOK, dis.BlocksOK)
+	}
+}
+
+// TestDenseSoakDeterministic pins the gate's reruns byte-identical:
+// same params, same decode digest and counters, for both arms — and
+// the two arms must NOT share a digest, or the ablation flag stopped
+// reaching the receiver and the gate is comparing a run to itself.
+func TestDenseSoakDeterministic(t *testing.T) {
+	var digests [2]uint64
+	for i, dis := range []bool{false, true} {
+		a, err := Run(denseSoakParams(dis))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(denseSoakParams(dis))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Digest != b.Digest {
+			t.Errorf("disableEq=%v: same params, different digests: %016x vs %016x",
+				dis, a.Digest, b.Digest)
+		}
+		if a.BlocksOK != b.BlocksOK || a.BlocksFailed != b.BlocksFailed ||
+			a.Frames != b.Frames || a.Unrecovered != b.Unrecovered ||
+			a.WorstRecoveryFrames != b.WorstRecoveryFrames {
+			t.Errorf("disableEq=%v: same params, different counters:\n  %v\n  %v", dis, a, b)
+		}
+		digests[i] = a.Digest
+	}
+	if digests[0] == digests[1] {
+		t.Error("equalized and ablated runs share a digest; the ablation is not reaching the decoder")
+	}
+}
+
+// TestDenseAdaptSoak drives the DenseLadder end to end through one
+// adaptive session: the link climbs from the bottom rung onto the
+// dense 64-CSK top rung only once the equalizer confidence backs the
+// probe, holds it without an SER cliff, gets knocked off by an
+// occlusion burst, and regains the dense rung within the adaptive
+// recovery budget after the burst clears.
+func TestDenseAdaptSoak(t *testing.T) {
+	const (
+		burstStart = 8.0
+		burstDur   = 1.5
+		burstMag   = 0.95
+	)
+	ladder := linkadapt.DenseLadder()
+	top := len(ladder) - 1
+	p := linkadapt.SessionParams{
+		Seed:       denseSeed,
+		Duration:   20,
+		Profile:    camera.Ideal(),
+		Controller: linkadapt.Config{Ladder: ladder, StartRung: 1},
+		Schedule: fault.Schedule{Events: []fault.Event{{
+			Class: fault.Occlusion, Start: burstStart, Duration: burstDur, Magnitude: burstMag,
+		}}},
+	}
+	r, err := linkadapt.RunSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r.String())
+	for _, d := range r.Decisions {
+		t.Logf("  %v", d)
+	}
+
+	// The climb reaches the dense rung before the burst, and the probe
+	// that stepped onto it saw equalizer confidence over the floor.
+	burstFrame := int(burstStart * 30)
+	climb := -1
+	for _, d := range r.Decisions {
+		if d.To == top && d.Reason == linkadapt.ReasonProbe {
+			climb = int(d.Frame)
+			break
+		}
+	}
+	if climb < 0 || climb >= burstFrame {
+		t.Fatalf("never probed onto the dense rung before the burst (climb frame %d)", climb)
+	}
+	if conf := r.EqConfByFrame[climb-1]; conf < linkadapt.DefaultEqConfFloor {
+		t.Errorf("dense probe armed at equalizer confidence %.3f, floor %.2f",
+			conf, linkadapt.DefaultEqConfFloor)
+	}
+
+	// No SER cliff on step-up: blocks keep landing shortly after the
+	// switch, and nothing steps the link off the dense rung until the
+	// burst does.
+	recoveredSoon := false
+	for _, f := range r.RecoveredAt {
+		if f > climb && f <= climb+45 {
+			recoveredSoon = true
+			break
+		}
+	}
+	if !recoveredSoon {
+		t.Errorf("no block recovered within 45 frames of the dense step-up at f%d", climb)
+	}
+	for _, d := range r.Decisions {
+		if d.From == top && int(d.Frame) < burstFrame {
+			t.Errorf("stepped off the dense rung before the burst: %v", d)
+		}
+	}
+
+	// The burst knocks the link off the dense rung...
+	knocked := false
+	for _, d := range r.Decisions {
+		if d.From == top && d.Reason != linkadapt.ReasonProbe && int(d.Frame) >= burstFrame {
+			knocked = true
+			break
+		}
+	}
+	if !knocked {
+		t.Fatal("occlusion burst never stepped the link off the dense rung; the gate is vacuous")
+	}
+
+	// ...and the dense rung is regained within the recovery budget
+	// after the burst clears, with blocks flowing on it again.
+	settle := int((burstStart + burstDur) * 30)
+	regained := -1
+	for f := settle; f < len(r.RungByFrame); f++ {
+		if r.RungByFrame[f] == top {
+			regained = f
+			break
+		}
+	}
+	if regained < 0 {
+		t.Fatal("dense rung never regained after the burst")
+	}
+	if regained-settle > AdaptRecoveryBudget {
+		t.Errorf("dense rung regained %d frames after settle, budget %d",
+			regained-settle, AdaptRecoveryBudget)
+	}
+	denseBlocks := 0
+	for _, f := range r.RecoveredAt {
+		if f >= regained && r.RungByFrame[f] == top {
+			denseBlocks++
+		}
+	}
+	if denseBlocks == 0 {
+		t.Error("no blocks recovered on the regained dense rung")
+	}
+
+	// Determinism: the whole trajectory is a pure function of params.
+	again, err := linkadapt.RunSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != r.Digest {
+		t.Errorf("same params, different session digests: %016x vs %016x", again.Digest, r.Digest)
+	}
+}

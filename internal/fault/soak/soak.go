@@ -56,6 +56,15 @@ type Params struct {
 	// SelfHeal tunes the receiver's recovery thresholds (zero value =
 	// defaults; Disable runs the ablation).
 	SelfHeal modem.SelfHealConfig
+	// DisableEqualizer ablates the receiver's online channel equalizer
+	// — the baseline the dense-constellation soak gate compares
+	// against, where 64-CSK collapses under held AWB/ambient drift.
+	DisableEqualizer bool
+	// CalEvery overrides the calibration packet interval in data
+	// packets (0 picks the paper's ~5 calibration packets per second).
+	// The dense soak gate stretches it so drift tracking between
+	// calibrations — the equalizer's job — decides survival.
+	CalEvery int
 	// Workers > 0 decodes through the concurrent pipeline with that
 	// many analysis workers and an armed stall watchdog; zero uses the
 	// serial receiver (which also enables recovery-latency tracking).
@@ -147,7 +156,10 @@ func Run(p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	calEvery := int(p.Profile.FrameRate/5 + 0.5)
+	calEvery := p.CalEvery
+	if calEvery == 0 {
+		calEvery = int(p.Profile.FrameRate/5 + 0.5)
+	}
 	if calEvery < 1 {
 		calEvery = 1
 	}
@@ -171,13 +183,14 @@ func Run(p Params) (Result, error) {
 		Telemetry:     tel,
 	})
 	rx, err := modem.NewReceiver(modem.RxConfig{
-		Order:         p.Order,
-		SymbolRate:    p.SymbolRate,
-		WhiteFraction: 0.2,
-		Code:          code,
-		SelfHeal:      p.SelfHeal,
-		Telemetry:     tel,
-		LinkStats:     ls,
+		Order:            p.Order,
+		SymbolRate:       p.SymbolRate,
+		WhiteFraction:    0.2,
+		Code:             code,
+		SelfHeal:         p.SelfHeal,
+		DisableEqualizer: p.DisableEqualizer,
+		Telemetry:        tel,
+		LinkStats:        ls,
 	})
 	if err != nil {
 		return Result{}, err
@@ -186,7 +199,15 @@ func Run(p Params) (Result, error) {
 	rng := rand.New(rand.NewSource(fault.DeriveSeed(p.Seed, "soak.payload")))
 	block := make([]byte, code.K())
 	rng.Read(block)
-	msg := bytes.Repeat(block, 4)
+	// The repeating waveform restarts its calibration cadence at every
+	// message boundary, so when CalEvery is stretched explicitly the
+	// message must span at least one full calibration interval or the
+	// override silently tightens back to one calibration per repeat.
+	nBlocks := 4
+	if p.CalEvery > nBlocks {
+		nBlocks = p.CalEvery
+	}
+	msg := bytes.Repeat(block, nBlocks)
 	w, err := tx.BuildWaveformRepeating(msg, p.Duration+0.5)
 	if err != nil {
 		return Result{}, err

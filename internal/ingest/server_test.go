@@ -219,9 +219,14 @@ func TestServerReconnectCalHit(t *testing.T) {
 	}
 	verifySession(t, h, frames, second)
 
-	// The cached snapshot round-trips the packet serialization.
-	if _, err := packet.UnmarshalCalSnapshot(second.Welcome.CalSnapshot); err != nil {
+	// The cached snapshot round-trips the packet serialization, and it
+	// carries the receiver's learned equalizer state — the reconnecting
+	// session starts with a warm equalizer, not just warm references.
+	snap2, err := packet.UnmarshalCalSnapshot(second.Welcome.CalSnapshot)
+	if err != nil {
 		t.Errorf("WELCOME snapshot does not parse: %v", err)
+	} else if len(snap2.Equalizer) == 0 {
+		t.Error("cached calibration snapshot carries no equalizer state")
 	}
 
 	// A different tenant never sees the cached calibration.

@@ -82,6 +82,21 @@ func DefaultLadder() []Rung {
 	}
 }
 
+// DenseLadder is DefaultLadder extended with a dense 64-CSK top rung
+// (24 kbps raw, 1.5× the 16-CSK rung). The rung only works when the
+// receiver's channel equalizer holds the constellation open, so the
+// controller gates stepping onto any Dense() rung on the equalizer
+// confidence signal (Config.EqConfFloor) and steps off it when that
+// confidence collapses. 4 kHz is the fastest rate at which a 64-color
+// calibration body still fits inside one 30 fps frame; 256-CSK has no
+// ladder rung at all — its calibration cannot fit a frame under the
+// LED controller's 4.5 kHz cap, so it remains a seeded-calibration
+// (simulation and cache-warm) configuration.
+func DenseLadder() []Rung {
+	return append(DefaultLadder(),
+		Rung{Name: "64csk@4kHz", Order: csk.CSK64, SymbolRate: 4000, WhiteFraction: 0.2})
+}
+
 // ValidateLadder checks a ladder is usable: at least two rungs, every
 // rung a valid operating point, and strictly increasing raw bit rate
 // (the ladder's whole point is that up means faster).
@@ -132,6 +147,14 @@ type Signals struct {
 	// RSLoad is the mean fraction of RS correction capacity consumed
 	// by recent blocks (Report.RSLoad).
 	RSLoad float64
+	// EqConfidence is the receiver's channel-equalizer confidence in
+	// [0, 1] (modem.Receiver.EqualizerConfidence); HasEqConf reports
+	// whether the equalizer is active at all. Dense() rungs are only
+	// stepped onto — and stayed on — while the confidence clears
+	// Config.EqConfFloor; non-dense rungs ignore the signal entirely,
+	// so ladders without dense rungs behave exactly as before.
+	EqConfidence float64
+	HasEqConf    bool
 }
 
 // Config tunes the controller. Zero values take the defaults below.
@@ -160,6 +183,12 @@ type Config struct {
 	// exceeds it — the code is spending most of its parity budget, so
 	// the next impairment uptick turns into block loss.
 	RSLoadCeiling float64
+	// EqConfFloor gates Dense() constellation rungs on the equalizer
+	// confidence signal: a probe onto a dense rung only arms while
+	// Signals.EqConfidence is at or above the floor, and a dense rung
+	// whose confidence falls below it steps down (ReasonEqConf). Zero
+	// takes DefaultEqConfFloor.
+	EqConfFloor float64
 }
 
 // Defaults, tuned against the fault-soak harness: the dwell covers the
@@ -174,6 +203,17 @@ const (
 	DefaultUpScore       = 0.62
 	DefaultMarginFloor   = 2.0
 	DefaultRSLoadCeiling = 0.9
+	// DefaultEqConfFloor is tuned against the dense-rung soak: a clean
+	// equalized 64-CSK link holds confidence well above it, while AWB
+	// drift or an ambient ramp drags confidence through it within a
+	// couple of dwell windows.
+	DefaultEqConfFloor = 0.55
+	// EqConfDebounceFrames is how many consecutive below-floor frames
+	// an armed dense rung tolerates before ReasonEqConf steps it down.
+	// The confidence EMA can be dragged under the floor for a single
+	// frame by one batch of slim-margin symbols on an otherwise healthy
+	// link; a real drift collapse holds it down for many frames.
+	EqConfDebounceFrames = 3
 )
 
 func (c Config) withDefaults() Config {
@@ -201,6 +241,9 @@ func (c Config) withDefaults() Config {
 	if c.RSLoadCeiling == 0 {
 		c.RSLoadCeiling = DefaultRSLoadCeiling
 	}
+	if c.EqConfFloor == 0 {
+		c.EqConfFloor = DefaultEqConfFloor
+	}
 	return c
 }
 
@@ -213,6 +256,7 @@ const (
 	ReasonRSLoad    = "rs-load"
 	ReasonDegraded  = "degraded-blocks"
 	ReasonProbe     = "probe-up"
+	ReasonEqConf    = "eq-confidence"
 )
 
 // Decision is one committed ladder transition.
@@ -245,6 +289,16 @@ type Controller struct {
 	lastResyncs    int64
 	lastDegraded   int64
 	seeded         bool
+	// eqConfArmed latches once the equalizer confidence crosses the
+	// floor on the current rung; only an armed gate can read a
+	// below-floor confidence as collapse. A retune resets the receiver's
+	// equalizer, and re-anchoring on the new operating point can take
+	// longer than a dwell — judging that fresh, still-climbing
+	// confidence would step every dense probe straight back down.
+	eqConfArmed bool
+	// eqLowStreak counts consecutive armed below-floor frames; the
+	// EqConfDebounceFrames threshold filters single-frame EMA dips.
+	eqLowStreak int
 
 	history [HistorySize]Decision
 	histN   int // total decisions ever; ring position is histN % HistorySize
@@ -299,6 +353,18 @@ func (c *Controller) Observe(s Signals) (Decision, bool) {
 	c.lastResyncs = s.Resyncs
 	c.lastDegraded = s.DegradedBlocks
 
+	// Arm-then-trigger bookkeeping for the dense-rung confidence gate,
+	// tracked through dwell windows so a collapse mid-dwell fires the
+	// moment the dwell expires.
+	if s.HasEqConf {
+		if s.EqConfidence >= c.cfg.EqConfFloor {
+			c.eqConfArmed = true
+			c.eqLowStreak = 0
+		} else if c.eqConfArmed {
+			c.eqLowStreak++
+		}
+	}
+
 	healthy := s.Calibrated && s.Score >= c.cfg.UpScore &&
 		resyncDelta == 0 && degradedDelta == 0 &&
 		s.RSLoad <= c.cfg.RSLoadCeiling
@@ -330,17 +396,35 @@ func (c *Controller) Observe(s Signals) (Decision, bool) {
 			reason = ReasonLowMargin
 		case s.RSLoad > c.cfg.RSLoadCeiling:
 			reason = ReasonRSLoad
+		case c.cfg.Ladder[c.rung].Order.Dense() && c.eqConfArmed &&
+			c.eqLowStreak >= EqConfDebounceFrames:
+			// A dense rung is only decodable while the equalizer holds
+			// the constellation open; confidence that crossed the floor
+			// and then collapsed back under it is distress even when the
+			// score has not caught up.
+			reason = ReasonEqConf
 		}
 		if reason != "" {
 			return c.transition(f, c.rung-1, reason), true
 		}
 	}
 
-	// Probe upward after a sustained healthy streak.
+	// Probe upward after a sustained healthy streak. A probe onto a
+	// Dense() rung additionally requires equalizer confidence over the
+	// floor right now; the streak keeps accumulating while it waits, so
+	// the climb resumes the moment the equalizer warms up.
 	if c.rung < len(c.cfg.Ladder)-1 && c.healthyStreak >= c.cfg.ProbeFrames {
-		return c.transition(f, c.rung+1, ReasonProbe), true
+		if next := c.cfg.Ladder[c.rung+1]; !next.Order.Dense() || c.eqConfOK(s) {
+			return c.transition(f, c.rung+1, ReasonProbe), true
+		}
 	}
 	return Decision{}, false
+}
+
+// eqConfOK reports whether the equalizer-confidence signal clears the
+// dense-rung floor.
+func (c *Controller) eqConfOK(s Signals) bool {
+	return s.HasEqConf && s.EqConfidence >= c.cfg.EqConfFloor
 }
 
 func (c *Controller) transition(frame int64, to int, reason string) Decision {
@@ -349,6 +433,10 @@ func (c *Controller) transition(frame int64, to int, reason string) Decision {
 	c.epoch++
 	c.lastTransition = frame
 	c.healthyStreak = 0
+	// The retune hands the gate a fresh equalizer: disarm until its
+	// confidence first crosses the floor on the new rung.
+	c.eqConfArmed = false
+	c.eqLowStreak = 0
 	c.history[c.histN%HistorySize] = d
 	c.histN++
 	return d

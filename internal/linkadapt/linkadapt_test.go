@@ -26,6 +26,105 @@ func TestDefaultLadderValid(t *testing.T) {
 	}
 }
 
+func TestDenseLadderValid(t *testing.T) {
+	ladder := DenseLadder()
+	if err := ValidateLadder(ladder); err != nil {
+		t.Fatal(err)
+	}
+	top := ladder[len(ladder)-1]
+	if !top.Order.Dense() {
+		t.Fatalf("dense ladder tops out at non-dense order %d", top.Order)
+	}
+}
+
+// TestDenseRungEqConfidenceGate pins the equalizer gating on Dense()
+// rungs: a probe onto the dense top rung holds — streak intact — until
+// the equalizer confidence clears the floor, and a dense rung whose
+// confidence collapses steps down with ReasonEqConf. Non-dense rungs
+// ignore the signal entirely.
+func TestDenseRungEqConfidenceGate(t *testing.T) {
+	ladder := DenseLadder()
+	denseIdx := len(ladder) - 1
+
+	// Probe gating: healthy frames without equalizer confidence must
+	// never climb onto the dense rung.
+	c := newTestController(t, Config{Ladder: ladder, StartRung: denseIdx})
+	for i := 0; i < 10*DefaultProbeFrames; i++ {
+		if d, moved := c.Observe(healthySignals()); moved {
+			t.Fatalf("climbed onto dense rung without equalizer confidence: %+v", d)
+		}
+	}
+	// The streak kept accumulating, so confidence arriving over the
+	// floor releases the probe immediately.
+	s := healthySignals()
+	s.EqConfidence, s.HasEqConf = DefaultEqConfFloor, true
+	d, moved := c.Observe(s)
+	if !moved || d.To != denseIdx || d.Reason != ReasonProbe {
+		t.Fatalf("no immediate probe once confidence cleared the floor: moved=%v %+v", moved, d)
+	}
+
+	// Confidence just under the floor keeps the gate shut.
+	c = newTestController(t, Config{Ladder: ladder, StartRung: denseIdx})
+	low := healthySignals()
+	low.EqConfidence, low.HasEqConf = DefaultEqConfFloor-0.01, true
+	for i := 0; i < 10*DefaultProbeFrames; i++ {
+		if d, moved := c.Observe(low); moved {
+			t.Fatalf("climbed onto dense rung below the confidence floor: %+v", d)
+		}
+	}
+
+	// Step-down: on the dense rung, otherwise healthy signals whose
+	// confidence crossed the floor and then collapsed are distress —
+	// after the debounce, not on a single dipped frame.
+	c = newTestController(t, Config{Ladder: ladder, StartRung: denseIdx + 1})
+	if _, moved := c.Observe(s); moved {
+		t.Fatal("dense rung stepped down despite confident equalizer")
+	}
+	for i := 1; i < EqConfDebounceFrames; i++ {
+		if d, moved := c.Observe(low); moved {
+			t.Fatalf("stepped down after %d below-floor frames, debounce %d: %+v",
+				i, EqConfDebounceFrames, d)
+		}
+	}
+	d, moved = c.Observe(low)
+	if !moved || d.Reason != ReasonEqConf || d.To != denseIdx-1 {
+		t.Fatalf("dense rung with collapsed confidence: moved=%v %+v, want step-down %s",
+			moved, d, ReasonEqConf)
+	}
+
+	// A single-frame dip recovers without a transition.
+	c = newTestController(t, Config{Ladder: ladder, StartRung: denseIdx + 1})
+	c.Observe(s)
+	c.Observe(low)
+	for i := 0; i < 10*DefaultProbeFrames; i++ {
+		if d, moved := c.Observe(s); moved {
+			t.Fatalf("one dipped frame caused a transition: %+v", d)
+		}
+	}
+
+	// An unarmed gate never fires: a freshly retuned equalizer climbing
+	// from zero confidence must not be judged as collapsed, no matter
+	// how long it takes to anchor.
+	c = newTestController(t, Config{Ladder: ladder, StartRung: denseIdx + 1})
+	zero := healthySignals()
+	zero.EqConfidence, zero.HasEqConf = 0, true
+	for i := 0; i < 10*DefaultProbeFrames; i++ {
+		if d, moved := c.Observe(zero); moved {
+			t.Fatalf("unanchored equalizer stepped the dense rung down: %+v", d)
+		}
+	}
+
+	// Non-dense rungs never read the signal: the default ladder climbs
+	// to its top with no equalizer at all.
+	c = newTestController(t, Config{StartRung: 1})
+	for i := 0; i < 20*DefaultProbeFrames && c.Rung() < len(c.Ladder())-1; i++ {
+		c.Observe(healthySignals())
+	}
+	if c.Rung() != len(c.Ladder())-1 {
+		t.Fatal("default ladder failed to climb without equalizer confidence")
+	}
+}
+
 func TestValidateLadderRejects(t *testing.T) {
 	good := DefaultLadder()
 	cases := []struct {

@@ -83,6 +83,11 @@ type SessionResult struct {
 	RecoveredAt []int
 	// HealthSamples is the linkstats score after each frame period.
 	HealthSamples []float64
+	// EqConfByFrame is the receiver's equalizer confidence after each
+	// frame period (zero while unanchored or ablated) — the signal the
+	// dense-rung gate reads, recorded so the adapt-soak can assert the
+	// step-up onto a Dense() rung was confidence-backed.
+	EqConfByFrame []float64
 	// Health is the end-of-run link snapshot.
 	Health linkstats.LinkHealth
 	// Report is the full link-quality report behind Health, including
@@ -322,8 +327,10 @@ func RunSession(p SessionParams) (SessionResult, error) {
 		}
 
 		h := ls.Health()
+		eqConf, hasEq := rx.EqualizerConfidence()
 		res.RungByFrame = append(res.RungByFrame, ctl.Rung())
 		res.HealthSamples = append(res.HealthSamples, h.Score)
+		res.EqConfByFrame = append(res.EqConfByFrame, eqConf)
 
 		if !adapt {
 			continue
@@ -336,6 +343,8 @@ func RunSession(p SessionParams) (SessionResult, error) {
 			Resyncs:        h.Resyncs,
 			DegradedBlocks: h.DegradedBlocks,
 			RSLoad:         h.RSLoadMean,
+			EqConfidence:   eqConf,
+			HasEqConf:      hasEq,
 		})
 		if ok {
 			res.Decisions = append(res.Decisions, d)

@@ -43,6 +43,13 @@ type BenchEntry struct {
 	// that measurement. Recorded for context, never gated: shedding is
 	// the mechanism that bounds IngestP99Us, not a quality metric.
 	ShedRate float64 `json:"shed_rate,omitempty"`
+	// EqConfidence is the receiver's mean online-equalizer confidence
+	// over the measurement, for cells that exercise dense
+	// constellations. Recorded for context, never gated (ShedRate's
+	// model): confidence is the adaptation signal that protects the
+	// gated goodput, not a quality metric of its own — a policy change
+	// that moves confidence while goodput holds is not a regression.
+	EqConfidence float64 `json:"eq_confidence,omitempty"`
 }
 
 // BenchReport is one dated point on the repository's benchmark

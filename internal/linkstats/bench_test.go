@@ -207,3 +207,49 @@ func TestCompareBenchEdges(t *testing.T) {
 		t.Error("schema mismatch not rejected")
 	}
 }
+
+// TestCompareBenchDenseCells pins the gate direction of the two
+// dense-constellation trajectory cells: goodput_dense fails only when
+// goodput DROPS past tolerance (lower-is-worse, same policy as
+// goodput_chaos), and eq_confidence is context-only — any movement
+// passes, but the cell vanishing still fails like every other entry.
+func TestCompareBenchDenseCells(t *testing.T) {
+	mk := func(date string, goodput, conf float64) *BenchReport {
+		return &BenchReport{
+			Schema: BenchSchemaVersion,
+			Date:   date,
+			Entries: map[string]BenchEntry{
+				"goodput_dense": {GoodputBps: goodput},
+				"eq_confidence": {EqConfidence: conf},
+			},
+		}
+	}
+	base := mk("2026-08-01", 1000, 0.9)
+
+	// Goodput growth and confidence wobble both pass.
+	if regs, _ := CompareBench(base, mk("2026-08-09", 1500, 0.6), 0.10); len(regs) != 0 {
+		t.Errorf("dense goodput growth flagged: %v", regs)
+	}
+	// Confidence total collapse alone never trips the gate — it is the
+	// adaptation signal, not a gated quality metric (ShedRate's model).
+	if regs, _ := CompareBench(base, mk("2026-08-09", 1000, 0), 0.10); len(regs) != 0 {
+		t.Errorf("eq_confidence collapse flagged: %v", regs)
+	}
+	// A goodput drop past tolerance fails, in the lower-is-worse
+	// direction.
+	regs, err := CompareBench(base, mk("2026-08-09", 500, 0.9), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Entry != "goodput_dense" || regs[0].Metric != "goodput_bps" {
+		t.Errorf("dense goodput drop: %v", regs)
+	}
+	// The never-gated cell must still exist: losing it from the report
+	// fails as "missing", so the context signal cannot silently rot.
+	cur := mk("2026-08-09", 1000, 0.9)
+	delete(cur.Entries, "eq_confidence")
+	regs, _ = CompareBench(base, cur, 0.10)
+	if len(regs) != 1 || regs[0].Entry != "eq_confidence" || regs[0].Metric != "missing" {
+		t.Errorf("vanished eq_confidence cell: %v", regs)
+	}
+}

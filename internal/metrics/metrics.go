@@ -86,6 +86,11 @@ type LinkParams struct {
 	// NoErasureDecoding disables gap-position erasure hints (ablation
 	// for §5).
 	NoErasureDecoding bool
+	// DisableEqualizer ablates the receiver's online channel equalizer
+	// (modem.RxConfig.DisableEqualizer) — the baseline for the
+	// dense-constellation experiments, where the unequalized decoder
+	// collapses under AWB and ambient drift.
+	DisableEqualizer bool
 	// CalibrationEvery overrides the calibration packet interval in
 	// data packets (0 picks the default that matches the paper's ~5
 	// calibration packets per second).
@@ -172,6 +177,12 @@ type LinkResult struct {
 	// LinkReport is the full link report behind Health, including the
 	// margin and parity-load histograms.
 	LinkReport linkstats.Report
+	// EqConfidence is the receiver's end-of-run channel-equalizer
+	// confidence in [0, 1]; EqActive reports whether the equalizer was
+	// enabled and anchored at all (always false under DisableEqualizer
+	// and in adaptive runs, whose receiver retunes mid-run).
+	EqConfidence float64
+	EqActive     bool
 }
 
 // Run measures one link configuration end to end: it builds a
@@ -255,6 +266,7 @@ func Run(p LinkParams) (LinkResult, error) {
 		Code:                 code,
 		UseFactoryReferences: p.UseFactoryRefs,
 		NoErasureDecoding:    p.NoErasureDecoding,
+		DisableEqualizer:     p.DisableEqualizer,
 		ReceiverOptimized:    p.ReceiverOptimized,
 		SelfHeal:             p.SelfHeal,
 		Telemetry:            tel,
@@ -270,7 +282,17 @@ func Run(p LinkParams) (LinkResult, error) {
 	rng := rand.New(rand.NewSource(p.Seed))
 	block := make([]byte, code.K())
 	rng.Read(block)
-	msg := bytes.Repeat(block, 4)
+	// The repeating waveform restarts the calibration cadence at every
+	// message repeat, so an explicit CalibrationEvery beyond the
+	// message's packet count would silently tighten back to it: scale
+	// the message so the stretched interval actually elapses on air.
+	// Only an explicit override stretches — the default stays at 4
+	// packets so every recorded default-parameter result is unchanged.
+	nBlocks := 4
+	if p.CalibrationEvery > nBlocks {
+		nBlocks = p.CalibrationEvery
+	}
+	msg := bytes.Repeat(block, nBlocks)
 	cw, err := code.Encode(append([]byte(nil), block...))
 	if err != nil {
 		return LinkResult{}, err
@@ -332,6 +354,7 @@ func Run(p LinkParams) (LinkResult, error) {
 	res.Telemetry = tel.Snapshot()
 	res.Health = ls.Health()
 	res.LinkReport = ls.Report("")
+	res.EqConfidence, res.EqActive = rx.EqualizerConfidence()
 	return res, nil
 }
 

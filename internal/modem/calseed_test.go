@@ -185,3 +185,81 @@ func TestSeedCalibrationRejections(t *testing.T) {
 	}
 	_ = calFree
 }
+
+// TestSeedCalibrationCarriesEqualizer is the warm-equalizer reconnect
+// story: a calibrated session's snapshot carries the equalizer's
+// learned state (v2 layout), a seeded receiver comes up with the
+// equalizer already anchored at the exported confidence, and a
+// damaged equalizer blob rejects the whole seed — the references are
+// not applied either.
+func TestSeedCalibrationCarriesEqualizer(t *testing.T) {
+	_, calibrated, newRx := calSeedLink(t, 7)
+
+	first := newRx(t)
+	for _, f := range calibrated {
+		first.Recycle(first.ProcessFrame(f))
+	}
+	first.Recycle(first.Flush())
+	wantConf, active := first.EqualizerConfidence()
+	if !active {
+		t.Fatal("calibrated receiver's equalizer never anchored")
+	}
+	snap, ok := first.CalibrationSnapshot()
+	if !ok {
+		t.Fatal("calibrated receiver exported no snapshot")
+	}
+	if len(snap.Equalizer) == 0 {
+		t.Fatal("snapshot carries no equalizer state")
+	}
+
+	// Through the cache's byte form and into a fresh receiver.
+	raw, err := snap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := packet.UnmarshalCalSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := newRx(t)
+	if err := warm.SeedCalibration(cached); err != nil {
+		t.Fatal(err)
+	}
+	gotConf, gotActive := warm.EqualizerConfidence()
+	if !gotActive {
+		t.Error("seeded receiver's equalizer not active")
+	}
+	if gotConf != wantConf {
+		t.Errorf("seeded equalizer confidence %v, want %v", gotConf, wantConf)
+	}
+
+	// A snapshot whose equalizer blob is damaged must be rejected whole:
+	// no references, no equalizer, no partial application.
+	damaged := cached
+	damaged.Equalizer = cached.Equalizer[:len(cached.Equalizer)-1]
+	broken := newRx(t)
+	if err := broken.SeedCalibration(damaged); err == nil {
+		t.Fatal("damaged equalizer blob accepted")
+	}
+	if broken.Calibrated() {
+		t.Error("rejected seed still applied references")
+	}
+	if _, active := broken.EqualizerConfidence(); active {
+		t.Error("rejected seed still anchored the equalizer")
+	}
+
+	// An ablated receiver ignores the blob and seeds references alone.
+	ablated, err := NewReceiver(RxConfig{
+		Order: snap.Order, SymbolRate: 2000, WhiteFraction: 0.2,
+		Code: warm.cfg.Code, DisableEqualizer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ablated.SeedCalibration(cached); err != nil {
+		t.Fatalf("ablated receiver rejected a snapshot with equalizer state: %v", err)
+	}
+	if _, active := ablated.EqualizerConfidence(); active {
+		t.Error("ablated receiver reports an active equalizer")
+	}
+}

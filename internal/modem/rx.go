@@ -8,6 +8,7 @@ import (
 	"colorbars/internal/cie"
 	"colorbars/internal/colorspace"
 	"colorbars/internal/csk"
+	"colorbars/internal/equalize"
 	"colorbars/internal/linkstats"
 	"colorbars/internal/packet"
 	"colorbars/internal/rs"
@@ -64,6 +65,14 @@ type RxConfig struct {
 	// linkadapt session leave this off — the session records ground
 	// truth itself at each committed switch.
 	TrackAnnouncedRung bool
+	// DisableEqualizer turns off the online channel equalizer
+	// (internal/equalize) that corrects received colors into the
+	// reference frame before classification — the ablation baseline for
+	// the dense-constellation experiments. Real receivers leave this
+	// false: the equalizer is what keeps 64- and 256-point
+	// constellations decodable under AWB and ambient drift, and it is
+	// exactly identity until the first calibration packet anchors it.
+	DisableEqualizer bool
 }
 
 // SelfHealConfig tunes the receiver's recovery state machine. All
@@ -272,6 +281,16 @@ type Receiver struct {
 	haveRefs bool
 	started  bool
 
+	// eq is the online channel equalizer: received colors pass through
+	// it before every nearest-reference match, and calibration packets
+	// plus high-margin decoded symbols train it. Nil when
+	// cfg.DisableEqualizer ablates it.
+	eq *equalize.Equalizer
+	// calPerm caches cons.CalibrationOrder() — the permutation undo for
+	// calibration bodies — which is O(k²) to build and would otherwise
+	// allocate on every calibration packet.
+	calPerm []int
+
 	// Calibration-metadata state: the last announcement decoded from a
 	// calibration packet's trailing TLV region (DESIGN.md §13).
 	lastCalMeta packet.CalMeta
@@ -373,8 +392,15 @@ func NewReceiver(cfg RxConfig) (*Receiver, error) {
 		distGauge: tel.Gauge("rx.classify_distance"),
 		syncGauge: tel.Gauge("rx.sync_state"),
 		dec:       cfg.Code.NewDecoder(),
+		calPerm:   cons.CalibrationOrder(),
 	}
 	r.heal.cfg = cfg.SelfHeal.withDefaults()
+	if !cfg.DisableEqualizer {
+		r.eq, err = equalize.New(equalize.Config{Points: int(cfg.Order)})
+		if err != nil {
+			return nil, err
+		}
+	}
 	// The classifier always knows the factory constellation geometry —
 	// it only uses it to tell white apart from data, which is a
 	// public property of the standard's constellation design.
@@ -446,6 +472,27 @@ func (r *Receiver) syncDiscards() int {
 // (from a calibration packet, or factory ones).
 func (r *Receiver) Calibrated() bool { return r.haveRefs }
 
+// eqAB routes one received color through the channel equalizer before
+// a nearest-reference match. Identity when the equalizer is ablated or
+// not yet anchored. Allocation-free.
+func (r *Receiver) eqAB(ab colorspace.AB) colorspace.AB {
+	if r.eq != nil {
+		return r.eq.Apply(ab)
+	}
+	return ab
+}
+
+// EqualizerConfidence returns the equalizer's confidence score in
+// [0,1] and whether it is active (enabled and anchored by at least one
+// calibration). The link-adaptation controller gates dense-
+// constellation rungs on it.
+func (r *Receiver) EqualizerConfidence() (float64, bool) {
+	if r.eq == nil {
+		return 0, false
+	}
+	return r.eq.Confidence(), r.eq.Ready()
+}
+
 // validCalibration sanity-checks a calibration body. A genuine body is
 // the full constellation, so all colors are pairwise distinct; a body
 // parsed out of a damaged data packet is a stretch of payload symbols,
@@ -483,10 +530,16 @@ func (r *Receiver) CalibrationSnapshot() (packet.CalSnapshot, bool) {
 	if !r.haveRefs || len(r.refs) != int(r.cfg.Order) {
 		return packet.CalSnapshot{}, false
 	}
-	return packet.CalSnapshot{
+	snap := packet.CalSnapshot{
 		Order:  r.cfg.Order,
 		Colors: append([]colorspace.AB(nil), r.refs...),
-	}, true
+	}
+	if r.eq != nil && r.eq.Ready() {
+		if blob, err := r.eq.MarshalBinary(); err == nil {
+			snap.Equalizer = blob
+		}
+	}
+	return snap, true
 }
 
 // SeedCalibration applies a previously exported snapshot as if its
@@ -507,6 +560,16 @@ func (r *Receiver) SeedCalibration(snap packet.CalSnapshot) error {
 	}
 	if !r.validCalibration(snap.Colors) {
 		return fmt.Errorf("modem: calibration snapshot fails validity (collapsed or wrong-size constellation)")
+	}
+	// Restore the equalizer blob before committing anything: a damaged
+	// blob rejects the whole seed (RestoreBinary itself validates in
+	// full before mutating, so equalizer state is untouched too). A
+	// snapshot without a blob, or an ablated equalizer, seeds the
+	// references alone — exactly the v1 behavior.
+	if len(snap.Equalizer) > 0 && r.eq != nil {
+		if err := r.eq.RestoreBinary(snap.Equalizer); err != nil {
+			return fmt.Errorf("modem: calibration snapshot equalizer state: %w", err)
+		}
 	}
 	r.refs = append(r.refs[:0], snap.Colors...)
 	r.haveRefs = true
@@ -548,7 +611,7 @@ func (r *Receiver) consumeCalMeta(meta []colorspace.AB) {
 	ds := &r.ds
 	idx := ds.sizeIdx[:0]
 	for _, c := range meta {
-		idx = append(idx, csk.NearestAB(c, r.refs))
+		idx = append(idx, csk.NearestAB(r.eqAB(c), r.refs))
 	}
 	ds.sizeIdx = idx
 	raw, err := r.cfg.Order.AppendUnpack(ds.cw[:0], idx, nBytes)
@@ -617,6 +680,18 @@ func (r *Receiver) SetOperatingPoint(p OperatingPoint) ([]Block, error) {
 	r.dec = p.Code.NewDecoder()
 	r.started = false
 	r.haveCalMeta = false
+	r.calPerm = cons.CalibrationOrder()
+
+	// The equalizer's learned correction belongs to the old
+	// constellation; rebuild (or reset) it for the new geometry. The
+	// first calibration packet at the new rung re-anchors it.
+	if r.eq != nil {
+		if r.eq.Points() == int(p.Order) {
+			r.eq.Reset()
+		} else if eq, err := equalize.New(equalize.Config{Points: int(p.Order)}); err == nil {
+			r.eq = eq
+		}
+	}
 
 	// References are per-constellation; start over from the factory
 	// geometry exactly as NewReceiver does.
@@ -766,8 +841,19 @@ func (r *Receiver) finishSymbols(syms []packet.RxSymbol, frame telemetry.Span) [
 	}
 	sp.End()
 	r.observeFrameHealth(syms, len(pkts), discards)
-	if r.ls != nil {
-		r.ls.EndFrame(int(nData), r.collectMargins(syms))
+	// One margin pass serves both consumers: linkstats evidence and the
+	// equalizer's decision-directed learning (collectMargins feeds
+	// high-margin symbols into eq.Observe as it goes). It runs after the
+	// packet loop so a calibration packet in this frame anchors the
+	// equalizer before the frame's symbols train it.
+	if r.ls != nil || r.eq != nil {
+		margins := r.collectMargins(syms)
+		if r.ls != nil {
+			r.ls.EndFrame(int(nData), margins)
+		}
+	}
+	if r.eq != nil {
+		r.eq.Tick()
 	}
 	return blocks
 }
@@ -792,6 +878,11 @@ const marginL = 50
 // beyond that (margins feed observability, not decoding). The
 // returned slice is scratch, reused next frame; linkstats.EndFrame
 // consumes it without retaining.
+//
+// The same pass doubles as the equalizer's training feed: each data
+// symbol's winning cell, raw color and margin pair go to eq.Observe,
+// which uses high-margin symbols as decision-directed evidence of
+// between-calibration drift and every symbol as a confidence sample.
 func (r *Receiver) collectMargins(syms []packet.RxSymbol) []linkstats.Margin {
 	if !r.haveRefs {
 		return nil
@@ -801,16 +892,20 @@ func (r *Receiver) collectMargins(syms []packet.RxSymbol) []linkstats.Margin {
 		if s.Kind != packet.KindData {
 			continue
 		}
-		win := csk.NearestAB(s.AB, r.refs)
-		dWin := colorspace.DeltaE2000AB(s.AB, r.refs[win])
+		ab := r.eqAB(s.AB)
+		win := csk.NearestAB(ab, r.refs)
+		dWin := colorspace.DeltaE2000AB(ab, r.refs[win])
 		dRun := math.Inf(1)
 		for _, j := range r.cls.runnerUps(win) {
-			if d := colorspace.DeltaE2000AB(s.AB, r.refs[j]); d < dRun {
+			if d := colorspace.DeltaE2000AB(ab, r.refs[j]); d < dRun {
 				dRun = d
 			}
 		}
 		if math.IsInf(dRun, 1) {
 			continue // single-point constellation: no runner-up
+		}
+		if r.eq != nil {
+			r.eq.Observe(win, s.AB, dWin, dRun)
 		}
 		margins = append(margins, linkstats.Margin{Point: win, Win: dWin, RunnerUp: dRun})
 	}
@@ -851,7 +946,8 @@ func (r *Receiver) observeFrameHealth(syms []packet.RxSymbol, pkts, discards int
 			if s.Kind != packet.KindData {
 				continue
 			}
-			sum += s.AB.Dist(r.refs[csk.NearestAB(s.AB, r.refs)])
+			ab := r.eqAB(s.AB)
+			sum += ab.Dist(r.refs[csk.NearestAB(ab, r.refs)])
 			n++
 		}
 		if n >= 8 {
@@ -942,7 +1038,7 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket, blk *Block) bool {
 		if len(pkt.Colors) == int(r.cfg.Order) && !r.cfg.UseFactoryReferences {
 			// Undo the transmission permutation (see
 			// csk.Constellation.CalibrationOrder).
-			perm := r.cons.CalibrationOrder()
+			perm := r.calPerm
 			calib := r.ds.calib
 			if cap(calib) < len(pkt.Colors) {
 				calib = make([]colorspace.AB, len(pkt.Colors))
@@ -986,6 +1082,13 @@ func (r *Receiver) handlePacket(pkt packet.RxPacket, blk *Block) bool {
 			// The classifier discriminates white-vs-data better with
 			// the device's own view of the constellation.
 			r.cls.setDataRefs(r.refs)
+			if r.eq != nil {
+				// Anchor the equalizer: the raw permutation-corrected
+				// observation against the smoothed references it must
+				// map future symbols toward. Lengths are guaranteed
+				// equal here, so Anchor cannot fail.
+				_ = r.eq.Anchor(pkt.Colors, r.refs)
+			}
 			r.c.calibrationApplied.Inc()
 			r.ls.RecordCalibration(drift)
 			r.heal.calEver = true
@@ -1103,7 +1206,7 @@ func (r *Receiver) decodeData(pkt packet.RxPacket, blk *Block) {
 	// Match and decode the size field.
 	sizeIdx := ds.sizeIdx[:0]
 	for i := 0; i < nSize; i++ {
-		sizeIdx = append(sizeIdx, csk.NearestAB(pkt.Slots[i].AB, r.refs))
+		sizeIdx = append(sizeIdx, csk.NearestAB(r.eqAB(pkt.Slots[i].AB), r.refs))
 	}
 	ds.sizeIdx = sizeIdx
 	totalSlots, err := r.pktCfg.DecodeSizeField(sizeIdx)
@@ -1329,7 +1432,7 @@ func (r *Receiver) assembleSymbols(layout []bool, observed []packet.RxSlot, gaps
 				}
 				raw = append(raw, -1)
 			} else {
-				idx := csk.NearestAB(observed[oi].AB, r.refs)
+				idx := csk.NearestAB(r.eqAB(observed[oi].AB), r.refs)
 				oi++
 				raw = append(raw, idx)
 				symbolsObserved++

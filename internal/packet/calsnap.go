@@ -10,21 +10,29 @@ import (
 )
 
 // CalSnapshot is a receiver's applied calibration state — the
-// per-device demodulation references a calibration packet established
-// — in a form that survives the session: the ingest service's
+// per-device demodulation references a calibration packet established,
+// and (since v2) the online channel equalizer's learned correction —
+// in a form that survives the session: the ingest service's
 // calibration cache stores the serialized snapshot keyed by device id,
-// so a reconnecting device resumes decoding data packets immediately
-// instead of waiting for its next calibration packet.
+// so a reconnecting device resumes decoding data packets immediately,
+// with a warm equalizer, instead of waiting for its next calibration
+// packet.
 //
 // Wire layout (MarshalBinary):
 //
-//	ver(1) | order(1) | order × { A f64be(8) | B f64be(8) } | crc16(2, big-endian)
+//	v1: ver=1(1) | order(1) | order × { A f64be(8) | B f64be(8) } | crc16(2)
+//	v2: ver=2(1) | order u16be(2) | order × { A f64be(8) | B f64be(8) }
+//	    | eqLen u32be(4) | eqLen equalizer bytes | crc16(2)
 //
-// The CRC (CRC-16/CCITT-FALSE, the calibration-metadata polynomial)
-// covers everything before it. Float components travel as IEEE-754
-// bits, so a decode round-trip is bit-exact — seeding a receiver from
-// a snapshot reproduces the exact references the exporting receiver
-// held.
+// v1 is emitted whenever it can represent the snapshot (no equalizer
+// state, order ≤ 255), so caches written by this version stay readable
+// by v1 consumers; v2 is required for an equalizer blob or for the
+// dense 256-point constellation, whose order does not fit the v1
+// single-byte field. The CRC (CRC-16/CCITT-FALSE, the
+// calibration-metadata polynomial) covers everything before it in
+// both versions. Float components travel as IEEE-754 bits, so a
+// decode round-trip is bit-exact — seeding a receiver from a snapshot
+// reproduces the exact references the exporting receiver held.
 type CalSnapshot struct {
 	// Order is the CSK constellation the references belong to. A
 	// snapshot only seeds a receiver configured for the same order.
@@ -32,34 +40,67 @@ type CalSnapshot struct {
 	// Colors are the demodulation references, one {a,b} chromaticity
 	// per constellation point, in constellation index order.
 	Colors []colorspace.AB
+	// Equalizer is the opaque serialized equalizer state
+	// (equalize.Equalizer.MarshalBinary), empty when the exporting
+	// receiver had no anchored equalizer. The packet layer does not
+	// interpret it; a truncated or damaged blob is caught by the
+	// snapshot CRC and length checks, and a snapshot that fails them
+	// is rejected whole — never partially applied.
+	Equalizer []byte
 }
 
-// calSnapshotVersion is the current snapshot layout version.
-const calSnapshotVersion = 1
+// Snapshot layout versions. calSnapshotVersion is the newest.
+const (
+	calSnapshotV1      = 1
+	calSnapshotV2      = 2
+	calSnapshotVersion = calSnapshotV2
+)
 
-// MarshalBinary serializes the snapshot.
+// maxCalSnapshotEq bounds the equalizer blob so a corrupt length field
+// cannot drive allocation.
+const maxCalSnapshotEq = 1 << 20
+
+// MarshalBinary serializes the snapshot, choosing the oldest layout
+// version that can represent it.
 func (s CalSnapshot) MarshalBinary() ([]byte, error) {
-	if s.Order < 1 || int(s.Order) > 255 {
+	if s.Order < 1 || int(s.Order) > math.MaxUint16 {
 		return nil, fmt.Errorf("packet: calibration snapshot order %d out of range", s.Order)
 	}
 	if len(s.Colors) != int(s.Order) {
 		return nil, fmt.Errorf("packet: calibration snapshot has %d colors for order %d",
 			len(s.Colors), s.Order)
 	}
-	out := make([]byte, 0, 2+16*len(s.Colors)+2)
-	out = append(out, calSnapshotVersion, byte(s.Order))
+	if len(s.Equalizer) > maxCalSnapshotEq {
+		return nil, fmt.Errorf("packet: calibration snapshot equalizer blob %d bytes exceeds cap", len(s.Equalizer))
+	}
+	if len(s.Equalizer) == 0 && int(s.Order) <= 255 {
+		out := make([]byte, 0, 2+16*len(s.Colors)+2)
+		out = append(out, calSnapshotV1, byte(s.Order))
+		for _, c := range s.Colors {
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(c.A))
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(c.B))
+		}
+		crc := crc16(out)
+		return append(out, byte(crc>>8), byte(crc)), nil
+	}
+	out := make([]byte, 0, 3+16*len(s.Colors)+4+len(s.Equalizer)+2)
+	out = append(out, calSnapshotV2)
+	out = binary.BigEndian.AppendUint16(out, uint16(s.Order))
 	for _, c := range s.Colors {
 		out = binary.BigEndian.AppendUint64(out, math.Float64bits(c.A))
 		out = binary.BigEndian.AppendUint64(out, math.Float64bits(c.B))
 	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(s.Equalizer)))
+	out = append(out, s.Equalizer...)
 	crc := crc16(out)
 	return append(out, byte(crc>>8), byte(crc)), nil
 }
 
-// UnmarshalCalSnapshot parses a serialized snapshot. Unlike the
-// best-effort calibration metadata, a damaged snapshot is a hard
-// error: it comes from the service's own cache, not off the air, so
-// corruption means a bug (or version skew), never channel noise.
+// UnmarshalCalSnapshot parses a serialized snapshot (either layout
+// version). Unlike the best-effort calibration metadata, a damaged
+// snapshot is a hard error: it comes from the service's own cache, not
+// off the air, so corruption means a bug (or version skew), never
+// channel noise.
 func UnmarshalCalSnapshot(raw []byte) (CalSnapshot, error) {
 	if len(raw) < 4 {
 		return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot truncated (%d bytes)", len(raw))
@@ -68,24 +109,59 @@ func UnmarshalCalSnapshot(raw []byte) (CalSnapshot, error) {
 	if got, want := crc16(body), uint16(tail[0])<<8|uint16(tail[1]); got != want {
 		return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot CRC mismatch (%04x != %04x)", got, want)
 	}
-	if body[0] != calSnapshotVersion {
+	switch body[0] {
+	case calSnapshotV1:
+		order := int(body[1])
+		if order < 1 {
+			return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot order %d out of range", order)
+		}
+		if want := 2 + 16*order; len(body) != want {
+			return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot length %d, want %d for order %d",
+				len(body), want, order)
+		}
+		s := CalSnapshot{Order: csk.Order(order), Colors: make([]colorspace.AB, order)}
+		for i := 0; i < order; i++ {
+			off := 2 + 16*i
+			s.Colors[i] = colorspace.AB{
+				A: math.Float64frombits(binary.BigEndian.Uint64(body[off:])),
+				B: math.Float64frombits(binary.BigEndian.Uint64(body[off+8:])),
+			}
+		}
+		return s, nil
+	case calSnapshotV2:
+		if len(body) < 3+4 {
+			return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot v2 truncated (%d bytes)", len(body))
+		}
+		order := int(binary.BigEndian.Uint16(body[1:]))
+		if order < 1 {
+			return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot order %d out of range", order)
+		}
+		colorsEnd := 3 + 16*order
+		if len(body) < colorsEnd+4 {
+			return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot length %d too short for order %d",
+				len(body), order)
+		}
+		eqLen := int(binary.BigEndian.Uint32(body[colorsEnd:]))
+		if eqLen > maxCalSnapshotEq {
+			return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot equalizer blob %d bytes exceeds cap", eqLen)
+		}
+		if want := colorsEnd + 4 + eqLen; len(body) != want {
+			return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot length %d, want %d for order %d + %d equalizer bytes",
+				len(body), want, order, eqLen)
+		}
+		s := CalSnapshot{Order: csk.Order(order), Colors: make([]colorspace.AB, order)}
+		for i := 0; i < order; i++ {
+			off := 3 + 16*i
+			s.Colors[i] = colorspace.AB{
+				A: math.Float64frombits(binary.BigEndian.Uint64(body[off:])),
+				B: math.Float64frombits(binary.BigEndian.Uint64(body[off+8:])),
+			}
+		}
+		if eqLen > 0 {
+			s.Equalizer = append([]byte(nil), body[colorsEnd+4:colorsEnd+4+eqLen]...)
+		}
+		return s, nil
+	default:
 		return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot version %d unsupported", body[0])
 	}
-	order := int(body[1])
-	if order < 1 {
-		return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot order %d out of range", order)
-	}
-	if want := 2 + 16*order; len(body) != want {
-		return CalSnapshot{}, fmt.Errorf("packet: calibration snapshot length %d, want %d for order %d",
-			len(body), want, order)
-	}
-	s := CalSnapshot{Order: csk.Order(order), Colors: make([]colorspace.AB, order)}
-	for i := 0; i < order; i++ {
-		off := 2 + 16*i
-		s.Colors[i] = colorspace.AB{
-			A: math.Float64frombits(binary.BigEndian.Uint64(body[off:])),
-			B: math.Float64frombits(binary.BigEndian.Uint64(body[off+8:])),
-		}
-	}
-	return s, nil
 }

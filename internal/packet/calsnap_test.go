@@ -98,3 +98,167 @@ func TestCalSnapshotRejectsDamage(t *testing.T) {
 		t.Error("marshal accepted order 0")
 	}
 }
+
+// TestCalSnapshotV2RoundTrip: snapshots carrying an equalizer blob —
+// or the 256-point order that does not fit v1's single-byte field —
+// use the v2 layout and round-trip bit-exactly, blob included.
+func TestCalSnapshotV2RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct {
+		order csk.Order
+		eqLen int
+	}{
+		{csk.CSK8, 1},
+		{csk.CSK64, 4096},
+		{csk.CSK256, 0}, // order alone forces v2
+		{csk.CSK256, 30000},
+	} {
+		want := randomSnapshot(rng, tc.order)
+		want.Equalizer = make([]byte, tc.eqLen)
+		rng.Read(want.Equalizer)
+		raw, err := want.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw[0] != calSnapshotV2 {
+			t.Fatalf("order %d + %d-byte blob emitted version %d, want v2", tc.order, tc.eqLen, raw[0])
+		}
+		got, err := UnmarshalCalSnapshot(raw)
+		if err != nil {
+			t.Fatalf("order %d: %v", tc.order, err)
+		}
+		if got.Order != want.Order || len(got.Colors) != len(want.Colors) {
+			t.Fatalf("order %d: shape mismatch", tc.order)
+		}
+		for i := range want.Colors {
+			if math.Float64bits(got.Colors[i].A) != math.Float64bits(want.Colors[i].A) ||
+				math.Float64bits(got.Colors[i].B) != math.Float64bits(want.Colors[i].B) {
+				t.Fatalf("order %d color %d not bit-exact", tc.order, i)
+			}
+		}
+		if len(got.Equalizer) != tc.eqLen {
+			t.Fatalf("order %d: equalizer blob %d bytes back, want %d", tc.order, len(got.Equalizer), tc.eqLen)
+		}
+		for i := range want.Equalizer {
+			if got.Equalizer[i] != want.Equalizer[i] {
+				t.Fatalf("order %d: equalizer blob differs at byte %d", tc.order, i)
+			}
+		}
+	}
+}
+
+// TestCalSnapshotV1StaysV1: a snapshot without equalizer state keeps
+// the v1 layout, so caches written by this build stay readable by v1
+// consumers.
+func TestCalSnapshotV1StaysV1(t *testing.T) {
+	s := randomSnapshot(rand.New(rand.NewSource(4)), csk.CSK16)
+	raw, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != calSnapshotV1 {
+		t.Fatalf("equalizer-free snapshot emitted version %d, want v1", raw[0])
+	}
+}
+
+// TestCalSnapshotV2RejectsDamage: v2 truncations, bit flips, and a
+// lying equalizer-length field (re-signed with a valid CRC, so only
+// the structural check can catch it) are all hard errors — a damaged
+// v2 snapshot is rejected whole, never partially applied.
+func TestCalSnapshotV2RejectsDamage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randomSnapshot(rng, csk.CSK8)
+	s.Equalizer = make([]byte, 64)
+	rng.Read(s.Equalizer)
+	raw, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := UnmarshalCalSnapshot(raw[:cut]); err == nil {
+			t.Fatalf("v2 truncation to %d bytes accepted", cut)
+		}
+	}
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if _, err := UnmarshalCalSnapshot(bad); err == nil {
+			t.Fatalf("v2 bit flip at byte %d accepted", i)
+		}
+	}
+	// Craft a body whose eqLen field claims more bytes than follow,
+	// with the CRC recomputed to match: the length check must reject it.
+	body := append([]byte(nil), raw[:len(raw)-2]...)
+	eqLenOff := 3 + 16*int(s.Order)
+	body[eqLenOff+3] += 1 // claim one extra equalizer byte
+	crc := crc16(body)
+	lying := append(body, byte(crc>>8), byte(crc))
+	if _, err := UnmarshalCalSnapshot(lying); err == nil {
+		t.Error("v2 snapshot with lying equalizer length accepted")
+	}
+	// And an oversized claim must not drive allocation.
+	body = append([]byte(nil), raw[:len(raw)-2]...)
+	for i := 0; i < 4; i++ {
+		body[eqLenOff+i] = 0xFF
+	}
+	crc = crc16(body)
+	huge := append(body, byte(crc>>8), byte(crc))
+	if _, err := UnmarshalCalSnapshot(huge); err == nil {
+		t.Error("v2 snapshot with oversized equalizer length accepted")
+	}
+}
+
+// FuzzCalSnapshot drives the snapshot parser with arbitrary bytes.
+// It must never panic, and any input it accepts must re-marshal and
+// re-parse to the same snapshot (versions may legitimately differ:
+// a hand-crafted v2 blob with no equalizer and a small order
+// re-marshals as v1).
+func FuzzCalSnapshot(f *testing.F) {
+	rng := rand.New(rand.NewSource(6))
+	v1 := randomSnapshot(rng, csk.CSK8)
+	v1raw, err := v1.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	v2 := randomSnapshot(rng, csk.CSK256)
+	v2.Equalizer = make([]byte, 48)
+	rng.Read(v2.Equalizer)
+	v2raw, err := v2.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(v1raw)
+	f.Add(v2raw)
+	f.Add(v1raw[:len(v1raw)/2])
+	f.Add(v2raw[:len(v2raw)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalCalSnapshot(data)
+		if err != nil {
+			return
+		}
+		raw2, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-marshal: %v", err)
+		}
+		s2, err := UnmarshalCalSnapshot(raw2)
+		if err != nil {
+			t.Fatalf("re-marshalled snapshot failed to parse: %v", err)
+		}
+		if s2.Order != s.Order || len(s2.Colors) != len(s.Colors) || len(s2.Equalizer) != len(s.Equalizer) {
+			t.Fatalf("round-trip shape drift: %v/%d/%d != %v/%d/%d",
+				s2.Order, len(s2.Colors), len(s2.Equalizer), s.Order, len(s.Colors), len(s.Equalizer))
+		}
+		for i := range s.Colors {
+			if math.Float64bits(s2.Colors[i].A) != math.Float64bits(s.Colors[i].A) ||
+				math.Float64bits(s2.Colors[i].B) != math.Float64bits(s.Colors[i].B) {
+				t.Fatalf("round-trip color %d drift", i)
+			}
+		}
+		for i := range s.Equalizer {
+			if s2.Equalizer[i] != s.Equalizer[i] {
+				t.Fatalf("round-trip equalizer byte %d drift", i)
+			}
+		}
+	})
+}
